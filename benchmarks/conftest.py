@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs against the canonical full-scale world, built once
+per process. Benchmarks measure the *analysis* cost of regenerating each
+paper artifact and print the artifact itself, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates every table and figure of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ReproBundle, reproduce
+
+
+@pytest.fixture(scope="session")
+def bundle() -> ReproBundle:
+    """The canonical full-scale reproduction bundle."""
+    return reproduce(scale=1.0)
+
+
+def emit(section: str) -> None:
+    """Print one rendered artifact beneath the benchmark output."""
+    print()
+    print(section)
+
+
+@pytest.fixture(scope="session")
+def experiment_bundle() -> ReproBundle:
+    """A private world for the controlled experiment.
+
+    The §6.1 protocol mutates registry state, so it must not touch the
+    shared full-scale bundle other benchmarks depend on.
+    """
+    return reproduce(seed=1759, scale=0.25, use_cache=False)

@@ -1,0 +1,43 @@
+"""Ablation A-SEL — is Table 3's disparity behavioural?
+
+The paper's headline split (5% of nameservers hijacked vs 32% of
+domains) is attributed to hijacker selectivity. Re-running the world
+with non-selective hijackers (threshold 1, saturated interest, no
+capacity limit) collapses the disparity: the NS fraction balloons and
+the domain/NS amplification falls toward 1.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.analysis.study import StudyAnalysis
+from repro.analysis.tables import table3
+from repro.detection.pipeline import DetectionPipeline
+from repro.ecosystem.counterfactual import greedy_hijackers_scenario
+from repro.ecosystem.world import World
+
+
+def test_bench_ablation_selectivity(benchmark, bundle):
+    def run_greedy():
+        world = World(greedy_hijackers_scenario(scale=0.1)).run()
+        pipeline = DetectionPipeline(
+            world.zonedb, world.whois, mine_patterns=False
+        ).run()
+        return table3(StudyAnalysis(pipeline, world.zonedb, world.whois))
+
+    greedy = benchmark.pedantic(run_greedy, rounds=2, iterations=1)
+    baseline = table3(bundle.study)
+    base_amp = baseline.domain_fraction / baseline.ns_fraction
+    greedy_amp = greedy.domain_fraction / max(greedy.ns_fraction, 1e-9)
+    assert greedy.ns_fraction > 3 * baseline.ns_fraction
+    assert greedy_amp < base_amp / 2
+    emit(format_table(
+        ["hijacker policy", "NS hijacked", "domains hijacked", "amplification"],
+        [
+            ("selective (paper-shaped)", f"{baseline.ns_fraction:.1%}",
+             f"{baseline.domain_fraction:.1%}", f"{base_amp:.1f}x"),
+            ("greedy (ablation)", f"{greedy.ns_fraction:.1%}",
+             f"{greedy.domain_fraction:.1%}", f"{greedy_amp:.1f}x"),
+        ],
+        title="Ablation: hijacker selectivity drives the Table 3 disparity",
+    ))

@@ -1,0 +1,21 @@
+"""Infrastructure benchmark: data-set characterization (§3.2 style).
+
+Computes and prints the corpus overview the paper gives for CAIDA-DZDB
+("1250 zones … 530.4M domains and 20.8M nameservers"), at simulation
+scale, from the interval database.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.zonedb.stats import dataset_stats
+
+
+def test_bench_dataset(benchmark, bundle):
+    stats = benchmark(dataset_stats, bundle.world.zonedb)
+    assert stats.total_domains > 5000
+    assert stats.total_nameservers > 1000
+    emit(format_table(
+        ["measure", "value"], stats.rows(),
+        title="Data set overview (CAIDA-DZDB substitute, 1:100 scale)",
+    ))

@@ -1,0 +1,36 @@
+"""Experiment S-DEF — defensive registrations (footnote 11), at scale.
+
+The paper defensively registered the sacrificial domain protecting a
+hijackable .edu name. This sweep generalizes the tactic: register the
+highest-value currently-hijackable sacrificial domains and report the
+coverage and cost of keeping them off the market.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.api import reproduce
+from repro.experiment.defensive import DefensiveSweep
+
+
+def test_bench_defensive(benchmark):
+    bundle = reproduce(seed=911, scale=0.25, use_cache=False)
+    sweep = DefensiveSweep(bundle.world, bundle.study)
+    targets = benchmark.pedantic(sweep.enumerate_targets, rounds=3, iterations=1)
+    assert targets
+    report = sweep.execute(budget=15)
+    assert report.registered
+    emit(format_table(
+        ["measure", "value"],
+        [
+            ("hijackable sacrificial domains", report.targets_considered),
+            ("defensively registered (budget 15)", len(report.registered)),
+            ("domains protected", len(report.protected_domains)),
+            ("restricted-TLD targets covered",
+             sum(1 for t in report.registered if t.reaches_restricted_tld)),
+            ("first-year cost", f"${report.cost_usd:,.0f}"),
+            ("cost per protected domain",
+             f"${report.cost_per_protected_domain():,.2f}"),
+        ],
+        title="Defensive registration sweep (footnote 11, 1:400 world)",
+    ))

@@ -1,0 +1,18 @@
+"""Experiment F3 — Figure 3: new hijackable domains per month.
+
+The monthly series of domains newly exposed by sacrificial renames,
+April 2011 – September 2020. Paper: a clear downward trend, yet
+thousands of domains still newly at risk each month.
+"""
+
+from conftest import emit
+
+from repro.analysis.exposure import halves_ratio, new_hijackable_per_month, trend_slope
+from repro.analysis.report import render_figure3
+
+
+def test_bench_figure3(benchmark, bundle):
+    series = benchmark(new_hijackable_per_month, bundle.study)
+    assert trend_slope(series) < 0
+    assert halves_ratio(series) < 0.85
+    emit(render_figure3(bundle.study))

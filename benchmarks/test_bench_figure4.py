@@ -1,0 +1,18 @@
+"""Experiment F4 — Figure 4: new hijacked domains per month.
+
+The monthly series of domains newly hijacked. Paper: no downward trend,
+bursty activity across the whole window — as long as domains have been
+at risk, hijackers have exploited them.
+"""
+
+from conftest import emit
+
+from repro.analysis.exposure import new_hijackable_per_month
+from repro.analysis.hijacks import burstiness, new_hijacked_per_month
+from repro.analysis.report import render_figure4
+
+
+def test_bench_figure4(benchmark, bundle):
+    series = benchmark(new_hijacked_per_month, bundle.study)
+    assert burstiness(series) > burstiness(new_hijackable_per_month(bundle.study))
+    emit(render_figure4(bundle.study))

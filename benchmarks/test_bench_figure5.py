@@ -1,0 +1,20 @@
+"""Experiment F5 — Figure 5: hijack value vs delegated domains.
+
+One point per hijackable sacrificial nameserver: hijack value (total
+domain-days of delegation) against number of delegated domains, split
+by hijacked/not. Paper: hijackers registered most of the nameservers at
+the high-value, high-delegation end of the scatter.
+"""
+
+from conftest import emit
+
+from repro.analysis.desirability import selectivity_summary, value_points
+from repro.analysis.report import render_figure5
+
+
+def test_bench_figure5(benchmark, bundle):
+    points = benchmark(value_points, bundle.study)
+    summary = selectivity_summary(points)
+    assert summary["top_decile_hijacked_fraction"] > \
+        3 * summary["overall_hijacked_fraction"]
+    emit(render_figure5(bundle.study))

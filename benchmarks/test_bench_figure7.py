@@ -1,0 +1,28 @@
+"""Experiment F7 — Figure 7: hijackable vs hijacked durations.
+
+CDFs of days-at-risk for never-hijacked and hijacked domains, plus
+days-actually-hijacked. Paper: hijacked domains skew toward long
+exposure (selection) and the hijacked-days CDF steps at the one- and
+two-year registration anniversaries (hijackers stop renewing).
+"""
+
+from conftest import emit
+
+from repro.analysis.duration import (
+    duration_summary,
+    hijackable_durations,
+    hijacked_durations,
+)
+from repro.analysis.report import render_figure7
+
+
+def test_bench_figure7(benchmark, bundle):
+    def compute():
+        never, hijacked = hijackable_durations(bundle.study)
+        return never, hijacked, hijacked_durations(bundle.study)
+
+    never, hijacked, taken = benchmark(compute)
+    assert never and hijacked and taken
+    summary = duration_summary(bundle.study)
+    assert summary["never_week_fraction"] > summary["hijacked_week_fraction"]
+    emit(render_figure7(bundle.study))

@@ -1,0 +1,19 @@
+"""Experiment T1 — Table 1: non-hijackable renaming idioms.
+
+Regenerates the sink-domain idiom table (registrar, sacrificial
+nameserver count, affected domains). Paper: 21,782 NS / 228,698 domains
+across six sink idioms, Network Solutions' LAMEDELEGATION.ORG carrying
+by far the most domains per nameserver.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table1
+from repro.analysis.tables import table1
+
+
+def test_bench_table1(benchmark, bundle):
+    rows, total = benchmark(table1, bundle.study)
+    assert total.nameservers > 0
+    assert any(row.idiom == "LAMEDELEGATION.ORG" for row in rows)
+    emit(render_table1(bundle.study))

@@ -1,0 +1,19 @@
+"""Experiment T2 — Table 2: hijackable renaming idioms.
+
+Regenerates the random-name idiom table. Paper: 180,842 NS / 512,715
+domains, dominated by GoDaddy's PLEASEDROPTHISHOST and DROPTHISHOST and
+Enom's random-suffix scheme.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table2
+from repro.analysis.tables import table2
+
+
+def test_bench_table2(benchmark, bundle):
+    rows, total = benchmark(table2, bundle.study)
+    assert total.nameservers > 0
+    godaddy = sum(r.nameservers for r in rows if r.registrar == "GoDaddy")
+    assert godaddy > total.nameservers * 0.45
+    emit(render_table2(bundle.study))

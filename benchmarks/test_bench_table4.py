@@ -1,0 +1,19 @@
+"""Experiment T4 — Table 4: top hijackers by controlling nameserver.
+
+Groups hijacked sacrificial domains by the registered domain of the
+nameservers the hijacker installed. Paper's top five: mpower.nl,
+protectdelegation.*, yandex.net, phonesear.ch, dnspanel.com.
+"""
+
+from conftest import emit
+
+from repro.analysis.actors import hijacker_rows
+from repro.analysis.report import render_table4
+
+
+def test_bench_table4(benchmark, bundle):
+    rows = benchmark(hijacker_rows, bundle.study, top=5)
+    assert rows
+    names = {r.controlling_domain for r in rows}
+    assert "mpower.nl" in names
+    emit(render_table4(bundle.study))

@@ -1,0 +1,19 @@
+"""Experiment T5 — Table 5: remediation vs the organic baseline.
+
+Compares the vulnerable/hijacked population at notification (Sep 2020)
+and five months later (Feb 2021) against the same window a year earlier.
+Paper: nameserver remediation ran ~2.4x organic (driven by GoDaddy's
+re-renames); domain-level impact stayed close to organic.
+"""
+
+from conftest import emit
+
+from repro.analysis.remediation import table5
+from repro.analysis.report import render_table5
+
+
+def test_bench_table5(benchmark, bundle):
+    delta = benchmark(table5, bundle.study)
+    assert delta.ns_delta < 0
+    assert abs(delta.ns_delta) > abs(delta.baseline_ns_delta)
+    emit(render_table5(bundle.study))

@@ -1,0 +1,18 @@
+"""Infrastructure benchmark: building and running a simulated world.
+
+Not a paper artifact, but the substrate cost every experiment pays: the
+event-driven nine-year simulation (registrations, deletions, renames,
+hijacks, remediation) at 1:1000 scale per round.
+"""
+
+from repro.ecosystem.config import tiny_scenario
+from repro.ecosystem.world import World
+
+
+def test_bench_world_simulation(benchmark):
+    def run_world():
+        return World(tiny_scenario(seed=99)).run()
+
+    result = benchmark.pedantic(run_world, rounds=3, iterations=1)
+    assert result.log.renames
+    assert result.log.hijacks

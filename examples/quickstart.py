@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: simulate, detect, and summarize in under a minute.
+
+Builds a quarter-scale replica of the paper's ecosystem (registries,
+registrars, nine years of domain churn, hijackers), runs the §3
+detection methodology over the resulting zone data, and prints the
+headline numbers: the methodology funnel and the hijackable/hijacked
+summary (Table 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import reproduce
+from repro.analysis.report import render_funnel, render_table3
+
+
+def main() -> None:
+    print("Building the simulated ecosystem and running detection...")
+    bundle = reproduce(scale=0.25)
+
+    world = bundle.world
+    print(
+        f"\nSimulated {world.zonedb.domain_count():,} domains and "
+        f"{world.zonedb.nameserver_count():,} nameservers across "
+        f"{len(world.zonedb.covered_tlds)} TLDs, "
+        f"{world.config.end_day:,} days of zone history."
+    )
+
+    print()
+    print(render_funnel(bundle.pipeline))
+    print()
+    print(render_table3(bundle.study))
+
+    # Ground-truth check: the detection pipeline consumed only the zone
+    # database and WHOIS archive, yet it recovers exactly the renames the
+    # simulated registrars performed.
+    truth = {r.new_name for r in world.log.renames}
+    detected = {s.name for s in bundle.pipeline.sacrificial}
+    print(
+        f"\nGround truth parity: {len(detected & truth)}/{len(truth)} "
+        f"renames recovered, {len(detected - truth)} false positives."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Walkthrough of the paper's Figures 1 and 2: the EPP rename mechanics.
+
+Plays the exact scenario of the paper's §2.4 against the EPP simulator:
+
+* registrar A sponsors foo.com with nameserver host objects;
+* registrar B's bar.com — and a .gov domain in the *same* repository —
+  delegate to ns2.foo.com;
+* foo.com expires; deletion is blocked by RFC 5731; host deletion is
+  blocked by RFC 5732; the rename workaround fires;
+* bar.com's and qux.gov's delegations are silently rewritten, while
+  baz.org (a different EPP repository) keeps its now-dangling reference.
+
+Run:  python examples/renaming_walkthrough.py
+"""
+
+import random
+
+from repro.epp.registry import default_roster
+from repro.registrar.idioms import DropThisHostIdiom
+from repro.registrar.policy import DeletionMachinery
+
+
+def show(step: str, detail: str = "") -> None:
+    print(f"\n== {step}")
+    if detail:
+        print(detail)
+
+
+def main() -> None:
+    roster = default_roster()
+    verisign = roster.registry_for("x.com")
+    afilias = roster.registry_for("x.org")
+    verisign.accredit("registrar-a")
+    verisign.accredit("registrar-b")
+    afilias.accredit("registrar-b")
+
+    a = verisign.session("registrar-a")
+    b = verisign.session("registrar-b")
+    b_org = afilias.session("registrar-b")
+    operator = verisign.session("sim-verisign")
+
+    show("Setup: registrar A provisions foo.com with two nameservers")
+    a.domain_create("foo.com", day=0, period_years=1)
+    a.host_create("ns1.foo.com", day=0, addresses=["192.0.2.1"])
+    a.host_create("ns2.foo.com", day=0, addresses=["192.0.2.2"])
+    a.domain_update_ns("foo.com", day=0, add=["ns1.foo.com", "ns2.foo.com"])
+
+    show("Registrar B's bar.com delegates to ns2.foo.com (EPP isolation applies)")
+    b.domain_create("bar.com", day=1, nameservers=["ns2.foo.com"])
+
+    show("qux.gov — same Verisign-operated repository — also delegates there")
+    operator.domain_create("qux.gov", day=1, nameservers=["ns2.foo.com"])
+
+    show("baz.org lives in the Afilias repository with its own host object")
+    b_org.host_create("ns2.foo.com", day=1)  # external host object
+    b_org.domain_create("baz.org", day=1, nameservers=["ns2.foo.com"])
+
+    show("foo.com expires; registrar A tries to delete it")
+    result = a.domain_delete("foo.com", day=365)
+    print(f"  <domain:delete> -> {int(result.code)} {result.message}")
+    print(f"  detail: {result.detail}")
+
+    show("Deleting the linked host object fails too (RFC 5732)")
+    result = a.host_delete("ns2.foo.com", day=365)
+    print(f"  <host:delete> -> {int(result.code)} {result.message}")
+    print(f"  detail: {result.detail}")
+
+    show("The workaround: run the deletion machinery with GoDaddy's idiom")
+    machinery = DeletionMachinery(random.Random(2021))
+    outcome = machinery.delete_domain(a, "foo.com", DropThisHostIdiom(), day=365)
+    print(f"  domain deleted: {outcome.deleted}")
+    for rename in outcome.renames:
+        print(f"  host renamed:   {rename.old_name} -> {rename.new_name}")
+        print(f"  linked domains: {', '.join(rename.linked_domains)}")
+    sacrificial = outcome.renames[0].new_name
+
+    show("Consequences: same-repository delegations were silently rewritten")
+    for name, session in (("bar.com", b), ("qux.gov", operator)):
+        obj = session.repository.domain(name)
+        print(f"  {name}: NS = {obj.nameservers}")
+    obj = b_org.repository.domain("baz.org")
+    print(f"  baz.org (other repository): NS = {obj.nameservers}  (dangling)")
+
+    show("The sacrificial name is an unregistered .biz domain")
+    neustar = roster.registry_for(sacrificial)
+    registered = ".".join(sacrificial.split(".")[-2:])
+    print(
+        f"  {registered} registered in .biz? "
+        f"{neustar.repository.domain_exists(registered)}"
+    )
+    print(
+        "  -> whoever registers it controls resolution for bar.com and "
+        "qux.gov,\n     and re-registering foo.com would NOT fix anything."
+    )
+
+    show("Irreversibility: the host object cannot be renamed back")
+    result = a.host_rename(sacrificial, "ns2.foo.com", day=366)
+    print(f"  <host:update> -> {int(result.code)} {result.message}")
+    print(f"  detail: {result.detail}")
+
+
+if __name__ == "__main__":
+    main()

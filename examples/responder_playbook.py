@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""A responder's playbook: triage, attribute, protect.
+
+Suppose you are the research/remediation team of §6–§7, looking at the
+ecosystem as of the notification date. This example chains the
+forensic tooling end-to-end:
+
+1. **Triage** — where is dependency risk concentrated, and what is the
+   blast radius of the biggest concentrations?
+2. **Attribute** — who is operating the hijacked nameservers, and what
+   are the hijacked domains being used for (parking vs redirect)?
+3. **Protect** — defensively register the highest-value hijackable
+   names (restricted-TLD reach first) and report the cost.
+
+Run:  python examples/responder_playbook.py
+"""
+
+from repro import reproduce
+from repro.analysis.actors import hijacker_rows
+from repro.analysis.concentration import (
+    concentration_report,
+    single_registration_blast_radius,
+)
+from repro.analysis.report import format_table
+from repro.experiment.defensive import DefensiveSweep
+from repro.experiment.monetization import MonetizationProbe
+
+
+def main() -> None:
+    bundle = reproduce(seed=1337, scale=0.25, use_cache=False)
+    world, study = bundle.world, bundle.study
+    day = study.config.study_end - 1
+
+    print("STEP 1 - Triage: where is resolution dependency concentrated?\n")
+    concentration = concentration_report(world.zonedb, day=day)
+    rows = [
+        (row.provider_domain, row.dependent_domains,
+         single_registration_blast_radius(world.zonedb, row.provider_domain, day=day))
+        for row in concentration.top(6)
+    ]
+    print(format_table(
+        ["provider domain", "dependents", "blast radius"], rows,
+        title=f"Top dependency concentrations (gini={concentration.gini:.2f})",
+    ))
+
+    print("\nSTEP 2 - Attribute: who operates the hijacked nameservers?\n")
+    print(format_table(
+        ["controlling NS domain", "NS", "hijacked domains"],
+        [(r.controlling_domain, r.nameserver_count, r.domain_count)
+         for r in hijacker_rows(study, top=5)],
+        title="Bulk hijackers (Table 4 view)",
+    ))
+
+    # Probe at a moment hijack registrations are live (registrations are
+    # one-year terms, so the study end can fall in a quiet spell).
+    hijack_days = sorted(h.day for h in world.log.hijacks)
+    probe_day = min(day, hijack_days[len(hijack_days) // 2] + 30)
+    probe = MonetizationProbe(world, study)
+    report = probe.run(day=probe_day, sample=60, seed=7)
+    print()
+    print(format_table(
+        ["usage class", "count"],
+        list(report.classes.most_common()),
+        title=f"What {report.sampled} hijacked domains serve (§6.2 probe)",
+    ))
+
+    print("\nSTEP 3 - Protect: defensive registrations (footnote 11)\n")
+    sweep = DefensiveSweep(world, study, day=day)
+    outcome = sweep.execute(budget=12)
+    print(format_table(
+        ["measure", "value"],
+        [
+            ("hijackable targets considered", outcome.targets_considered),
+            ("registered (budget 12)", len(outcome.registered)),
+            ("domains protected", len(outcome.protected_domains)),
+            ("restricted-TLD groups covered",
+             sum(1 for t in outcome.registered if t.reaches_restricted_tld)),
+            ("first-year cost", f"${outcome.cost_usd:,.0f}"),
+            ("cost per protected domain",
+             f"${outcome.cost_per_protected_domain():,.2f}"),
+        ],
+        title="Defensive sweep outcome",
+    ))
+    print(
+        "\nEverything above ran on observable data only (zone history, "
+        "WHOIS, live probes) —\nthe same position a real responder is in."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of "Risky BIZness: Risks Derived from Registrar Name
+Management" (Akiwate, Savage, Voelker, Claffy — IMC 2021).
+
+The package builds a synthetic DNS registration ecosystem (EPP
+registries, registrars with their documented renaming idioms, registrant
+and hijacker behaviour), runs the paper's detection methodology over the
+resulting longitudinal zone data, and regenerates every table and figure
+of the evaluation.
+
+Quickstart::
+
+    from repro import reproduce
+    from repro.analysis import report
+
+    bundle = reproduce(scale=0.25)
+    print(report.render_full_report(bundle.pipeline, bundle.study))
+
+Subpackages
+-----------
+``dnscore``
+    Domain names, public-suffix logic, records, zones.
+``epp``
+    EPP repositories with RFC 5731/5732 constraints; registries.
+``registrar``
+    Registrar agents, renaming idioms, the rename-then-delete machinery.
+``ecosystem``
+    The simulated world: population, lifecycle, hijackers, remediation.
+``zonedb``
+    The DZDB-style longitudinal zone database.
+``whois``
+    WHOIS history (the DomainTools substitute).
+``resolver``
+    Iterative DNS resolution with pluggable server behaviours.
+``detection``
+    The paper's §3 methodology (the core contribution).
+``analysis``
+    Every table and figure of §4–§7.
+``experiment``
+    The §6.1 controlled hijack experiment.
+"""
+
+from repro.api import ReproBundle, reproduce
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproBundle", "reproduce", "__version__"]

@@ -1,0 +1,31 @@
+"""Analyses reproducing the paper's evaluation (§4–§7).
+
+:mod:`repro.analysis.study` prepares the shared view (sacrificial
+groups, exposure intervals, hijack epochs); the artifact modules then
+derive each table and figure:
+
+========  =============================================  ====================
+Artifact  Content                                        Module
+========  =============================================  ====================
+Table 1   non-hijackable (sink) idioms per registrar     tables
+Table 2   hijackable idioms per registrar                tables
+Table 3   hijackable vs hijacked totals                  tables
+Table 4   top hijackers by controlling nameserver        actors
+Table 5   remediation deltas vs organic baseline         remediation
+Table 6   post-remediation idiom adoption                remediation
+Fig. 3    new hijackable domains per month               exposure
+Fig. 4    new hijacked domains per month                 hijacks
+Fig. 5    hijack value vs number of delegated domains    desirability
+Fig. 6    time-to-exploit CDFs                           timing
+Fig. 7    hijackable/hijacked duration CDFs              duration
+========  =============================================  ====================
+"""
+
+from repro.analysis.study import (
+    GroupView,
+    NameserverView,
+    StudyAnalysis,
+    StudyConfig,
+)
+
+__all__ = ["GroupView", "NameserverView", "StudyAnalysis", "StudyConfig"]

@@ -1,0 +1,79 @@
+"""Table 4: bulk hijackers by controlling nameserver domain.
+
+Who registered the sacrificial domains is usually hidden behind privacy
+proxies, but the NS records the hijacker installs are public: grouping
+hijacked sacrificial domains by the registered domain of their
+controlling nameservers separates the bulk actors (the paper's
+mpower.nl, protectdelegation.*, yandex.net, phonesear.ch, dnspanel.com).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.psl import PublicSuffixList, default_psl
+
+
+@dataclass(frozen=True, slots=True)
+class HijackerRow:
+    """One row of Table 4."""
+
+    controlling_domain: str
+    nameserver_count: int
+    domain_count: int
+
+
+def hijacker_rows(
+    study: StudyAnalysis,
+    *,
+    top: int | None = 5,
+    psl: PublicSuffixList | None = None,
+) -> list[HijackerRow]:
+    """Group hijacked sacrificial NS and domains by controlling NS domain.
+
+    For each hijacked group, the controlling nameservers are whatever the
+    hijacker delegated the sacrificial domain to (observable in the
+    sacrificial domain's TLD zone on the registration day).
+    """
+    psl = psl or default_psl()
+    ns_by_actor: dict[str, set[str]] = {}
+    domains_by_actor: dict[str, set[str]] = {}
+    for group in study.groups.values():
+        if not (group.hijackable and group.hijacked):
+            continue
+        first = group.first_hijack_day
+        if first is None or first >= study.config.study_end:
+            continue
+        controlling = study.zonedb.nameservers_of(group.registered_domain, first)
+        actors = set()
+        for ns in controlling:
+            registered = psl.registered_domain(ns)
+            if registered is not None:
+                actors.add(registered)
+        if not actors:
+            continue
+        hijacked_domains: set[str] = set()
+        for view in group.nameservers:
+            for record in view.records:
+                if any(
+                    record.interval.overlaps(h) for h in group.hijack_intervals()
+                ):
+                    hijacked_domains.add(record.domain)
+        for actor in actors:
+            ns_by_actor.setdefault(actor, set()).update(
+                view.name for view in group.nameservers
+            )
+            domains_by_actor.setdefault(actor, set()).update(hijacked_domains)
+    rows = [
+        HijackerRow(
+            controlling_domain=actor,
+            nameserver_count=len(ns_by_actor[actor]),
+            domain_count=len(domains_by_actor.get(actor, ())),
+        )
+        for actor in ns_by_actor
+    ]
+    rows.sort(key=lambda row: -row.domain_count)
+    if top is not None:
+        rows = rows[:top]
+    return rows

@@ -1,0 +1,141 @@
+"""Dependency-concentration analysis (the §7.3 sink-domain warning).
+
+The paper warns that sink domains *concentrate* dangling delegations:
+"if one such domain is not renewed it could allow an attacker to control
+tens of thousands of domains with a single registration" — and the
+dummyns.com seizure proved it. This module quantifies that concentration
+over the whole delegation graph: for every registered domain that
+nameservers live under, how many *other* domains' resolution depends on
+it at a given day, and how unequally that dependency is distributed.
+
+The delegation graph is built with :mod:`networkx` so the analysis can
+also answer structural questions (connected blast-radius components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.zonedb.database import ZoneDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class DependencyRow:
+    """One provider-side registered domain and its dependents."""
+
+    provider_domain: str
+    dependent_domains: int
+    nameserver_names: int
+
+
+@dataclass(frozen=True)
+class ConcentrationReport:
+    """Concentration of resolution dependency at one reference day."""
+
+    day: int
+    rows: tuple[DependencyRow, ...]
+    gini: float
+    top10_share: float
+    largest_component: int
+
+    def top(self, count: int = 10) -> list[DependencyRow]:
+        """The most-depended-upon provider domains."""
+        return list(self.rows[:count])
+
+
+def dependency_graph(
+    zonedb: ZoneDatabase, *, day: int, psl: PublicSuffixList | None = None
+) -> nx.DiGraph:
+    """Bipartite-ish digraph: client domain → provider registered domain.
+
+    Self-hosting edges (a domain depending on its own namespace) are
+    excluded — they concentrate nothing.
+    """
+    psl = psl or default_psl()
+    graph = nx.DiGraph()
+    for domain in zonedb.all_domains():
+        ns_set = zonedb.nameservers_of(domain, day)
+        if not ns_set:
+            continue
+        for ns in ns_set:
+            provider = psl.registered_domain(ns)
+            if provider is None or provider == Name(domain).text:
+                continue
+            if not graph.has_edge(domain, provider):
+                graph.add_edge(domain, provider, nameservers=set())
+            graph.edges[domain, provider]["nameservers"].add(ns)
+    return graph
+
+
+def _gini(values: list[int]) -> float:
+    """Gini coefficient of a non-negative sample (0 = equal, →1 = concentrated)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    n = len(ordered)
+    total = sum(ordered)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    for index, value in enumerate(ordered, start=1):
+        cumulative += index * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+def concentration_report(
+    zonedb: ZoneDatabase, *, day: int, psl: PublicSuffixList | None = None
+) -> ConcentrationReport:
+    """Measure dependency concentration across provider domains."""
+    graph = dependency_graph(zonedb, day=day, psl=psl)
+    providers: dict[str, tuple[set[str], set[str]]] = {}
+    for client, provider, data in graph.edges(data=True):
+        dependents, names = providers.setdefault(provider, (set(), set()))
+        dependents.add(client)
+        names.update(data["nameservers"])
+    rows = sorted(
+        (
+            DependencyRow(
+                provider_domain=provider,
+                dependent_domains=len(dependents),
+                nameserver_names=len(names),
+            )
+            for provider, (dependents, names) in providers.items()
+        ),
+        key=lambda row: -row.dependent_domains,
+    )
+    counts = [row.dependent_domains for row in rows]
+    total = sum(counts)
+    top10 = sum(counts[:10]) / total if total else 0.0
+    undirected = graph.to_undirected()
+    largest = max(
+        (len(component) for component in nx.connected_components(undirected)),
+        default=0,
+    )
+    return ConcentrationReport(
+        day=day,
+        rows=tuple(rows),
+        gini=_gini(counts),
+        top10_share=top10,
+        largest_component=largest,
+    )
+
+
+def single_registration_blast_radius(
+    zonedb: ZoneDatabase, provider_domain: str, *, day: int
+) -> int:
+    """How many domains one registration of ``provider_domain`` would control.
+
+    This is the §7.3 failure mode: every domain whose delegation on
+    ``day`` includes a nameserver under ``provider_domain``.
+    """
+    provider = Name(provider_domain).text
+    victims: set[str] = set()
+    for ns in zonedb.all_nameservers():
+        if not Name(ns).is_strict_subdomain_of(provider):
+            continue
+        victims |= zonedb.domains_of_ns(ns, day)
+    return len(victims)

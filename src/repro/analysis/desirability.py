@@ -1,0 +1,77 @@
+"""Figure 5: hijack value versus number of delegated domains.
+
+Each point is one hijackable sacrificial nameserver: x = its hijack
+value (total domain-days of delegation, log scale in the paper),
+y = number of domains delegated (capped at 1,000 in the paper's plot),
+colored by whether it was hijacked. The paper's finding: hijacked points
+concentrate in the high-value, high-delegation region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import StudyAnalysis
+
+DOMAIN_CAP = 1000
+
+
+@dataclass(frozen=True, slots=True)
+class ValuePoint:
+    """One scatter point."""
+
+    nameserver: str
+    hijack_value_days: int
+    domain_count: int
+    hijacked: bool
+
+    def capped_domains(self, cap: int = DOMAIN_CAP) -> int:
+        """The paper caps the y axis at 1,000 delegations."""
+        return min(self.domain_count, cap)
+
+
+def value_points(study: StudyAnalysis) -> list[ValuePoint]:
+    """All hijackable nameservers as scatter points."""
+    horizon = study.config.study_end
+    hijacked_names = {view.name for view in study.hijacked_nameservers()}
+    points = []
+    for view in study.hijackable_nameservers():
+        points.append(
+            ValuePoint(
+                nameserver=view.name,
+                hijack_value_days=view.delegated_days(horizon),
+                domain_count=len(view.domains()),
+                hijacked=view.name in hijacked_names,
+            )
+        )
+    points.sort(key=lambda p: (-p.hijack_value_days, p.nameserver))
+    return points
+
+
+def selectivity_summary(points: list[ValuePoint]) -> dict[str, float]:
+    """Quantifies "hijackers take the most valuable nameservers".
+
+    Returns the hijacked fraction within the top decile of hijack value
+    versus the hijacked fraction overall, plus mean values per class.
+    """
+    if not points:
+        return {
+            "overall_hijacked_fraction": 0.0,
+            "top_decile_hijacked_fraction": 0.0,
+            "mean_value_hijacked": 0.0,
+            "mean_value_not_hijacked": 0.0,
+        }
+    overall = sum(p.hijacked for p in points) / len(points)
+    decile = max(1, len(points) // 10)
+    top = points[:decile]  # already sorted by value desc
+    top_fraction = sum(p.hijacked for p in top) / len(top)
+    hijacked = [p.hijack_value_days for p in points if p.hijacked]
+    not_hijacked = [p.hijack_value_days for p in points if not p.hijacked]
+    return {
+        "overall_hijacked_fraction": overall,
+        "top_decile_hijacked_fraction": top_fraction,
+        "mean_value_hijacked": sum(hijacked) / len(hijacked) if hijacked else 0.0,
+        "mean_value_not_hijacked": (
+            sum(not_hijacked) / len(not_hijacked) if not_hijacked else 0.0
+        ),
+    }

@@ -1,0 +1,75 @@
+"""Figure 7: durations hijackable versus hijacked.
+
+Three CDFs over affected domains:
+
+* *hijackable, never hijacked* — total days at risk (the paper's green);
+* *hijackable, hijacked at least once* — total days at risk (red);
+* *hijacked* — total days actually under hijacker control (blue), with
+  steps at one and two years from hijackers not renewing registrations.
+
+The paper's findings: hijacked domains skew toward longer at-risk
+durations (selection), and the hijacked-days CDF shows the 1y/2y cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.study import StudyAnalysis
+from repro.analysis.timing import cdf_fraction_at
+from repro.simtime import DAYS_PER_YEAR
+
+
+def hijackable_durations(study: StudyAnalysis) -> tuple[list[int], list[int]]:
+    """(never-hijacked, hijacked) at-risk day totals, each sorted."""
+    never: list[int] = []
+    hijacked: list[int] = []
+    horizon = study.config.study_end
+    for exposure in study.exposures.values():
+        if exposure.first_exposed >= horizon:
+            continue
+        days = exposure.exposure_days(horizon)
+        if days <= 0:
+            continue
+        if exposure.hijacked:
+            hijacked.append(days)
+        else:
+            never.append(days)
+    never.sort()
+    hijacked.sort()
+    return never, hijacked
+
+
+def hijacked_durations(study: StudyAnalysis) -> list[int]:
+    """Days actually hijacked, per hijacked domain (sorted)."""
+    horizon = study.config.study_end
+    durations = [
+        exposure.hijacked_days(horizon)
+        for exposure in study.exposures.values()
+        if exposure.hijacked and (exposure.first_hijacked or horizon) < horizon
+    ]
+    durations = [d for d in durations if d > 0]
+    durations.sort()
+    return durations
+
+
+def duration_summary(study: StudyAnalysis) -> dict[str, float]:
+    """The figure's headline statistics.
+
+    ``*_week_fraction``: fraction at risk for at most 7 days (paper: 15%
+    of never-hijacked, much less for hijacked). ``year_step``/
+    ``two_year_step``: mass of hijacked durations near the renewal
+    anniversaries (paper: ~10% hijacked for one year, ~5% for two).
+    """
+    never, hijacked = hijackable_durations(study)
+    durations = hijacked_durations(study)
+    year = DAYS_PER_YEAR
+    near_one_year = sum(1 for d in durations if 0.9 * year <= d <= 1.15 * year)
+    near_two_years = sum(1 for d in durations if 1.9 * year <= d <= 2.25 * year)
+    total = len(durations) or 1
+    return {
+        "never_week_fraction": cdf_fraction_at(never, 7),
+        "hijacked_week_fraction": cdf_fraction_at(hijacked, 7),
+        "never_month_fraction": cdf_fraction_at(never, 30),
+        "hijacked_month_fraction": cdf_fraction_at(hijacked, 30),
+        "one_year_step_fraction": near_one_year / total,
+        "two_year_step_fraction": near_two_years / total,
+    }

@@ -1,0 +1,114 @@
+"""CSV export of every figure's underlying data series.
+
+The text report is self-contained, but downstream users replotting the
+figures (matplotlib, gnuplot, R) need the raw series. ``export_all``
+writes one tidy CSV per figure plus the idiom tables, mirroring how
+measurement groups publish artifact data alongside a paper.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.analysis import desirability, duration, exposure, hijacks, timing
+from repro.analysis.study import StudyAnalysis
+from repro.analysis.tables import table1, table2
+
+
+def _write(path: Path, header: list[str], rows: list[tuple]) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def export_figure3(study: StudyAnalysis, out_dir: Path) -> Path:
+    """Monthly newly-hijackable-domain counts."""
+    series = exposure.new_hijackable_per_month(study)
+    return _write(
+        out_dir / "figure3_new_hijackable_per_month.csv",
+        ["month", "new_hijackable_domains"],
+        list(series.items()),
+    )
+
+
+def export_figure4(study: StudyAnalysis, out_dir: Path) -> Path:
+    """Monthly newly-hijacked-domain counts."""
+    series = hijacks.new_hijacked_per_month(study)
+    return _write(
+        out_dir / "figure4_new_hijacked_per_month.csv",
+        ["month", "new_hijacked_domains"],
+        list(series.items()),
+    )
+
+
+def export_figure5(study: StudyAnalysis, out_dir: Path) -> Path:
+    """The scatter points: value, delegation count, hijacked flag."""
+    points = desirability.value_points(study)
+    return _write(
+        out_dir / "figure5_value_scatter.csv",
+        ["nameserver", "hijack_value_days", "domain_count", "hijacked"],
+        [
+            (p.nameserver, p.hijack_value_days, p.domain_count, int(p.hijacked))
+            for p in points
+        ],
+    )
+
+
+def export_figure6(study: StudyAnalysis, out_dir: Path) -> Path:
+    """Both time-to-exploit sample sets, tagged by population."""
+    rows = [("nameserver", delay) for delay in timing.nameserver_delays(study)]
+    rows += [("domain", delay) for delay in timing.domain_delays(study)]
+    return _write(
+        out_dir / "figure6_time_to_exploit.csv",
+        ["population", "days_to_registration"],
+        rows,
+    )
+
+
+def export_figure7(study: StudyAnalysis, out_dir: Path) -> Path:
+    """All three duration sample sets, tagged by curve."""
+    never, hijacked = duration.hijackable_durations(study)
+    taken = duration.hijacked_durations(study)
+    rows = [("hijackable_never_hijacked", days) for days in never]
+    rows += [("hijackable_hijacked", days) for days in hijacked]
+    rows += [("hijacked", days) for days in taken]
+    return _write(
+        out_dir / "figure7_durations.csv",
+        ["curve", "days"],
+        rows,
+    )
+
+
+def export_tables(study: StudyAnalysis, out_dir: Path) -> Path:
+    """Tables 1 and 2 as one tidy CSV."""
+    rows = []
+    for hijackable, (table_rows, _total) in (
+        (0, table1(study)), (1, table2(study)),
+    ):
+        for row in table_rows:
+            rows.append(
+                (row.idiom, row.registrar, hijackable,
+                 row.nameservers, row.affected_domains)
+            )
+    return _write(
+        out_dir / "tables_idioms.csv",
+        ["idiom", "registrar", "hijackable", "nameservers", "affected_domains"],
+        rows,
+    )
+
+
+def export_all(study: StudyAnalysis, out_dir: str | Path) -> list[Path]:
+    """Write every export; returns the paths written."""
+    out_path = Path(out_dir)
+    return [
+        export_figure3(study, out_path),
+        export_figure4(study, out_path),
+        export_figure5(study, out_path),
+        export_figure6(study, out_path),
+        export_figure7(study, out_path),
+        export_tables(study, out_path),
+    ]

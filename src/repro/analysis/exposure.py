@@ -1,0 +1,48 @@
+"""Figure 3: newly hijackable domains per month.
+
+A domain becomes newly hijackable the first time its delegation starts
+pointing at a hijackable sacrificial nameserver. The paper's series runs
+April 2011 – September 2020 and trends downward.
+"""
+
+from __future__ import annotations
+
+from repro import simtime
+from repro.analysis.study import StudyAnalysis
+
+
+def new_hijackable_per_month(study: StudyAnalysis) -> dict[str, int]:
+    """Month label → number of domains first exposed that month."""
+    start = study.config.study_start
+    end = study.config.study_end
+    series = {label: 0 for label in simtime.months_between(start, end - 1)}
+    for exposure in study.exposures.values():
+        day = exposure.first_exposed
+        if start <= day < end:
+            series[simtime.month_of(day)] += 1
+    return series
+
+
+def trend_slope(series: dict[str, int]) -> float:
+    """Least-squares slope of a monthly series (domains/month²).
+
+    Used to assert Figure 3's downward trend without eyeballing.
+    """
+    values = list(series.values())
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2
+    mean_y = sum(values) / n
+    cov = sum((i - mean_x) * (v - mean_y) for i, v in enumerate(values))
+    var = sum((i - mean_x) ** 2 for i in range(n))
+    return cov / var if var else 0.0
+
+
+def halves_ratio(series: dict[str, int]) -> float:
+    """Second-half total over first-half total (< 1 means declining)."""
+    values = list(series.values())
+    mid = len(values) // 2
+    first = sum(values[:mid])
+    second = sum(values[mid:])
+    return second / first if first else float("inf")

@@ -1,0 +1,104 @@
+"""§5.6: the nature of hijacked and hijackable domains.
+
+Separates *fully* exposed domains (every nameserver sacrificial — the
+domain lost all name service at the rename and is likely moribund) from
+*partially* exposed ones (a working alternate nameserver remains, so the
+owner probably has no idea they are hijackable), and surfaces the
+sensitive-category examples the paper highlights: domains whose names
+carry authority (brand-protection registrations, restricted-TLD names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.names import Name
+
+#: TLDs whose names carry institutional authority even without traffic.
+AUTHORITY_TLDS = frozenset({"edu", "gov"})
+
+
+@dataclass(frozen=True, slots=True)
+class ExposureNature:
+    """The §5.6 breakdown at one reference day."""
+
+    day: int
+    fully_exposed: int
+    partially_exposed: int
+    partially_exposed_hijacked: int
+    authority_tld_exposed: int
+    brand_registrar_exposed: int
+
+    @property
+    def total_exposed(self) -> int:
+        """All currently hijackable domains."""
+        return self.fully_exposed + self.partially_exposed
+
+
+def classify_exposure(
+    study: StudyAnalysis,
+    day: int,
+    *,
+    brand_registrars: frozenset[str] = frozenset({"markmonitor"}),
+) -> ExposureNature:
+    """Classify every currently-exposed domain (full vs partial, §5.6).
+
+    A domain is *partially* exposed when, alongside at least one
+    sacrificial nameserver, its delegation still lists a nameserver that
+    is not sacrificial — redundancy keeps the domain resolving, which is
+    exactly why its owner is unlikely to notice the risk.
+    """
+    fully = 0
+    partial = 0
+    partial_hijacked = 0
+    authority = 0
+    brand = 0
+    for domain, exposure in study.exposures.items():
+        active_views = [
+            view for view, interval in exposure.delegations
+            if interval.contains(day)
+        ]
+        if not active_views:
+            continue
+        all_ns = study.zonedb.nameservers_of(domain, day)
+        sacrificial_now = {view.name for view in active_views}
+        alternates = {
+            ns for ns in all_ns - sacrificial_now
+            if ns not in study.nameservers
+        }
+        if alternates:
+            partial += 1
+            if any(
+                (group := study.group_of(view)) is not None
+                and group.registered_on(day)
+                for view in active_views
+            ):
+                partial_hijacked += 1
+        else:
+            fully += 1
+        if Name(domain).tld in AUTHORITY_TLDS:
+            authority += 1
+        registrar = study.whois.registrar_at(domain, day)
+        if registrar in brand_registrars:
+            brand += 1
+    return ExposureNature(
+        day=day,
+        fully_exposed=fully,
+        partially_exposed=partial,
+        partially_exposed_hijacked=partial_hijacked,
+        authority_tld_exposed=authority,
+        brand_registrar_exposed=brand,
+    )
+
+
+def nature_rows(nature: ExposureNature) -> list[tuple[str, int]]:
+    """Render-ready rows for the §5.6 statistics."""
+    return [
+        ("currently hijackable domains", nature.total_exposed),
+        ("fully exposed (no working nameserver left)", nature.fully_exposed),
+        ("partially exposed (working alternate NS)", nature.partially_exposed),
+        ("partially exposed AND hijacked", nature.partially_exposed_hijacked),
+        ("in authority TLDs (.edu/.gov)", nature.authority_tld_exposed),
+        ("registered via brand-protection registrar", nature.brand_registrar_exposed),
+    ]

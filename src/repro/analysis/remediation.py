@@ -1,0 +1,255 @@
+"""Tables 5 and 6: remediation outcomes (§7).
+
+Table 5 compares the vulnerable/hijacked population at the notification
+date with the population five months later, against the "organic" change
+over the equivalent window one year earlier. Table 6 counts sacrificial
+nameservers created under the post-remediation idioms and the domains
+they protected.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+
+from repro import simtime
+from repro.analysis.study import StudyAnalysis
+from repro.analysis.tables import display_registrar
+from repro.detection.idioms import known_classifiers
+
+
+@dataclass(frozen=True, slots=True)
+class PopulationSnapshot:
+    """Vulnerable/hijacked counts on one day (one row of Table 5)."""
+
+    day: int
+    vulnerable_ns: int
+    hijacked_ns: int
+    vulnerable_domains: int
+    hijacked_domains: int
+
+    @property
+    def label(self) -> str:
+        """Month-year label like "Sep 2020"."""
+        return simtime.to_date(self.day).strftime("%b %Y")
+
+
+@dataclass(frozen=True, slots=True)
+class RemediationDelta:
+    """Table 5 plus the organic baseline comparison."""
+
+    before: PopulationSnapshot
+    after: PopulationSnapshot
+    baseline_before: PopulationSnapshot
+    baseline_after: PopulationSnapshot
+
+    @property
+    def ns_delta(self) -> int:
+        """Change in vulnerable nameservers over the remediation window."""
+        return self.after.vulnerable_ns - self.before.vulnerable_ns
+
+    @property
+    def domain_delta(self) -> int:
+        """Change in vulnerable domains over the remediation window."""
+        return self.after.vulnerable_domains - self.before.vulnerable_domains
+
+    @property
+    def baseline_ns_delta(self) -> int:
+        """Organic change in vulnerable NS, one year earlier."""
+        return self.baseline_after.vulnerable_ns - self.baseline_before.vulnerable_ns
+
+    @property
+    def baseline_domain_delta(self) -> int:
+        """Organic change in vulnerable domains, one year earlier."""
+        return (
+            self.baseline_after.vulnerable_domains
+            - self.baseline_before.vulnerable_domains
+        )
+
+
+def population_snapshot(study: StudyAnalysis, day: int) -> PopulationSnapshot:
+    """Count the vulnerable and hijacked population on ``day``.
+
+    A sacrificial nameserver is *vulnerable* on a day if it is hijackable
+    and at least one domain still delegates to it; it is *hijacked* if
+    additionally its domain is under hijacker registration that day. The
+    same day-scoped logic applies to domains. (A nameserver "disappears"
+    when it loses all delegated domains — footnote 13.)
+    """
+    vulnerable_ns = 0
+    hijacked_ns = 0
+    vulnerable_domains: set[str] = set()
+    hijacked_domains: set[str] = set()
+    for group in study.groups.values():
+        if not group.hijackable:
+            continue
+        registered_now = group.registered_on(day)
+        for view in group.nameservers:
+            if not view.info.hijackable or view.info.collision:
+                continue
+            domains_now = view.domains_on(day)
+            if not domains_now:
+                continue
+            vulnerable_ns += 1
+            vulnerable_domains |= domains_now
+            if registered_now:
+                hijacked_ns += 1
+                hijacked_domains |= domains_now
+    return PopulationSnapshot(
+        day=day,
+        vulnerable_ns=vulnerable_ns,
+        hijacked_ns=hijacked_ns,
+        vulnerable_domains=len(vulnerable_domains),
+        hijacked_domains=len(hijacked_domains),
+    )
+
+
+def table5(
+    study: StudyAnalysis,
+    *,
+    notification_date: _dt.date = simtime.NOTIFICATION_DATE,
+    end_date: _dt.date = simtime.REMEDIATION_END,
+) -> RemediationDelta:
+    """The remediation comparison with its one-year-earlier baseline."""
+    before_day = simtime.to_day(notification_date)
+    after_day = simtime.to_day(end_date)
+    year = simtime.DAYS_PER_YEAR
+    return RemediationDelta(
+        before=population_snapshot(study, before_day),
+        after=population_snapshot(study, after_day),
+        baseline_before=population_snapshot(study, before_day - year),
+        baseline_after=population_snapshot(study, after_day - year),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RemediationAttribution:
+    """Who fixed the nameservers that left the vulnerable population.
+
+    Mirrors the paper's §7.1 reasoning: a vulnerable nameserver that
+    disappeared during the remediation window is attributed to a
+    registrar *re-rename* when its delegated domains moved onto names of
+    that registrar's post-remediation idiom; everything else is organic
+    (expiry, ordinary delegation changes).
+    """
+
+    window_start: int
+    window_end: int
+    rerename_ns_by_registrar: dict[str, int]
+    organic_ns: int
+
+    @property
+    def remediated_ns(self) -> int:
+        """Vulnerable NS that disappeared during the window."""
+        return sum(self.rerename_ns_by_registrar.values()) + self.organic_ns
+
+    def rerename_fraction(self) -> float:
+        """Share of disappearances driven by registrar re-renames."""
+        if not self.remediated_ns:
+            return 0.0
+        return sum(self.rerename_ns_by_registrar.values()) / self.remediated_ns
+
+
+def remediation_attribution(
+    study: StudyAnalysis,
+    *,
+    notification_date: _dt.date = simtime.NOTIFICATION_DATE,
+    end_date: _dt.date = simtime.REMEDIATION_END,
+) -> RemediationAttribution:
+    """Attribute the Table 5 nameserver improvement (§7.1).
+
+    For every hijackable nameserver vulnerable at the notification but
+    not at the window end, inspect where its then-delegated domains
+    moved: delegations now pointing at a post-remediation idiom name are
+    registrar re-renames (attributed via the idiom's confirmed
+    registrar); the rest is organic churn.
+    """
+    start_day = simtime.to_day(notification_date)
+    end_day = simtime.to_day(end_date)
+    post = {
+        classifier.idiom_id: classifier
+        for classifier in known_classifiers()
+        if classifier.post_remediation
+    }
+    by_registrar: dict[str, int] = {}
+    organic = 0
+    for group in study.groups.values():
+        if not group.hijackable:
+            continue
+        for view in group.nameservers:
+            if not view.info.hijackable or view.info.collision:
+                continue
+            before = view.domains_on(start_day)
+            if not before or view.domains_on(end_day):
+                continue  # not vulnerable then, or still vulnerable now
+            # Inspect each departing delegation at the day it left: if the
+            # domain's nameservers at that moment include a
+            # post-remediation idiom name, the departure was a re-rename.
+            rerenamed_to: str | None = None
+            for record in view.records:
+                if record.domain not in before:
+                    continue
+                if record.end is None or not start_day < record.end <= end_day:
+                    continue
+                for ns_then in study.zonedb.nameservers_of(record.domain, record.end):
+                    for classifier in post.values():
+                        if classifier.matches_name(ns_then):
+                            rerenamed_to = classifier.registrar_hint
+                            break
+                    if rerenamed_to:
+                        break
+                if rerenamed_to:
+                    break
+            if rerenamed_to:
+                by_registrar[rerenamed_to] = by_registrar.get(rerenamed_to, 0) + 1
+            else:
+                organic += 1
+    return RemediationAttribution(
+        window_start=start_day,
+        window_end=end_day,
+        rerename_ns_by_registrar=by_registrar,
+        organic_ns=organic,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ProtectedRow:
+    """One row of Table 6."""
+
+    registrar: str
+    idiom: str
+    nameservers: int
+    domains: int
+
+
+def table6(study: StudyAnalysis) -> tuple[list[ProtectedRow], ProtectedRow]:
+    """Post-remediation idiom adoption; returns (rows, total row).
+
+    Counts every sacrificial nameserver created under a Table 6 idiom
+    (including the re-renames registrars applied to previously hijackable
+    names) and the domains delegated to them.
+    """
+    post = {c.idiom_id: c for c in known_classifiers() if c.post_remediation}
+    buckets: dict[tuple[str, str], tuple[set[str], set[str]]] = {}
+    for view in study.nameservers.values():
+        classifier = post.get(view.info.idiom_id)
+        if classifier is None:
+            continue
+        key = (display_registrar(view.info.registrar), view.info.idiom_id)
+        ns_set, domain_set = buckets.setdefault(key, (set(), set()))
+        ns_set.add(view.name)
+        domain_set.update(view.domains())
+    rows = [
+        ProtectedRow(
+            registrar=registrar, idiom=idiom,
+            nameservers=len(ns_set), domains=len(domain_set),
+        )
+        for (registrar, idiom), (ns_set, domain_set) in buckets.items()
+    ]
+    rows.sort(key=lambda row: -row.nameservers)
+    total_ns = sum(row.nameservers for row in rows)
+    total_domains_set: set[str] = set()
+    for _key, (_ns, domain_set) in buckets.items():
+        total_domains_set |= domain_set
+    total = ProtectedRow("Total", "", total_ns, len(total_domains_set))
+    return rows, total

@@ -1,0 +1,313 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Everything renders to monospace text: tables with aligned columns,
+monthly series as bar charts, and CDFs as quantile tables — the same
+rows/series the paper reports, printable from benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis import actors, desirability, duration, exposure, hijacks, timing
+from repro.analysis.nature import classify_exposure, nature_rows
+from repro.analysis.remediation import (
+    RemediationDelta,
+    remediation_attribution,
+    table5,
+    table6,
+)
+from repro.analysis.study import StudyAnalysis
+from repro.analysis.tables import table1, table2, table3
+from repro.detection.pipeline import PipelineResult
+
+BAR_GLYPH = "#"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str = ""
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_monthly_series(
+    series: dict[str, int], *, title: str = "", width: int = 40, every: int = 6
+) -> str:
+    """Render a monthly series as horizontal bars (one row per ``every``).
+
+    Months are aggregated into buckets of ``every`` months so a decade
+    fits on a screen; the peak bucket spans ``width`` glyphs.
+    """
+    labels = list(series)
+    values = list(series.values())
+    buckets: list[tuple[str, int]] = []
+    for start in range(0, len(labels), every):
+        chunk = values[start:start + every]
+        buckets.append((labels[start], sum(chunk)))
+    peak = max((v for _l, v in buckets), default=0) or 1
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in buckets:
+        bar = BAR_GLYPH * max(0, round(width * value / peak))
+        lines.append(f"{label}  {value:6d}  {bar}")
+    return "\n".join(lines)
+
+
+def format_cdf(
+    samples: list[int], *, title: str = "", points: Sequence[int] = ()
+) -> str:
+    """Render a CDF as "P(x <= v)" rows at the given points."""
+    if not points:
+        points = (1, 3, 5, 7, 14, 30, 60, 90, 180, 365, 730)
+    lines = []
+    if title:
+        lines.append(f"{title} (n={len(samples)})")
+    for point in points:
+        fraction = timing.cdf_fraction_at(samples, point)
+        lines.append(f"  <= {point:5d} days: {fraction:6.1%}")
+    return "\n".join(lines)
+
+
+# -- per-artifact renderers ----------------------------------------------------
+
+
+def render_funnel(result: PipelineResult) -> str:
+    """The §3 methodology funnel."""
+    return format_table(
+        ["stage", "count"],
+        result.funnel.rows(),
+        title="Detection pipeline funnel (paper §3.2)",
+    )
+
+
+def render_table1(study: StudyAnalysis) -> str:
+    """Table 1."""
+    rows, total = table1(study)
+    body = [
+        (r.idiom, r.registrar, r.nameservers, r.affected_domains) for r in rows
+    ]
+    body.append((total.idiom, "", total.nameservers, total.affected_domains))
+    return format_table(
+        ["Renaming Idiom / Sink Domain", "Registrar", "# Sacrificial NS",
+         "# Affected Domains"],
+        body,
+        title="Table 1: non-hijackable renaming idioms (registered sink domains)",
+    )
+
+
+def render_table2(study: StudyAnalysis) -> str:
+    """Table 2."""
+    rows, total = table2(study)
+    body = [
+        (r.idiom, r.registrar, r.nameservers, r.affected_domains) for r in rows
+    ]
+    body.append((total.idiom, "", total.nameservers, total.affected_domains))
+    return format_table(
+        ["Renaming Idiom", "Registrar", "# Sacrificial NS", "# Affected Domains"],
+        body,
+        title="Table 2: hijackable renaming idioms (random sacrificial names)",
+    )
+
+
+def render_table3(study: StudyAnalysis) -> str:
+    """Table 3."""
+    summary = table3(study)
+    body = [
+        ("Sacrificial NS", summary.hijackable_ns, summary.hijacked_ns,
+         f"{summary.ns_fraction:.2%}"),
+        ("Affected Domains", summary.hijackable_domains, summary.hijacked_domains,
+         f"{summary.domain_fraction:.2%}"),
+    ]
+    return format_table(
+        ["Overall", "Hijackable", "Hijacked", "(%)"],
+        body,
+        title="Table 3: hijackable and hijacked sacrificial nameservers/domains",
+    )
+
+
+def render_table4(study: StudyAnalysis) -> str:
+    """Table 4."""
+    rows = actors.hijacker_rows(study, top=5)
+    body = [(r.controlling_domain, r.nameserver_count, r.domain_count) for r in rows]
+    return format_table(
+        ["Hijacker NS Domain", "NS", "Domains"],
+        body,
+        title="Table 4: top five hijackers by number of domains hijacked",
+    )
+
+
+def render_table5(study: StudyAnalysis) -> str:
+    """Table 5."""
+    delta: RemediationDelta = table5(study)
+    body = [
+        (delta.before.label, delta.before.vulnerable_ns,
+         f"{delta.before.hijacked_ns} "
+         f"({delta.before.hijacked_ns / max(1, delta.before.vulnerable_ns):.1%})",
+         delta.before.vulnerable_domains,
+         f"{delta.before.hijacked_domains} "
+         f"({delta.before.hijacked_domains / max(1, delta.before.vulnerable_domains):.1%})"),
+        (delta.after.label, delta.after.vulnerable_ns,
+         f"{delta.after.hijacked_ns} "
+         f"({delta.after.hijacked_ns / max(1, delta.after.vulnerable_ns):.1%})",
+         delta.after.vulnerable_domains,
+         f"{delta.after.hijacked_domains} "
+         f"({delta.after.hijacked_domains / max(1, delta.after.vulnerable_domains):.1%})"),
+        ("Delta", delta.ns_delta,
+         delta.after.hijacked_ns - delta.before.hijacked_ns,
+         delta.domain_delta,
+         delta.after.hijacked_domains - delta.before.hijacked_domains),
+        ("Organic baseline (1y earlier)", delta.baseline_ns_delta, "",
+         delta.baseline_domain_delta, ""),
+    ]
+    table = format_table(
+        ["", "Vuln. NS", "Hijacked NS", "Vuln. Domains", "Hijacked Domains"],
+        body,
+        title="Table 5: change in vulnerable/hijacked population after notification",
+    )
+    attribution = remediation_attribution(study)
+    parts = ", ".join(
+        f"{registrar}: {count}"
+        for registrar, count in sorted(
+            attribution.rerename_ns_by_registrar.items(),
+            key=lambda item: -item[1],
+        )
+    )
+    return (
+        f"{table}\n"
+        f"attribution of the {attribution.remediated_ns} NS disappearances: "
+        f"re-renames {attribution.rerename_fraction():.0%} ({parts}); "
+        f"organic {attribution.organic_ns}"
+    )
+
+
+def render_table6(study: StudyAnalysis) -> str:
+    """Table 6."""
+    rows, total = table6(study)
+    body = [(r.registrar, r.idiom, r.nameservers, r.domains) for r in rows]
+    body.append((total.registrar, "", total.nameservers, total.domains))
+    return format_table(
+        ["Registrar", "New Renaming Idiom", "NS", "Domains"],
+        body,
+        title="Table 6: domains protected by post-remediation renaming idioms",
+    )
+
+
+def render_figure3(study: StudyAnalysis) -> str:
+    """Figure 3."""
+    series = exposure.new_hijackable_per_month(study)
+    chart = format_monthly_series(
+        series, title="Figure 3: new hijackable domains per month"
+    )
+    slope = exposure.trend_slope(series)
+    ratio = exposure.halves_ratio(series)
+    return (
+        f"{chart}\n"
+        f"trend slope: {slope:+.2f} domains/month^2; "
+        f"second-half/first-half ratio: {ratio:.2f}"
+    )
+
+
+def render_figure4(study: StudyAnalysis) -> str:
+    """Figure 4."""
+    series = hijacks.new_hijacked_per_month(study)
+    chart = format_monthly_series(
+        series, title="Figure 4: new hijacked domains per month"
+    )
+    cv = hijacks.burstiness(series)
+    return f"{chart}\nburstiness (coefficient of variation): {cv:.2f}"
+
+
+def render_figure5(study: StudyAnalysis) -> str:
+    """Figure 5 (as the selectivity statistics behind the scatter)."""
+    points = desirability.value_points(study)
+    summary = desirability.selectivity_summary(points)
+    body = [(key, f"{value:,.2f}") for key, value in summary.items()]
+    return format_table(
+        ["statistic", "value"],
+        body,
+        title=(
+            "Figure 5: hijack value vs delegations "
+            f"({len(points)} hijackable nameservers)"
+        ),
+    )
+
+
+def render_figure6(study: StudyAnalysis) -> str:
+    """Figure 6."""
+    ns_cdf = format_cdf(
+        timing.nameserver_delays(study),
+        title="Figure 6 (lower CDF): time to exploit, sacrificial nameservers",
+    )
+    dom_cdf = format_cdf(
+        timing.domain_delays(study),
+        title="Figure 6 (upper CDF): time to exploit, vulnerable domains",
+    )
+    return ns_cdf + "\n" + dom_cdf
+
+
+def render_figure7(study: StudyAnalysis) -> str:
+    """Figure 7."""
+    never, hijacked = duration.hijackable_durations(study)
+    taken = duration.hijacked_durations(study)
+    parts = [
+        format_cdf(never, title="Figure 7 (green): days hijackable, never hijacked"),
+        format_cdf(hijacked, title="Figure 7 (red): days hijackable, hijacked"),
+        format_cdf(taken, title="Figure 7 (blue): days hijacked"),
+    ]
+    return "\n".join(parts)
+
+
+def render_dataset(study: StudyAnalysis) -> str:
+    """The §3.2-style corpus overview."""
+    from repro.zonedb.stats import dataset_stats
+
+    stats = dataset_stats(study.zonedb)
+    return format_table(
+        ["measure", "value"], stats.rows(),
+        title="Data set overview (CAIDA-DZDB substitute)",
+    )
+
+
+def render_nature(study: StudyAnalysis) -> str:
+    """The §5.6 exposure-nature breakdown at the study end."""
+    nature = classify_exposure(study, study.config.study_end - 1)
+    return format_table(
+        ["measure", "count"], nature_rows(nature),
+        title="Nature of currently-hijackable domains (§5.6)",
+    )
+
+
+def render_full_report(result: PipelineResult, study: StudyAnalysis) -> str:
+    """Every table and figure, in paper order."""
+    sections = [
+        render_dataset(study),
+        render_funnel(result),
+        render_table1(study),
+        render_table2(study),
+        render_table3(study),
+        render_figure3(study),
+        render_figure4(study),
+        render_figure5(study),
+        render_figure6(study),
+        render_figure7(study),
+        render_nature(study),
+        render_table4(study),
+        render_table5(study),
+        render_table6(study),
+    ]
+    return ("\n\n" + "=" * 72 + "\n\n").join(sections)

@@ -1,0 +1,282 @@
+"""Shared analysis core: joins detection output with zone/WHOIS history.
+
+Builds, once, everything the per-artifact analyses need:
+
+* **nameserver views** — each sacrificial nameserver with its delegation
+  records and affected domains;
+* **groups** — sacrificial nameservers sharing a registered domain (the
+  unit a hijacker registers), with their post-creation registration
+  epochs from WHOIS (the hijacks);
+* **domain exposures** — per affected domain, the intervals during which
+  it delegated to hijackable sacrificial nameservers, and the subset of
+  those intervals during which the nameserver domain was registered by a
+  hijacker (i.e. the domain was actually hijacked).
+
+Only observable data (pipeline result, zone database, WHOIS archive) is
+consumed. The Namecheap accident is excluded the way the paper excludes
+it: by the original nameserver domain the renames were matched to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.pipeline import PipelineResult, SacrificialNameserver
+from repro.simtime import Interval, STUDY_END, merge_intervals, to_day, total_days
+from repro.whois.archive import WhoisArchive, WhoisRecord
+from repro.zonedb.database import DelegationRecord, ZoneDatabase
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Analysis window and exclusions."""
+
+    study_start: int = 0
+    study_end: int = field(default_factory=lambda: to_day(STUDY_END))
+    #: Renames matched to these original domains are excluded (§4: the
+    #: accidental Namecheap deletion is not part of the analyses).
+    excluded_original_domains: frozenset[str] = frozenset({"registrar-servers.com"})
+
+
+@dataclass
+class NameserverView:
+    """One sacrificial nameserver joined with its delegation history."""
+
+    info: SacrificialNameserver
+    records: list[DelegationRecord]
+
+    @property
+    def name(self) -> str:
+        """The sacrificial nameserver name."""
+        return self.info.name
+
+    @property
+    def created_day(self) -> int:
+        """The day the rename made it appear in the zone."""
+        return self.info.created_day
+
+    def domains(self) -> set[str]:
+        """Distinct domains that ever delegated to this nameserver."""
+        return {record.domain for record in self.records}
+
+    def domains_on(self, day: int) -> set[str]:
+        """Domains delegating to this nameserver on ``day``."""
+        return {r.domain for r in self.records if r.active_on(day)}
+
+    def delegated_days(self, horizon: int) -> int:
+        """Total domain-days of delegation, clipped at ``horizon``.
+
+        This is the paper's "hijack value" (§5.3): one domain delegated
+        30 days plus another delegated 50 days gives 80.
+        """
+        return sum(
+            r.interval.closed(horizon).duration()
+            for r in self.records
+            if r.start < horizon
+        )
+
+
+@dataclass
+class GroupView:
+    """Sacrificial nameservers sharing one registered domain."""
+
+    registered_domain: str
+    nameservers: list[NameserverView] = field(default_factory=list)
+    #: Registration epochs starting on/after the group's creation — i.e.
+    #: hijack registrations of the sacrificial domain.
+    hijack_epochs: list[WhoisRecord] = field(default_factory=list)
+
+    @property
+    def created_day(self) -> int:
+        """Earliest creation across the group's nameservers."""
+        return min(ns.created_day for ns in self.nameservers)
+
+    @property
+    def hijackable(self) -> bool:
+        """True if the group is registerable by third parties."""
+        return any(
+            ns.info.hijackable and not ns.info.collision for ns in self.nameservers
+        )
+
+    @property
+    def hijacked(self) -> bool:
+        """True if anyone registered the sacrificial domain."""
+        return bool(self.hijack_epochs)
+
+    @property
+    def first_hijack_day(self) -> int | None:
+        """The first registration day, if hijacked."""
+        if not self.hijack_epochs:
+            return None
+        return min(epoch.created for epoch in self.hijack_epochs)
+
+    def hijack_intervals(self) -> list[Interval]:
+        """Days the sacrificial domain was registered by a hijacker."""
+        return merge_intervals(
+            [Interval(e.created, e.deleted) for e in self.hijack_epochs]
+        )
+
+    def registered_on(self, day: int) -> bool:
+        """Was the sacrificial domain under hijacker control on ``day``?"""
+        return any(iv.contains(day) for iv in self.hijack_intervals())
+
+
+@dataclass
+class DomainExposure:
+    """One affected domain's exposure and hijack history."""
+
+    domain: str
+    #: (nameserver view, delegation interval) pairs to hijackable NS.
+    delegations: list[tuple[NameserverView, Interval]] = field(default_factory=list)
+    exposure_intervals: list[Interval] = field(default_factory=list)
+    hijack_intervals: list[Interval] = field(default_factory=list)
+
+    @property
+    def first_exposed(self) -> int:
+        """First day the domain delegated to a hijackable sacrificial NS."""
+        return min(iv.start for iv in self.exposure_intervals)
+
+    @property
+    def hijacked(self) -> bool:
+        """True if any exposure overlapped a hijack registration."""
+        return bool(self.hijack_intervals)
+
+    @property
+    def first_hijacked(self) -> int | None:
+        """First day the domain was actually hijacked."""
+        if not self.hijack_intervals:
+            return None
+        return min(iv.start for iv in self.hijack_intervals)
+
+    def exposure_days(self, horizon: int) -> int:
+        """Total days at risk, clipped at ``horizon``."""
+        return total_days(self.exposure_intervals, horizon)
+
+    def hijacked_days(self, horizon: int) -> int:
+        """Total days actually hijacked, clipped at ``horizon``."""
+        return total_days(self.hijack_intervals, horizon)
+
+
+class StudyAnalysis:
+    """The shared join used by every table/figure module."""
+
+    def __init__(
+        self,
+        pipeline_result: PipelineResult,
+        zonedb: ZoneDatabase,
+        whois: WhoisArchive,
+        config: StudyConfig | None = None,
+    ) -> None:
+        self.zonedb = zonedb
+        self.whois = whois
+        self.config = config or StudyConfig()
+        self.excluded: list[SacrificialNameserver] = []
+        self.nameservers: dict[str, NameserverView] = {}
+        self.groups: dict[str, GroupView] = {}
+        self._build_views(pipeline_result)
+        self.exposures: dict[str, DomainExposure] = {}
+        self._build_exposures()
+
+    # -- construction -----------------------------------------------------
+
+    def _is_excluded(self, info: SacrificialNameserver) -> bool:
+        return (
+            info.original_domain is not None
+            and info.original_domain in self.config.excluded_original_domains
+        )
+
+    def _build_views(self, pipeline_result: PipelineResult) -> None:
+        for info in pipeline_result.sacrificial:
+            if self._is_excluded(info):
+                self.excluded.append(info)
+                continue
+            records = self.zonedb.ns_records(info.name)
+            view = NameserverView(info=info, records=records)
+            self.nameservers[info.name] = view
+            registered = info.registered_domain
+            if registered is None:
+                continue
+            group = self.groups.get(registered)
+            if group is None:
+                group = GroupView(registered_domain=registered)
+                self.groups[registered] = group
+            group.nameservers.append(view)
+        for group in self.groups.values():
+            creation = group.created_day
+            for epoch in self.whois.history(group.registered_domain):
+                if epoch.created >= creation:
+                    group.hijack_epochs.append(epoch)
+
+    def _build_exposures(self) -> None:
+        for group in self.groups.values():
+            if not group.hijackable:
+                continue
+            hijack_intervals = group.hijack_intervals()
+            for view in group.nameservers:
+                if not view.info.hijackable or view.info.collision:
+                    continue
+                for record in view.records:
+                    exposure = self.exposures.get(record.domain)
+                    if exposure is None:
+                        exposure = DomainExposure(domain=record.domain)
+                        self.exposures[record.domain] = exposure
+                    interval = record.interval
+                    exposure.delegations.append((view, interval))
+                    exposure.exposure_intervals.append(interval)
+                    for hijack in hijack_intervals:
+                        overlap = interval.intersect(hijack)
+                        if overlap is not None:
+                            exposure.hijack_intervals.append(overlap)
+        for exposure in self.exposures.values():
+            exposure.exposure_intervals = merge_intervals(exposure.exposure_intervals)
+            exposure.hijack_intervals = merge_intervals(exposure.hijack_intervals)
+
+    # -- basic selections ---------------------------------------------------
+
+    def study_nameservers(self) -> list[NameserverView]:
+        """Sacrificial NS created inside the study window."""
+        end = self.config.study_end
+        return [
+            view for view in self.nameservers.values()
+            if self.config.study_start <= view.created_day < end
+        ]
+
+    def hijackable_nameservers(self) -> list[NameserverView]:
+        """Hijackable (random-idiom, non-collision) NS in the window."""
+        return [
+            view for view in self.study_nameservers()
+            if view.info.hijackable and not view.info.collision
+        ]
+
+    def hijacked_nameservers(self) -> list[NameserverView]:
+        """The hijackable NS whose registered domain was registered."""
+        result = []
+        for view in self.hijackable_nameservers():
+            registered = view.info.registered_domain
+            group = self.groups.get(registered) if registered else None
+            if group is None or not group.hijacked:
+                continue
+            first = group.first_hijack_day
+            if first is not None and first < self.config.study_end:
+                result.append(view)
+        return result
+
+    def group_of(self, view: NameserverView) -> GroupView | None:
+        """The group a nameserver view belongs to."""
+        registered = view.info.registered_domain
+        return self.groups.get(registered) if registered else None
+
+    def hijackable_domains(self) -> set[str]:
+        """Domains ever exposed within the study window."""
+        return {
+            domain for domain, exposure in self.exposures.items()
+            if exposure.first_exposed < self.config.study_end
+        }
+
+    def hijacked_domains(self) -> set[str]:
+        """Exposed domains that were hijacked within the study window."""
+        return {
+            domain for domain, exposure in self.exposures.items()
+            if exposure.hijacked
+            and (exposure.first_hijacked or 0) < self.config.study_end
+        }

@@ -1,0 +1,181 @@
+"""Tables 1–3: renaming idioms and the hijack summary.
+
+Table 1 groups sink-domain (non-hijackable) idioms by registrar, Table 2
+the hijackable random-name idioms, Table 3 totals hijackable vs hijacked
+nameservers and domains. Row keys are (idiom, registrar) exactly as the
+paper presents them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.study import StudyAnalysis
+from repro.detection.idioms import IdiomClass, known_classifiers
+
+#: Registrar identifier → the display name the paper uses.
+REGISTRAR_DISPLAY: dict[str, str] = {
+    "godaddy": "GoDaddy",
+    "enom": "Enom",
+    "internetbs": "Internet.bs",
+    "netsol": "Network Solutions",
+    "tldrs": "TLD Registrar Solutions",
+    "gmo": "GMO Internet",
+    "xinnet": "Xin Net Technology Corp.",
+    "srsplus": "SRSPlus",
+    "domainpeople": "DomainPeople",
+    "fabulous": "Fabulous.com",
+    "registercom": "Register.com",
+    "markmonitor": "MarkMonitor",
+    "namecheap": "Namecheap",
+    "bulkreg": "Bulk Registration Inc.",
+}
+
+
+def display_registrar(ident: str | None) -> str:
+    """Human-readable registrar name."""
+    if ident is None:
+        return "(unattributed)"
+    return REGISTRAR_DISPLAY.get(ident, ident)
+
+
+@dataclass(frozen=True, slots=True)
+class IdiomRow:
+    """One row of Table 1 or Table 2."""
+
+    idiom: str
+    registrar: str
+    nameservers: int
+    affected_domains: int
+
+
+@dataclass(frozen=True, slots=True)
+class HijackSummary:
+    """Table 3."""
+
+    hijackable_ns: int
+    hijacked_ns: int
+    hijackable_domains: int
+    hijacked_domains: int
+
+    @property
+    def ns_fraction(self) -> float:
+        """Fraction of hijackable nameservers that were hijacked."""
+        return self.hijacked_ns / self.hijackable_ns if self.hijackable_ns else 0.0
+
+    @property
+    def domain_fraction(self) -> float:
+        """Fraction of hijackable domains that were hijacked."""
+        if not self.hijackable_domains:
+            return 0.0
+        return self.hijacked_domains / self.hijackable_domains
+
+
+def _idiom_rows(study: StudyAnalysis, *, hijackable: bool) -> list[IdiomRow]:
+    post_remediation_ids = {
+        c.idiom_id for c in known_classifiers() if c.post_remediation
+    }
+    buckets: dict[tuple[str, str], tuple[set[str], set[str]]] = {}
+    for view in study.study_nameservers():
+        info = view.info
+        if info.idiom_id in post_remediation_ids:
+            continue  # Table 6 territory
+        if info.hijackable != hijackable:
+            continue
+        key = (info.idiom_id, display_registrar(info.registrar))
+        ns_set, domain_set = buckets.setdefault(key, (set(), set()))
+        ns_set.add(info.name)
+        domain_set.update(view.domains())
+    rows = [
+        IdiomRow(
+            idiom=idiom, registrar=registrar,
+            nameservers=len(ns_set), affected_domains=len(domain_set),
+        )
+        for (idiom, registrar), (ns_set, domain_set) in buckets.items()
+    ]
+    rows.sort(key=lambda row: -row.nameservers)
+    return rows
+
+
+def _totals(study: StudyAnalysis, *, hijackable: bool) -> tuple[int, int]:
+    ns_total = 0
+    domains: set[str] = set()
+    post_remediation_ids = {
+        c.idiom_id for c in known_classifiers() if c.post_remediation
+    }
+    for view in study.study_nameservers():
+        if view.info.idiom_id in post_remediation_ids:
+            continue
+        if view.info.hijackable != hijackable:
+            continue
+        ns_total += 1
+        domains |= view.domains()
+    return ns_total, len(domains)
+
+
+def table1(study: StudyAnalysis) -> tuple[list[IdiomRow], IdiomRow]:
+    """Non-hijackable (sink-domain) idioms; returns (rows, total row)."""
+    rows = _idiom_rows(study, hijackable=False)
+    ns_total, domain_total = _totals(study, hijackable=False)
+    total = IdiomRow("Total", "", ns_total, domain_total)
+    return rows, total
+
+
+def table2(study: StudyAnalysis) -> tuple[list[IdiomRow], IdiomRow]:
+    """Hijackable (random-name) idioms; returns (rows, total row)."""
+    rows = _idiom_rows(study, hijackable=True)
+    ns_total, domain_total = _totals(study, hijackable=True)
+    total = IdiomRow("Total", "", ns_total, domain_total)
+    return rows, total
+
+
+def table3(study: StudyAnalysis) -> HijackSummary:
+    """Hijackable vs hijacked nameservers and domains (study window)."""
+    return HijackSummary(
+        hijackable_ns=len(study.hijackable_nameservers()),
+        hijacked_ns=len(study.hijacked_nameservers()),
+        hijackable_domains=len(study.hijackable_domains()),
+        hijacked_domains=len(study.hijacked_domains()),
+    )
+
+
+def collision_count(study: StudyAnalysis, idiom_id: str = "PLEASEDROPTHISHOST") -> int:
+    """Sacrificial NS that landed on already-registered domains (§4).
+
+    The paper reports 3,704 such accidents for PLEASEDROPTHISHOST.
+    """
+    return sum(
+        1 for view in study.nameservers.values()
+        if view.info.idiom_id == idiom_id and view.info.collision
+    )
+
+
+def partial_exposure_summary(study: StudyAnalysis, day: int) -> tuple[int, int]:
+    """§5.6: currently-hijackable domains with working alternate NS.
+
+    Returns (partially hijackable count, of which using a hijacked NS).
+    ``day`` is the "currently" reference day.
+    """
+    partial = 0
+    partial_hijacked = 0
+    for domain, exposure in study.exposures.items():
+        active_views = [
+            view for view, interval in exposure.delegations if interval.contains(day)
+        ]
+        if not active_views:
+            continue
+        all_ns = study.zonedb.nameservers_of(domain, day)
+        sacrificial_now = {view.name for view in active_views}
+        alternates = all_ns - sacrificial_now
+        if not alternates:
+            continue
+        # At least one alternate is a working (non-sacrificial) server.
+        if not any(alt in study.nameservers for alt in alternates):
+            partial += 1
+            if any(
+                (group := study.group_of(view)) is not None
+                and group.registered_on(day)
+                for view in active_views
+            ):
+                partial_hijacked += 1
+    return partial, partial_hijacked

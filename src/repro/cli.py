@@ -1,0 +1,251 @@
+"""Command-line interface: simulate, detect, report, experiment.
+
+The CLI exposes the library as a tool chain a measurement team could
+actually run:
+
+``riskybiz simulate --out DIR``
+    Run the ecosystem and write its observable outputs to disk — a
+    DZDB-style zone-file archive (sampled snapshot days) plus a WHOIS
+    JSON-lines archive.
+
+``riskybiz detect --archive DIR --whois FILE``
+    Run the §3 detection methodology against an on-disk archive (yours
+    or a simulated one) and print the funnel and idiom tables.
+
+``riskybiz report``
+    Regenerate every table and figure of the paper in one run.
+
+``riskybiz experiment``
+    Run the §6.1 controlled hijack experiment and print the protocol
+    observations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.report import (
+    render_full_report,
+    render_funnel,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.analysis.study import StudyAnalysis, StudyConfig
+from repro.detection.pipeline import DetectionPipeline
+from repro.whois.archive import WhoisArchive
+from repro.zonedb.archive import read_archive, write_archive
+
+
+def _add_world_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2021, help="scenario seed")
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="world scale relative to the canonical 1:100 scenario",
+    )
+    parser.add_argument(
+        "--config", help="scenario JSON file (overrides --seed/--scale)"
+    )
+
+
+def _resolve_config(args: argparse.Namespace):
+    """The scenario the command should run (file > seed/scale flags)."""
+    from repro.ecosystem.config import default_scenario
+
+    if getattr(args, "config", None):
+        from repro.ecosystem.scenario_io import load_scenario
+
+        return load_scenario(args.config)
+    config = default_scenario(args.seed)
+    if args.scale != 1.0:
+        config = config.scaled(args.scale)
+    return config
+
+
+def _run_bundle(args: argparse.Namespace):
+    """Build a full bundle from the resolved scenario."""
+    from repro.analysis.study import StudyAnalysis
+    from repro.api import ReproBundle
+    from repro.detection.pipeline import DetectionPipeline
+    from repro.ecosystem.world import World
+
+    world = World(_resolve_config(args)).run()
+    pipeline = DetectionPipeline(world.zonedb, world.whois).run()
+    study = StudyAnalysis(pipeline, world.zonedb, world.whois)
+    return ReproBundle(world=world, pipeline=pipeline, study=study)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the full paper report."""
+    bundle = _run_bundle(args)
+    print(render_full_report(bundle.pipeline, bundle.study))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run the world and write its observable data sets to disk."""
+    from repro.ecosystem.world import World
+
+    config = _resolve_config(args)
+    print(f"Simulating (seed={config.seed})...", file=sys.stderr)
+    result = World(config).run()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sample_days = list(range(0, config.end_day, args.every)) + [config.end_day - 1]
+    snapshots = []
+    for day in sample_days:
+        for tld in sorted(result.zonedb.covered_tlds):
+            snapshot = result.zonedb.snapshot_at(day, tld)
+            if snapshot.delegations:
+                snapshots.append(snapshot)
+    paths = write_archive(out / "zones", snapshots)
+    epochs = result.whois.dump(out / "whois.jsonl")
+    print(
+        f"Wrote {len(paths)} zone files ({len(sample_days)} sampled days, "
+        f"{len(result.zonedb.covered_tlds)} TLDs) and {epochs} WHOIS epochs "
+        f"to {out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Run the detection methodology against an on-disk archive."""
+    print(f"Ingesting zone archive {args.archive}...", file=sys.stderr)
+    zonedb = read_archive(args.archive)
+    if zonedb.nameserver_count() == 0:
+        print("error: archive contains no delegations", file=sys.stderr)
+        return 1
+    whois = WhoisArchive.load(args.whois) if args.whois else WhoisArchive()
+    pipeline = DetectionPipeline(
+        zonedb, whois, mine_patterns=args.mine_patterns
+    )
+    result = pipeline.run()
+    print(render_funnel(result))
+    if args.mine_patterns and result.mined_patterns:
+        print("\nTop mined substrings:")
+        for pattern in result.mined_patterns[:15]:
+            print(f"  {pattern.substring!r}  x{pattern.support}")
+    study = StudyAnalysis(
+        result, zonedb, whois, StudyConfig(study_end=zonedb.horizon)
+    )
+    print()
+    print(render_table1(study))
+    print()
+    print(render_table2(study))
+    print()
+    print(render_table3(study))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Run the reproduction and export every figure's data as CSV."""
+    from repro.analysis.export import export_all
+
+    bundle = _run_bundle(args)
+    paths = export_all(bundle.study, args.out)
+    for path in paths:
+        print(path)
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run the §6.1 controlled experiment."""
+    from repro.experiment.controlled import run_controlled_experiment
+
+    bundle = _run_bundle(args)
+    report = run_controlled_experiment(bundle.world, bundle.study)
+    print(f"sacrificial domain      : {report.sacrificial_domain}")
+    print(f"victim domains          : {len(report.delegated_domains)}")
+    print(f"restricted-TLD victims  : {len(report.restricted_tld_domains)}")
+    print(f"queries observed        : {report.queries_observed}")
+    print(f"restricted-TLD queries  : {report.restricted_queries_observed}")
+    print(f"scoped answer           : {report.scoped_answer}")
+    print(f"outside-scope status    : {report.outside_answer_status}")
+    print(f"hijack demonstrated     : {report.hijack_demonstrated}")
+    print(f"log records purged      : {report.logs_purged}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Dump the resolved scenario as a reusable JSON file."""
+    from repro.ecosystem.scenario_io import save_scenario
+
+    path = save_scenario(_resolve_config(args), args.out)
+    print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="riskybiz",
+        description="Risky BIZness (IMC 2021) reproduction tool chain",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser(
+        "report", help="regenerate every table and figure"
+    )
+    _add_world_args(report)
+    report.set_defaults(func=cmd_report)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run the world and write zone/WHOIS archives"
+    )
+    _add_world_args(simulate)
+    simulate.add_argument("--out", required=True, help="output directory")
+    simulate.add_argument(
+        "--every", type=int, default=30,
+        help="snapshot sampling interval in days (default: 30)",
+    )
+    simulate.set_defaults(func=cmd_simulate)
+
+    detect = subparsers.add_parser(
+        "detect", help="run the detection methodology on an archive"
+    )
+    detect.add_argument(
+        "--archive", required=True, help="zone archive directory"
+    )
+    detect.add_argument("--whois", help="WHOIS JSON-lines file")
+    detect.add_argument(
+        "--mine-patterns", action="store_true",
+        help="also run the substring pattern miner",
+    )
+    detect.set_defaults(func=cmd_detect)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run the controlled hijack experiment (§6.1)"
+    )
+    _add_world_args(experiment)
+    experiment.set_defaults(func=cmd_experiment)
+
+    export = subparsers.add_parser(
+        "export", help="export every figure's data series as CSV"
+    )
+    _add_world_args(export)
+    export.add_argument("--out", required=True, help="output directory")
+    export.set_defaults(func=cmd_export)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="write the scenario a run would use as JSON"
+    )
+    _add_world_args(scenario)
+    scenario.add_argument("--out", required=True, help="output JSON file")
+    scenario.set_defaults(func=cmd_scenario)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

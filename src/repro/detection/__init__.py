@@ -1,0 +1,54 @@
+"""The paper's detection methodology (§3).
+
+Identifies sacrificial nameservers from longitudinal zone data alone:
+
+1. **Resolvability analysis** — derive, per nameserver, the date ranges
+   with a valid static resolution path (glue or a delegated registered
+   domain) — :mod:`repro.detection.resolvability`.
+2. **Candidate set** — nameservers unresolvable when first referenced by
+   any domain — :mod:`repro.detection.candidates`.
+3. **Pattern mining** — frequent-substring discovery of renaming idioms —
+   :mod:`repro.detection.substrings`.
+4. **Test-nameserver removal** — the EMT- registry-testing pattern —
+   :mod:`repro.detection.testns`.
+5. **Single-repository filter** — :mod:`repro.detection.repository_check`.
+6. **Original-nameserver matching** — day-before history join plus
+   registered-domain substring test — :mod:`repro.detection.matching`.
+7. **Idiom classification and registrar attribution** —
+   :mod:`repro.detection.idioms`, :mod:`repro.detection.pipeline`.
+
+The pipeline consumes only the observable data sets (zone database and
+WHOIS archive) — never the simulator's ground truth.
+"""
+
+from repro.detection.candidates import CandidateNameserver, build_candidate_set
+from repro.detection.idioms import IdiomClass, IdiomClassifier, known_classifiers
+from repro.detection.matching import MatchResult, OriginalNameserverMatcher
+from repro.detection.pipeline import (
+    DetectionPipeline,
+    PipelineResult,
+    SacrificialNameserver,
+)
+from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilter
+from repro.detection.resolvability import ResolvabilityAnalyzer
+from repro.detection.substrings import SubstringPattern, mine_substrings
+from repro.detection.testns import TestNameserverFilter
+
+__all__ = [
+    "CandidateNameserver",
+    "build_candidate_set",
+    "IdiomClass",
+    "IdiomClassifier",
+    "known_classifiers",
+    "MatchResult",
+    "OriginalNameserverMatcher",
+    "DetectionPipeline",
+    "PipelineResult",
+    "SacrificialNameserver",
+    "RepositoryMap",
+    "SingleRepositoryFilter",
+    "ResolvabilityAnalyzer",
+    "SubstringPattern",
+    "mine_substrings",
+    "TestNameserverFilter",
+]

@@ -1,0 +1,234 @@
+"""The end-to-end detection pipeline (§3.2).
+
+Runs the full methodology against a zone database and WHOIS archive:
+
+1. candidate-set construction (unresolvable at first reference);
+2. substring pattern mining (recorded for inspection — the "discovery"
+   half of §3.2.2);
+3. test-nameserver removal;
+4. pattern-classifier sweep over the **entire** nameserver population
+   (the paper's final sets come from matching confirmed idioms against
+   the whole longitudinal data set, which is how resolvable accidents
+   like PLEASEDROPTHISHOST collisions are still counted);
+5. single-repository filtering of the remaining candidates;
+6. original-nameserver history matching with WHOIS registrar
+   attribution.
+
+The output is the final classified set of sacrificial nameservers plus a
+stage-by-stage funnel (the §3 numbers: 20M → 312,328 → −28,614 test →
+−11,403 single-repo → 202,624 sacrificial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.detection.candidates import CandidateNameserver, build_candidate_set
+from repro.detection.idioms import (
+    IdiomClass,
+    IdiomClassifier,
+    classify_match,
+    known_classifiers,
+)
+from repro.detection.matching import MatchResult, OriginalNameserverMatcher
+from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilter
+from repro.detection.resolvability import ResolvabilityAnalyzer
+from repro.detection.substrings import SubstringPattern, mine_substrings
+from repro.detection.testns import TestNameserverFilter
+from repro.whois.archive import WhoisArchive
+from repro.zonedb.database import ZoneDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class SacrificialNameserver:
+    """One detected sacrificial nameserver."""
+
+    name: str
+    created_day: int
+    idiom_id: str
+    hijackable: bool
+    registrar: str | None
+    registered_domain: str | None
+    source: str  # "pattern" or "match"
+    original_ns: str | None = None
+    original_domain: str | None = None
+    collision: bool = False  # name landed on an already-registered domain
+
+
+@dataclass
+class PipelineFunnel:
+    """Stage-by-stage counts (the paper's §3 numbers, at sim scale)."""
+
+    total_nameservers: int = 0
+    candidates: int = 0
+    test_removed: int = 0
+    pattern_classified: int = 0
+    single_repo_removed: int = 0
+    history_matched: int = 0
+    match_classified: int = 0
+    sacrificial_total: int = 0
+
+    def rows(self) -> list[tuple[str, int]]:
+        """Ordered (label, count) pairs for reporting."""
+        return [
+            ("nameservers in zone data", self.total_nameservers),
+            ("unresolvable at first reference (candidates)", self.candidates),
+            ("removed as registry test nameservers", self.test_removed),
+            ("classified by confirmed patterns", self.pattern_classified),
+            ("eliminated by single-repository property", self.single_repo_removed),
+            ("matched to original nameserver", self.history_matched),
+            ("classified from history match", self.match_classified),
+            ("final sacrificial nameservers", self.sacrificial_total),
+        ]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produces."""
+
+    sacrificial: list[SacrificialNameserver]
+    funnel: PipelineFunnel
+    mined_patterns: list[SubstringPattern]
+    matches: list[MatchResult]
+    candidates: list[CandidateNameserver] = field(repr=False, default_factory=list)
+
+    def by_name(self) -> dict[str, SacrificialNameserver]:
+        """Index the final set by nameserver name."""
+        return {entry.name: entry for entry in self.sacrificial}
+
+    def hijackable(self) -> list[SacrificialNameserver]:
+        """The hijackable subset (random-name idioms, no collision)."""
+        return [s for s in self.sacrificial if s.hijackable and not s.collision]
+
+
+class DetectionPipeline:
+    """Configurable end-to-end runner for the §3 methodology."""
+
+    def __init__(
+        self,
+        zonedb: ZoneDatabase,
+        whois: WhoisArchive,
+        *,
+        psl: PublicSuffixList | None = None,
+        classifiers: list[IdiomClassifier] | None = None,
+        test_filter: TestNameserverFilter | None = None,
+        repo_map: RepositoryMap | None = None,
+        mine_patterns: bool = True,
+    ) -> None:
+        self.zonedb = zonedb
+        self.whois = whois
+        self.psl = psl or default_psl()
+        self.classifiers = classifiers or known_classifiers()
+        self.test_filter = test_filter or TestNameserverFilter()
+        self.repo_filter = SingleRepositoryFilter(zonedb, repo_map or RepositoryMap())
+        self.matcher = OriginalNameserverMatcher(zonedb, whois, psl=self.psl)
+        self.analyzer = ResolvabilityAnalyzer(zonedb, psl=self.psl)
+        self.mine_patterns = mine_patterns
+
+    # -- helpers -----------------------------------------------------------
+
+    def _was_registered_before(self, registered_domain: str, day: int) -> bool:
+        """Collision check: did the domain exist before the rename?"""
+        record = self.whois.current(registered_domain, day)
+        if record is not None and record.created < day:
+            return True
+        return self.zonedb.domain_present(registered_domain, max(0, day - 1))
+
+    def _classify_pattern(
+        self, name: str, classifier: IdiomClassifier
+    ) -> SacrificialNameserver:
+        first_seen = self.zonedb.first_seen(name) or 0
+        registered = self.psl.registered_domain(name)
+        collision = False
+        if classifier.klass is IdiomClass.RANDOM and registered is not None:
+            collision = self._was_registered_before(registered, first_seen)
+        return SacrificialNameserver(
+            name=name,
+            created_day=first_seen,
+            idiom_id=classifier.idiom_id,
+            hijackable=classifier.hijackable,
+            registrar=classifier.registrar_hint,
+            registered_domain=registered,
+            source="pattern",
+            collision=collision,
+        )
+
+    def _classify_match(self, match: MatchResult) -> SacrificialNameserver | None:
+        idiom_id = classify_match(match)
+        if idiom_id is None:
+            return None
+        registered = self.psl.registered_domain(match.candidate)
+        collision = False
+        if registered is not None:
+            collision = self._was_registered_before(registered, match.first_seen)
+        return SacrificialNameserver(
+            name=match.candidate,
+            created_day=match.first_seen,
+            idiom_id=idiom_id,
+            hijackable=True,
+            registrar=match.registrar,
+            registered_domain=registered,
+            source="match",
+            original_ns=match.original_ns,
+            original_domain=match.original_domain,
+            collision=collision,
+        )
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Execute every stage and return the final classified set."""
+        funnel = PipelineFunnel()
+        funnel.total_nameservers = self.zonedb.nameserver_count()
+
+        # Stage 1: unresolvable-at-first-reference candidates.
+        candidates = build_candidate_set(self.zonedb, self.analyzer)
+        funnel.candidates = len(candidates)
+
+        # Stage 2: pattern discovery (for the record; confirmation is
+        # encoded in the classifier list, as manual confirmation was in
+        # the paper).
+        mined: list[SubstringPattern] = []
+        if self.mine_patterns:
+            mined = mine_substrings((c.name for c in candidates), min_support=4)
+
+        # Stage 3: drop registry test nameservers.
+        candidates, test_removed = self.test_filter.partition(candidates)
+        funnel.test_removed = len(test_removed)
+
+        # Stage 4: confirmed-pattern sweep over the entire population.
+        sacrificial: dict[str, SacrificialNameserver] = {}
+        for name in self.zonedb.all_nameservers():
+            if self.test_filter.is_test_nameserver(name):
+                continue
+            for classifier in self.classifiers:
+                if classifier.matches_name(name):
+                    sacrificial[name] = self._classify_pattern(name, classifier)
+                    break
+        funnel.pattern_classified = len(sacrificial)
+
+        # Stage 5: single-repository filter on the remaining candidates.
+        remaining = [c for c in candidates if c.name not in sacrificial]
+        remaining, eliminated = self.repo_filter.partition(remaining)
+        funnel.single_repo_removed = len(eliminated)
+
+        # Stage 6: original-nameserver matching and classification.
+        matches, _unmatched = self.matcher.match_all(remaining)
+        funnel.history_matched = len(matches)
+        for match in matches:
+            entry = self._classify_match(match)
+            if entry is not None and entry.name not in sacrificial:
+                sacrificial[entry.name] = entry
+        funnel.match_classified = len(sacrificial) - funnel.pattern_classified
+
+        final = sorted(sacrificial.values(), key=lambda s: (s.created_day, s.name))
+        funnel.sacrificial_total = len(final)
+        return PipelineResult(
+            sacrificial=final,
+            funnel=funnel,
+            mined_patterns=mined,
+            matches=matches,
+            candidates=candidates,
+        )

@@ -1,0 +1,80 @@
+"""Static resolvability of nameserver names over time.
+
+A simplified version of the static-resolution methodology of Akiwate et
+al. (2020), as used by the paper: a nameserver name has a valid static
+resolution path on a given day if the zone data shows either
+
+* glue addresses for the exact host name, or
+* a delegation for the host's registered domain (so a resolver can walk
+  TLD → registered domain → host).
+
+Names under TLDs outside the data set cannot be assessed and are treated
+as *unknown* — the paper is conservative in the same way.
+"""
+
+from __future__ import annotations
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.simtime import Interval, merge_intervals
+from repro.zonedb.database import ZoneDatabase
+
+
+class ResolvabilityAnalyzer:
+    """Derives per-nameserver resolvable date ranges from zone history."""
+
+    def __init__(
+        self, zonedb: ZoneDatabase, *, psl: PublicSuffixList | None = None
+    ) -> None:
+        self.zonedb = zonedb
+        self.psl = psl or default_psl()
+
+    def is_covered(self, ns: str) -> bool:
+        """True if the data set can assess this name at all."""
+        return self.zonedb.covers(ns)
+
+    def is_resolvable(self, ns: str, day: int) -> bool | None:
+        """Static resolvability of ``ns`` on ``day``.
+
+        Returns ``None`` (unknown) when the name's TLD is outside the
+        data set.
+        """
+        if not self.is_covered(ns):
+            return None
+        ns_text = Name(ns).text
+        if self.zonedb.glue_present(ns_text, day):
+            return True
+        registered = self.psl.registered_domain(ns_text)
+        if registered is None:
+            return False
+        return self.zonedb.domain_present(registered, day)
+
+    def resolvable_intervals(self, ns: str) -> list[Interval]:
+        """All date ranges with a valid static resolution path."""
+        ns_text = Name(ns).text
+        intervals = list(self.zonedb.glue_intervals(ns_text))
+        registered = self.psl.registered_domain(ns_text)
+        if registered is not None:
+            intervals.extend(self.zonedb.domain_presence_intervals(registered))
+        return merge_intervals(intervals)
+
+    def first_resolvable(self, ns: str) -> int | None:
+        """The first day ``ns`` had a static resolution path, if ever."""
+        intervals = self.resolvable_intervals(ns)
+        if not intervals:
+            return None
+        return min(interval.start for interval in intervals)
+
+    def unresolvable_at_first_reference(self, ns: str) -> bool | None:
+        """Was ``ns`` unresolvable when a domain first delegated to it?
+
+        This is the §3.2.1 candidate criterion. Returns ``None`` when the
+        name was never referenced or cannot be assessed.
+        """
+        first_reference = self.zonedb.first_seen(ns)
+        if first_reference is None:
+            return None
+        resolvable = self.is_resolvable(ns, first_reference)
+        if resolvable is None:
+            return None
+        return not resolvable

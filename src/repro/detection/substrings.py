@@ -1,0 +1,96 @@
+"""Frequent-substring mining over nameserver names (§3.2.2).
+
+The paper built "a tool that, given a list of domain names as input,
+looks for common substrings across them", applied it to the ~300K
+candidates, and read the renaming idioms off the top of the output
+(PLEASEDROPTHISHOST, DROPTHISHOST, the sink domains, the EMT- test
+pattern, ...). This module is that tool.
+
+The miner counts every substring within a length window across the input
+names (each name contributes each distinct substring once), keeps those
+above a support threshold, and suppresses non-maximal substrings: a
+substring contained in a longer surviving pattern with (nearly) the same
+support adds no information and is dropped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class SubstringPattern:
+    """One mined pattern with its support."""
+
+    substring: str
+    support: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.substring!r} x{self.support}"
+
+
+def _substrings_of(name: str, min_len: int, max_len: int) -> set[str]:
+    found: set[str] = set()
+    n = len(name)
+    for length in range(min_len, min(max_len, n) + 1):
+        for start in range(n - length + 1):
+            found.add(name[start:start + length])
+    return found
+
+
+def mine_substrings(
+    names: Iterable[str],
+    *,
+    min_length: int = 5,
+    max_length: int = 24,
+    min_support: int = 5,
+    top: int = 50,
+    containment_slack: float = 0.9,
+) -> list[SubstringPattern]:
+    """Mine the most common substrings across ``names``.
+
+    Returns up to ``top`` patterns ordered by (support, length) with
+    non-maximal substrings removed: a pattern is dropped when some longer
+    surviving pattern contains it and retains at least
+    ``containment_slack`` of its support.
+    """
+    counts: Counter[str] = Counter()
+    total = 0
+    for raw in names:
+        total += 1
+        name = raw.lower()
+        counts.update(_substrings_of(name, min_length, max_length))
+    frequent = [
+        (substring, support)
+        for substring, support in counts.items()
+        if support >= min_support
+    ]
+    # Sort so longer, better-supported strings are considered first.
+    frequent.sort(key=lambda item: (-item[1], -len(item[0]), item[0]))
+    kept: list[tuple[str, int]] = []
+    for substring, support in frequent:
+        redundant = False
+        for kept_sub, kept_support in kept:
+            if (
+                substring in kept_sub
+                and len(substring) < len(kept_sub)
+                and kept_support >= containment_slack * support
+            ):
+                redundant = True
+                break
+        if not redundant:
+            kept.append((substring, support))
+        if len(kept) >= top * 4:
+            break
+    kept.sort(key=lambda item: (-item[1], -len(item[0]), item[0]))
+    return [SubstringPattern(s, c) for s, c in kept[:top]]
+
+
+def patterns_matching(
+    patterns: Sequence[SubstringPattern], needle: str
+) -> list[SubstringPattern]:
+    """The mined patterns that contain ``needle`` (for inspection/tests)."""
+    needle = needle.lower()
+    return [p for p in patterns if needle in p.substring or p.substring in needle]

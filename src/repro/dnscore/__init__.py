@@ -1,0 +1,28 @@
+"""DNS foundations: domain names, public-suffix logic, records, and zones.
+
+This subpackage provides the low-level vocabulary used by every other part
+of the library: validated domain names (:class:`~repro.dnscore.names.Name`),
+registered-domain extraction against a public-suffix model
+(:class:`~repro.dnscore.psl.PublicSuffixList`), DNS resource records
+(:mod:`repro.dnscore.records`), and zone containers with master-file
+round-tripping (:mod:`repro.dnscore.zone`).
+"""
+
+from repro.dnscore.errors import DnsError, NameError_, ZoneError
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.dnscore.records import RRType, ResourceRecord
+from repro.dnscore.zone import Delegation, Zone
+
+__all__ = [
+    "DnsError",
+    "NameError_",
+    "ZoneError",
+    "Name",
+    "PublicSuffixList",
+    "default_psl",
+    "RRType",
+    "ResourceRecord",
+    "Delegation",
+    "Zone",
+]

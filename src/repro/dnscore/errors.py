@@ -1,0 +1,17 @@
+"""Exception hierarchy for the DNS core subpackage."""
+
+
+class DnsError(Exception):
+    """Base class for every error raised by :mod:`repro.dnscore`."""
+
+
+class NameError_(DnsError):
+    """A domain name failed syntactic validation.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`NameError`.
+    """
+
+
+class ZoneError(DnsError):
+    """A zone operation violated zone consistency rules."""

@@ -1,0 +1,310 @@
+"""RFC 1035 wire format: DNS message encoding and decoding.
+
+Implements the on-the-wire message format — header, question and
+resource-record sections, and domain-name compression pointers — for the
+record types the library models. The resolver uses it to serialize the
+queries and responses it simulates, and the test suite round-trips
+arbitrary messages through it.
+
+Only the classic subset is implemented (no EDNS0): 12-byte header,
+QR/OPCODE/AA/TC/RD/RA flags, RCODE, and IN-class records of type NS, A,
+AAAA, CNAME, SOA, and TXT.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.dnscore.errors import DnsError
+from repro.dnscore.names import Name
+from repro.dnscore.records import ResourceRecord, RRType
+
+_HEADER = struct.Struct("!HHHHHH")
+MAX_MESSAGE_SIZE = 65535
+
+_TYPE_CODES: dict[RRType, int] = {
+    RRType.A: 1,
+    RRType.NS: 2,
+    RRType.CNAME: 5,
+    RRType.SOA: 6,
+    RRType.AAAA: 28,
+    RRType.TXT: 16,
+}
+_CODE_TYPES = {code: rtype for rtype, code in _TYPE_CODES.items()}
+CLASS_IN = 1
+
+
+class Rcode(IntEnum):
+    """Response codes (RFC 1035 §4.1.1)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+@dataclass(frozen=True, slots=True)
+class Question:
+    """One entry of the question section."""
+
+    qname: str
+    qtype: RRType
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qname", Name(self.qname).text)
+
+
+@dataclass
+class Message:
+    """A DNS message in object form."""
+
+    message_id: int = 0
+    is_response: bool = False
+    authoritative: bool = False
+    truncated: bool = False
+    recursion_desired: bool = False
+    recursion_available: bool = False
+    rcode: Rcode = Rcode.NOERROR
+    questions: list[Question] = field(default_factory=list)
+    answers: list[ResourceRecord] = field(default_factory=list)
+    authorities: list[ResourceRecord] = field(default_factory=list)
+    additionals: list[ResourceRecord] = field(default_factory=list)
+
+    @classmethod
+    def query(
+        cls, qname: str, qtype: RRType, *, message_id: int = 0, rd: bool = True
+    ) -> "Message":
+        """A standard recursive query for one name/type."""
+        return cls(
+            message_id=message_id,
+            recursion_desired=rd,
+            questions=[Question(qname, qtype)],
+        )
+
+    def respond(
+        self,
+        answers: list[ResourceRecord],
+        *,
+        rcode: Rcode = Rcode.NOERROR,
+        authoritative: bool = True,
+    ) -> "Message":
+        """Build the response message for this query."""
+        return Message(
+            message_id=self.message_id,
+            is_response=True,
+            authoritative=authoritative,
+            recursion_desired=self.recursion_desired,
+            rcode=rcode,
+            questions=list(self.questions),
+            answers=answers,
+        )
+
+
+class _Writer:
+    """Wire encoder with RFC 1035 §4.1.4 name compression."""
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+        self._offsets: dict[tuple[str, ...], int] = {}
+
+    def write_name(self, name: str) -> None:
+        labels = Name(name).labels
+        index = 0
+        while index < len(labels):
+            suffix = labels[index:]
+            offset = self._offsets.get(suffix)
+            if offset is not None:
+                self.buffer += struct.pack("!H", 0xC000 | offset)
+                return
+            if len(self.buffer) < 0x3FFF:
+                self._offsets[suffix] = len(self.buffer)
+            label = labels[index].encode("ascii")
+            self.buffer.append(len(label))
+            self.buffer += label
+            index += 1
+        self.buffer.append(0)
+
+    def write_record(self, record: ResourceRecord) -> None:
+        self.write_name(record.name)
+        self.buffer += struct.pack(
+            "!HHI", _TYPE_CODES[record.rtype], CLASS_IN, record.ttl
+        )
+        length_at = len(self.buffer)
+        self.buffer += b"\x00\x00"  # placeholder for RDLENGTH
+        start = len(self.buffer)
+        self._write_rdata(record)
+        rdlength = len(self.buffer) - start
+        struct.pack_into("!H", self.buffer, length_at, rdlength)
+
+    def _write_rdata(self, record: ResourceRecord) -> None:
+        if record.rtype in (RRType.NS, RRType.CNAME):
+            self.write_name(record.rdata)
+        elif record.rtype is RRType.A:
+            self.buffer += ipaddress.IPv4Address(record.rdata).packed
+        elif record.rtype is RRType.AAAA:
+            self.buffer += ipaddress.IPv6Address(record.rdata).packed
+        elif record.rtype is RRType.SOA:
+            mname, rname, *numbers = record.rdata.split()
+            self.write_name(mname.rstrip("."))
+            self.write_name(rname.rstrip("."))
+            self.buffer += struct.pack("!IIIII", *(int(n) for n in numbers))
+        elif record.rtype is RRType.TXT:
+            data = record.rdata.encode("ascii")
+            for start in range(0, len(data), 255):
+                chunk = data[start:start + 255]
+                self.buffer.append(len(chunk))
+                self.buffer += chunk
+        else:  # pragma: no cover - all supported types handled above
+            raise DnsError(f"cannot encode rdata for {record.rtype}")
+
+
+class _Reader:
+    """Wire decoder with compression-pointer chasing."""
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.position = 0
+
+    def read(self, count: int) -> bytes:
+        if self.position + count > len(self.data):
+            raise DnsError("truncated DNS message")
+        chunk = self.data[self.position:self.position + count]
+        self.position += count
+        return chunk
+
+    def read_name(self) -> str:
+        labels, position = self._name_at(self.position, set())
+        self.position = position
+        return ".".join(labels) if labels else ""
+
+    def _name_at(self, position: int, seen: set[int]) -> tuple[list[str], int]:
+        labels: list[str] = []
+        while True:
+            if position >= len(self.data):
+                raise DnsError("name runs past end of message")
+            length = self.data[position]
+            if length & 0xC0 == 0xC0:
+                if position + 1 >= len(self.data):
+                    raise DnsError("truncated compression pointer")
+                pointer = ((length & 0x3F) << 8) | self.data[position + 1]
+                if pointer in seen:
+                    raise DnsError("compression pointer loop")
+                seen.add(pointer)
+                pointed, _ = self._name_at(pointer, seen)
+                return labels + pointed, position + 2
+            position += 1
+            if length == 0:
+                return labels, position
+            if position + length > len(self.data):
+                raise DnsError("label runs past end of message")
+            labels.append(
+                self.data[position:position + length].decode("ascii").lower()
+            )
+            position += length
+
+    def read_record(self) -> ResourceRecord:
+        name = self.read_name()
+        type_code, klass, ttl = struct.unpack("!HHI", self.read(8))
+        (rdlength,) = struct.unpack("!H", self.read(2))
+        if klass != CLASS_IN:
+            raise DnsError(f"unsupported class {klass}")
+        rtype = _CODE_TYPES.get(type_code)
+        if rtype is None:
+            raise DnsError(f"unsupported type code {type_code}")
+        end = self.position + rdlength
+        rdata = self._read_rdata(rtype, end)
+        if self.position != end:
+            raise DnsError("RDATA length mismatch")
+        return ResourceRecord(name, rtype, rdata, ttl=ttl)
+
+    def _read_rdata(self, rtype: RRType, end: int) -> str:
+        if rtype in (RRType.NS, RRType.CNAME):
+            return self.read_name()
+        if rtype is RRType.A:
+            return str(ipaddress.IPv4Address(self.read(4)))
+        if rtype is RRType.AAAA:
+            return str(ipaddress.IPv6Address(self.read(16)))
+        if rtype is RRType.SOA:
+            mname = self.read_name()
+            rname = self.read_name()
+            numbers = struct.unpack("!IIIII", self.read(20))
+            return f"{mname}. {rname}. " + " ".join(str(n) for n in numbers)
+        if rtype is RRType.TXT:
+            parts = []
+            while self.position < end:
+                length = self.read(1)[0]
+                parts.append(self.read(length).decode("ascii"))
+            return "".join(parts)
+        raise DnsError(f"cannot decode rdata for {rtype}")  # pragma: no cover
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a :class:`Message` to wire format."""
+    flags = 0
+    if message.is_response:
+        flags |= 0x8000
+    if message.authoritative:
+        flags |= 0x0400
+    if message.truncated:
+        flags |= 0x0200
+    if message.recursion_desired:
+        flags |= 0x0100
+    if message.recursion_available:
+        flags |= 0x0080
+    flags |= int(message.rcode) & 0x000F
+    writer = _Writer()
+    writer.buffer += _HEADER.pack(
+        message.message_id,
+        flags,
+        len(message.questions),
+        len(message.answers),
+        len(message.authorities),
+        len(message.additionals),
+    )
+    for question in message.questions:
+        writer.write_name(question.qname)
+        writer.buffer += struct.pack("!HH", _TYPE_CODES[question.qtype], CLASS_IN)
+    for section in (message.answers, message.authorities, message.additionals):
+        for record in section:
+            writer.write_record(record)
+    if len(writer.buffer) > MAX_MESSAGE_SIZE:
+        raise DnsError("message exceeds 64 KiB")
+    return bytes(writer.buffer)
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse wire format back into a :class:`Message`."""
+    reader = _Reader(data)
+    (
+        message_id, flags, qdcount, ancount, nscount, arcount
+    ) = _HEADER.unpack(reader.read(12))
+    message = Message(
+        message_id=message_id,
+        is_response=bool(flags & 0x8000),
+        authoritative=bool(flags & 0x0400),
+        truncated=bool(flags & 0x0200),
+        recursion_desired=bool(flags & 0x0100),
+        recursion_available=bool(flags & 0x0080),
+        rcode=Rcode(flags & 0x000F),
+    )
+    for _ in range(qdcount):
+        qname = reader.read_name()
+        type_code, klass = struct.unpack("!HH", reader.read(4))
+        if klass != CLASS_IN:
+            raise DnsError(f"unsupported class {klass}")
+        rtype = _CODE_TYPES.get(type_code)
+        if rtype is None:
+            raise DnsError(f"unsupported type code {type_code}")
+        message.questions.append(Question(qname, rtype))
+    for _ in range(ancount):
+        message.answers.append(reader.read_record())
+    for _ in range(nscount):
+        message.authorities.append(reader.read_record())
+    for _ in range(arcount):
+        message.additionals.append(reader.read_record())
+    return message

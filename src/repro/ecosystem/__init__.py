@@ -1,0 +1,36 @@
+"""The simulated registration ecosystem.
+
+Builds a whole miniature DNS registration world — registries, registrars,
+hosting companies whose nameservers other domains depend on, registrant
+behaviour, hijacker actors — and runs it over the paper's 2011–2021
+timeline. The world's observable outputs (the zone database and WHOIS
+archive) feed the detection pipeline; its internal ground-truth event log
+is used only for validation, never by the methodology itself.
+"""
+
+from repro.ecosystem.config import (
+    HijackerSpec,
+    RegistrarSpec,
+    ScenarioConfig,
+    default_scenario,
+    small_scenario,
+    tiny_scenario,
+)
+from repro.ecosystem.events import EventLog, HijackRecord, RenameRecord
+from repro.ecosystem.world import World, WorldResult, build_world, run_default_world
+
+__all__ = [
+    "HijackerSpec",
+    "RegistrarSpec",
+    "ScenarioConfig",
+    "default_scenario",
+    "small_scenario",
+    "tiny_scenario",
+    "EventLog",
+    "HijackRecord",
+    "RenameRecord",
+    "World",
+    "WorldResult",
+    "build_world",
+    "run_default_world",
+]

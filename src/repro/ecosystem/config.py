@@ -1,0 +1,397 @@
+"""Scenario configuration: the paper-shaped world, parameterized.
+
+The default scenario reproduces the paper's ecosystem at roughly 1:100
+scale: the same registrar roster with the same renaming-idiom history
+(Tables 1/2/6), hoster-death volumes proportioned to the per-registrar
+sacrificial-nameserver counts, client-per-nameserver ratios matching the
+per-registrar affected-domain ratios, the hijacker actors of Table 4, the
+Namecheap accidental mass deletion, and the September 2020 notification
+with its observed remediation behaviours.
+
+Scaling: entity *counts* scale with the ``scale`` parameter; behavioural
+parameters (delays, probabilities, thresholds) do not, so distribution
+shapes are scale-invariant down to the sizes used in tests.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field, replace
+
+from repro import simtime
+from repro.registrar.idioms import (
+    DeletedDropIdiom,
+    DropThisHostIdiom,
+    Enom123BizIdiom,
+    PleaseDropThisHostIdiom,
+    RenamingIdiom,
+    ReservedLabelIdiom,
+    SinkDomainIdiom,
+    SldRandomSuffixIdiom,
+)
+
+
+@dataclass(frozen=True)
+class RegistrarSpec:
+    """Static description of one registrar in the scenario.
+
+    ``hoster_share`` apportions dying hosting-company domains (whose
+    deletion triggers renames) among registrars; ``client_share``
+    apportions ordinary registrant domains. ``clients_per_hoster`` is the
+    mean of the heavy-tailed number of client domains delegating to a
+    dying hoster's nameservers — this is what drives the very different
+    affected-domains-per-nameserver ratios across registrars in the
+    paper's tables.
+    """
+
+    ident: str
+    display_name: str
+    idiom_schedule: tuple[tuple[_dt.date, RenamingIdiom], ...] = ()
+    hoster_share: float = 0.0
+    client_share: float = 0.0
+    clients_per_hoster: float = 5.0
+    ns_per_hoster: int = 2
+    default_ns_domain: str | None = None
+    remediate_on_notification: bool = False
+    sink_abandonments: tuple[tuple[_dt.date, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class HijackerSpec:
+    """One hijacker actor (paper Table 4).
+
+    ``min_value`` is the minimum number of currently delegated domains a
+    sacrificial registered-domain group must have before this actor will
+    register it; ``interest`` is the probability of acting on a
+    qualifying opportunity; ``speed`` scales the registration delay
+    (higher is faster). ``renew_probs`` are per-anniversary renewal
+    probabilities (the paper's 1-year/2-year non-renewal cliffs).
+    """
+
+    ident: str
+    ns_domain: str
+    active_from: _dt.date
+    active_until: _dt.date
+    min_value: int = 4
+    interest: float = 0.8
+    speed: float = 1.0
+    renew_probs: tuple[float, ...] = (0.45, 0.35, 0.25)
+    monthly_capacity: int = 50
+
+    def ns_hosts(self) -> tuple[str, str]:
+        """The controlling nameserver host names this actor uses."""
+        return (f"ns1.{self.ns_domain}", f"ns2.{self.ns_domain}")
+
+
+@dataclass(frozen=True)
+class NamecheapEventSpec:
+    """The accidental mass deletion of §4 (scaled)."""
+
+    enabled: bool = True
+    day: int = field(default_factory=lambda: simtime.to_day(_dt.date(2016, 7, 12)))
+    ns_domain: str = "registrar-servers.com"
+    sponsor: str = "enom"
+    host_count: int = 12
+    client_count: int = 1600
+    fixed_within_3_days: float = 0.968
+    never_fixed: int = 2
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one simulated world."""
+
+    seed: int = 2021
+    start_day: int = 0
+    end_day: int = field(
+        default_factory=lambda: simtime.to_day(simtime.EXTENDED_END)
+    )
+    study_end_day: int = field(
+        default_factory=lambda: simtime.to_day(simtime.STUDY_END)
+    )
+    notification_day: int = field(
+        default_factory=lambda: simtime.to_day(simtime.NOTIFICATION_DATE)
+    )
+
+    registrars: tuple[RegistrarSpec, ...] = ()
+    hijackers: tuple[HijackerSpec, ...] = ()
+    namecheap: NamecheapEventSpec = field(default_factory=NamecheapEventSpec)
+
+    #: Total dying-hoster count over the timeline (before hoster_share split).
+    hoster_count: int = 1010
+    #: Linear decline of hoster-death intensity: the last month's rate is
+    #: this fraction of the first month's (drives Figure 3's shape).
+    final_rate_fraction: float = 0.18
+    #: Background domains on safe providers (never exposed).
+    safe_domain_count: int = 2500
+    #: Registrant typo nameservers (unresolvable noise, not sacrificial).
+    typo_domain_count: int = 450
+    #: Registry test nameservers (the EMT- pattern, removed by §3.2.2).
+    test_ns_count: int = 290
+    #: Fraction of exposed clients that keep a working alternate NS
+    #: ("partially hijackable", §5.6).
+    partial_exposure_fraction: float = 0.06
+    #: Fraction of clients registered in a different EPP repository than
+    #: their hoster (these become lame, not sacrificial — property 3).
+    cross_repo_client_fraction: float = 0.08
+    #: Post-exposure registrant behaviour mixture (fix fast / slow / never).
+    fix_fast_fraction: float = 0.15
+    fix_slow_fraction: float = 0.33
+    #: MarkMonitor-style brand-protection domains among exposed clients.
+    brand_client_count: int = 20
+    #: The dummyns.com abandonment (sink seized by a hijacker).
+    sink_abandon_enabled: bool = True
+
+    def scaled(self, scale: float) -> "ScenarioConfig":
+        """A copy with all entity counts multiplied by ``scale``."""
+        def s(n: int) -> int:
+            return max(1, round(n * scale))
+
+        return replace(
+            self,
+            hoster_count=s(self.hoster_count),
+            safe_domain_count=s(self.safe_domain_count),
+            typo_domain_count=s(self.typo_domain_count),
+            test_ns_count=s(self.test_ns_count),
+            brand_client_count=s(self.brand_client_count),
+            namecheap=replace(
+                self.namecheap,
+                host_count=max(2, round(self.namecheap.host_count * scale)),
+                client_count=s(self.namecheap.client_count),
+            ),
+        )
+
+
+def _d(year: int, month: int, day: int = 1) -> _dt.date:
+    return _dt.date(year, month, day)
+
+
+def paper_registrars() -> tuple[RegistrarSpec, ...]:
+    """The registrar roster with the paper's idiom history.
+
+    Shares are proportioned to the per-registrar sacrificial-nameserver
+    counts of Tables 1 and 2 (GoDaddy 115K of ~203K total, Enom 60K,
+    Internet.bs 13.7K, ...), and ``clients_per_hoster`` to each
+    registrar's affected-domains/nameserver ratio.
+    """
+    return (
+        RegistrarSpec(
+            ident="godaddy",
+            display_name="GoDaddy",
+            idiom_schedule=(
+                (_d(2005, 1), PleaseDropThisHostIdiom()),
+                (_d(2015, 3), DropThisHostIdiom()),
+                (_d(2020, 10, 20), ReservedLabelIdiom()),
+            ),
+            hoster_share=0.565,
+            client_share=0.40,
+            clients_per_hoster=5.7,
+            default_ns_domain="domaincontrol.com",
+            remediate_on_notification=True,
+        ),
+        RegistrarSpec(
+            ident="enom",
+            display_name="Enom",
+            idiom_schedule=(
+                (_d(2005, 1), Enom123BizIdiom()),
+                (_d(2012, 6), SldRandomSuffixIdiom(rand_length=7)),
+                (_d(2020, 11, 10), SinkDomainIdiom("delete-registration.com")),
+            ),
+            hoster_share=0.30,
+            client_share=0.18,
+            clients_per_hoster=5.7,
+        ),
+        RegistrarSpec(
+            ident="internetbs",
+            display_name="Internet.bs",
+            idiom_schedule=(
+                (_d(2005, 1), SinkDomainIdiom("dummyns.com")),
+                (_d(2015, 6), DeletedDropIdiom()),
+                (_d(2020, 12, 1), SinkDomainIdiom("notaplaceto.be")),
+            ),
+            hoster_share=0.067,
+            client_share=0.04,
+            clients_per_hoster=7.0,
+            sink_abandonments=((_d(2016, 4, 10), "dummyns.com"),),
+        ),
+        RegistrarSpec(
+            ident="netsol",
+            display_name="Network Solutions",
+            idiom_schedule=((_d(2005, 1), SinkDomainIdiom("lamedelegation.org")),),
+            hoster_share=0.029,
+            client_share=0.10,
+            clients_per_hoster=38.0,
+        ),
+        RegistrarSpec(
+            ident="tldrs",
+            display_name="TLD Registrar Solutions",
+            idiom_schedule=((_d(2005, 1), SinkDomainIdiom("nsholdfix.com")),),
+            hoster_share=0.0175,
+            client_share=0.03,
+            clients_per_hoster=1.9,
+        ),
+        RegistrarSpec(
+            ident="gmo",
+            display_name="GMO Internet",
+            idiom_schedule=((_d(2005, 1), SinkDomainIdiom("delete-host.com")),),
+            hoster_share=0.006,
+            client_share=0.05,
+            clients_per_hoster=67.0,
+        ),
+        RegistrarSpec(
+            ident="xinnet",
+            display_name="Xin Net Technology Corp.",
+            idiom_schedule=((_d(2005, 1), SinkDomainIdiom("deletedns.com")),),
+            hoster_share=0.0027,
+            client_share=0.04,
+            clients_per_hoster=110.0,
+        ),
+        RegistrarSpec(
+            ident="srsplus",
+            display_name="SRSPlus",
+            idiom_schedule=(
+                (_d(2005, 1), SinkDomainIdiom("lamedelegationservers.com")),
+            ),
+            hoster_share=0.0022,
+            client_share=0.02,
+            clients_per_hoster=9.0,
+        ),
+        RegistrarSpec(
+            ident="domainpeople",
+            display_name="DomainPeople",
+            idiom_schedule=((_d(2005, 1), SldRandomSuffixIdiom(rand_length=5)),),
+            hoster_share=0.0032,
+            client_share=0.02,
+            clients_per_hoster=10.0,
+        ),
+        RegistrarSpec(
+            ident="fabulous",
+            display_name="Fabulous.com",
+            idiom_schedule=((_d(2005, 1), SldRandomSuffixIdiom(rand_length=6)),),
+            hoster_share=0.0017,
+            client_share=0.01,
+            clients_per_hoster=7.3,
+        ),
+        RegistrarSpec(
+            ident="registercom",
+            display_name="Register.com",
+            idiom_schedule=((_d(2005, 1), SldRandomSuffixIdiom(rand_length=8)),),
+            hoster_share=0.0019,
+            client_share=0.01,
+            clients_per_hoster=8.0,
+        ),
+        RegistrarSpec(
+            ident="markmonitor",
+            display_name="MarkMonitor",
+            idiom_schedule=((_d(2005, 1), SinkDomainIdiom("mmon-hold.com")),),
+            hoster_share=0.0,
+            client_share=0.0,  # brand clients are allocated explicitly
+            remediate_on_notification=True,
+        ),
+        RegistrarSpec(
+            ident="namecheap",
+            display_name="Namecheap",
+            idiom_schedule=((_d(2005, 1), SldRandomSuffixIdiom(rand_length=6)),),
+            hoster_share=0.0,
+            client_share=0.05,
+            default_ns_domain="registrar-servers.com",
+        ),
+        RegistrarSpec(
+            ident="bulkreg",
+            display_name="Bulk Registration Inc.",
+            idiom_schedule=((_d(2005, 1), SldRandomSuffixIdiom(rand_length=6)),),
+            hoster_share=0.0,
+            client_share=0.05,
+        ),
+    )
+
+
+def paper_hijackers() -> tuple[HijackerSpec, ...]:
+    """The hijacker actors of Table 4, plus a small opportunist tail."""
+    return (
+        HijackerSpec(
+            ident="mpower",
+            ns_domain="mpower.nl",
+            active_from=_d(2011, 6),
+            active_until=_d(2020, 9),
+            min_value=12,
+            interest=0.36,
+            speed=1.6,
+            renew_probs=(0.55, 0.40, 0.30),
+            monthly_capacity=4,
+        ),
+        HijackerSpec(
+            ident="protectdelegation",
+            ns_domain="protectdelegation.com",
+            active_from=_d(2013, 2),
+            active_until=_d(2021, 2),
+            min_value=12,
+            interest=0.30,
+            speed=1.4,
+            renew_probs=(0.50, 0.35, 0.25),
+            monthly_capacity=3,
+        ),
+        HijackerSpec(
+            ident="yandex-bulk",
+            ns_domain="yandex.net",
+            active_from=_d(2012, 1),
+            active_until=_d(2019, 6),
+            min_value=10,
+            interest=0.27,
+            speed=1.2,
+            renew_probs=(0.50, 0.30, 0.20),
+            monthly_capacity=3,
+        ),
+        HijackerSpec(
+            ident="phonesearch",
+            ns_domain="phonesear.ch",
+            active_from=_d(2017, 3),
+            active_until=_d(2020, 9),
+            min_value=22,
+            interest=0.62,
+            speed=2.0,
+            renew_probs=(0.65, 0.45, 0.35),
+            monthly_capacity=2,
+        ),
+        HijackerSpec(
+            ident="dnspanel",
+            ns_domain="dnspanel.com",
+            active_from=_d(2014, 5),
+            active_until=_d(2020, 6),
+            min_value=20,
+            interest=0.50,
+            speed=1.5,
+            renew_probs=(0.55, 0.40, 0.30),
+            monthly_capacity=2,
+        ),
+        HijackerSpec(
+            ident="opportunist",
+            ns_domain="parkingpad.net",
+            active_from=_d(2011, 4),
+            active_until=_d(2021, 9),
+            min_value=1,
+            interest=0.015,
+            speed=0.5,
+            renew_probs=(0.30, 0.20, 0.10),
+            monthly_capacity=2,
+        ),
+    )
+
+
+def default_scenario(seed: int = 2021) -> ScenarioConfig:
+    """The canonical ~1:100-scale paper reproduction scenario."""
+    return ScenarioConfig(
+        seed=seed,
+        registrars=paper_registrars(),
+        hijackers=paper_hijackers(),
+    )
+
+
+def small_scenario(seed: int = 2021) -> ScenarioConfig:
+    """A quarter-scale world for integration tests and quick demos."""
+    return default_scenario(seed).scaled(0.25)
+
+
+def tiny_scenario(seed: int = 2021) -> ScenarioConfig:
+    """A minimal world (~1:10 of default) for fast unit/property tests."""
+    return default_scenario(seed).scaled(0.1)

@@ -1,0 +1,141 @@
+"""Simulation events, the event queue, and the ground-truth log.
+
+The world is event-driven: everything that happens on the timeline is an
+:class:`Event` popped from the :class:`EventQueue` in (day, sequence)
+order. The :class:`EventLog` accumulates ground-truth records of what the
+simulation *actually did* (renames performed, hijack registrations, fixes)
+— used to validate the detection pipeline, never consumed by it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled simulation action.
+
+    ``kind`` selects the handler in the world; ``payload`` carries the
+    handler-specific data (entity references, names, parameters).
+    """
+
+    day: int
+    kind: str
+    payload: dict[str, Any]
+
+
+class EventQueue:
+    """A day-ordered queue with stable FIFO ordering within a day."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, event: Event) -> None:
+        """Schedule an event."""
+        heapq.heappush(self._heap, (event.day, next(self._counter), event))
+
+    def push_new(self, day: int, kind: str, **payload: Any) -> None:
+        """Construct and schedule an event in one call."""
+        self.push(Event(day=day, kind=kind, payload=payload))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)[2]
+
+    def peek_day(self) -> int | None:
+        """The day of the earliest pending event, or None if empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# -- ground-truth records ----------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class RenameRecord:
+    """Ground truth: one sacrificial rename performed by a registrar."""
+
+    day: int
+    old_name: str
+    new_name: str
+    registrar: str
+    repository: str
+    idiom_id: str
+    hijackable: bool
+    linked_domains: tuple[str, ...]
+    accidental: bool = False
+    remediation: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class HijackRecord:
+    """Ground truth: a hijacker registered a sacrificial domain."""
+
+    day: int
+    domain: str
+    hijacker: str
+    nameservers: tuple[str, ...]
+    value_at_registration: int
+
+
+@dataclass(frozen=True, slots=True)
+class FixRecord:
+    """Ground truth: a domain's delegation was repaired."""
+
+    day: int
+    domain: str
+    removed: tuple[str, ...]
+    added: tuple[str, ...]
+    reason: str  # "organic", "notification", "markmonitor", "namecheap"
+
+
+@dataclass(frozen=True, slots=True)
+class SinkEventRecord:
+    """Ground truth: a sink domain was provisioned, abandoned, or seized."""
+
+    day: int
+    domain: str
+    registrar: str
+    action: str  # "registered", "abandoned", "seized"
+
+
+@dataclass
+class EventLog:
+    """The accumulated ground truth of one simulation run."""
+
+    renames: list[RenameRecord] = field(default_factory=list)
+    hijacks: list[HijackRecord] = field(default_factory=list)
+    fixes: list[FixRecord] = field(default_factory=list)
+    sink_events: list[SinkEventRecord] = field(default_factory=list)
+
+    def renames_by_new_name(self) -> dict[str, RenameRecord]:
+        """Index renames by the sacrificial name they created."""
+        return {record.new_name: record for record in self.renames}
+
+    def hijacks_by_domain(self) -> dict[str, HijackRecord]:
+        """Index hijack registrations by the domain registered."""
+        return {record.domain: record for record in self.hijacks}
+
+    def renames_in(self, start_day: int, end_day: int) -> list[RenameRecord]:
+        """Renames with ``start_day <= day < end_day``."""
+        return [r for r in self.renames if start_day <= r.day < end_day]
+
+    def summary(self) -> dict[str, int]:
+        """Headline counts, for quick inspection."""
+        return {
+            "renames": len(self.renames),
+            "hijackable_renames": sum(1 for r in self.renames if r.hijackable),
+            "hijacks": len(self.hijacks),
+            "fixes": len(self.fixes),
+            "sink_events": len(self.sink_events),
+        }

@@ -1,0 +1,98 @@
+"""Hijacker actors: monitoring, selection, registration, and renewal.
+
+Hijackers in the paper's data behave like return-on-investment-driven
+monitors: they watch for newly created sacrificial nameserver names,
+preferentially register the ones many domains delegate to, move within
+days for high-value targets, and stop renewing registrations that are no
+longer worth the fee (the 1-year/2-year cliffs of Figure 7).
+
+:class:`HijackerActor` implements that policy. The world calls
+:meth:`consider` when a new hijackable sacrificial group appears and
+:meth:`decide_renewal` on registration anniversaries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro import simtime
+from repro.ecosystem.config import HijackerSpec
+
+
+class HijackerActor:
+    """One hijacker's decision process (stateful: capacity per month)."""
+
+    def __init__(self, spec: HijackerSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.active_from = simtime.to_day(spec.active_from)
+        self.active_until = simtime.to_day(spec.active_until)
+        self._monthly_registrations: dict[int, int] = {}
+        self.registered_domains: set[str] = set()
+
+    @property
+    def ident(self) -> str:
+        """The actor's identifier."""
+        return self.spec.ident
+
+    def is_active(self, day: int) -> bool:
+        """True if the actor is monitoring on ``day``."""
+        return self.active_from <= day < self.active_until
+
+    def consider(self, day: int, value: int) -> int | None:
+        """Decide whether to go after a new opportunity.
+
+        ``value`` is the number of domains currently delegated to the
+        sacrificial group. Returns the planned registration delay in days,
+        or ``None`` to pass. Capacity is only *checked* here; it is
+        consumed when the registration actually succeeds.
+        """
+        if not self.is_active(day) or value < self.spec.min_value:
+            return None
+        # Interest grows with value above the threshold: big groups are
+        # near-certain registrations, marginal ones are coin flips.
+        excess = value / max(1, self.spec.min_value)
+        probability = min(0.70, self.spec.interest * (0.40 + 0.25 * math.log2(excess + 1.0)))
+        if self.rng.random() > probability:
+            return None
+        return self.registration_delay(value)
+
+    def registration_delay(self, value: int) -> int:
+        """Sample days-until-registration, faster for higher value.
+
+        Produces the Figure 6 shape: half of high-value targets within
+        about a week, a long tail of weeks-to-months for marginal ones.
+        """
+        mu = math.log(150.0) - 0.3 * math.log(max(1.0, value)) - math.log(self.spec.speed)
+        delay = int(self.rng.lognormvariate(mu, 1.6))
+        return max(1, min(delay, 500))
+
+    def has_capacity(self, day: int) -> bool:
+        """True if this month's registration budget is not exhausted."""
+        month = simtime.month_index(day)
+        return self._monthly_registrations.get(month, 0) < self.spec.monthly_capacity
+
+    def record_registration(self, day: int, domain: str) -> None:
+        """Consume capacity and remember the acquisition."""
+        month = simtime.month_index(day)
+        self._monthly_registrations[month] = (
+            self._monthly_registrations.get(month, 0) + 1
+        )
+        self.registered_domains.add(domain)
+
+    def decide_renewal(self, anniversary: int, current_value: int) -> bool:
+        """Renew the registration for another year?
+
+        ``anniversary`` is 1 for the first renewal decision. A dead asset
+        (no domains still delegating) is almost never renewed; otherwise
+        the per-anniversary probabilities from the spec apply.
+        """
+        if current_value <= 0:
+            return self.rng.random() < 0.05
+        probs = self.spec.renew_probs
+        probability = probs[min(anniversary - 1, len(probs) - 1)]
+        return self.rng.random() < probability
+
+    def __repr__(self) -> str:
+        return f"HijackerActor({self.ident!r}, ns={self.spec.ns_domain!r})"

@@ -1,0 +1,97 @@
+"""Plan-to-schedule translation: fill the event queue from a Plan.
+
+Separating scheduling from execution keeps the world engine a pure event
+interpreter and makes the schedule unit-testable: given a plan, the set
+of queued events is a deterministic function of it.
+"""
+
+from __future__ import annotations
+
+from repro import simtime
+from repro.ecosystem.config import ScenarioConfig
+from repro.ecosystem.events import EventQueue
+from repro.ecosystem.population import GRACE_POLICY, Plan
+
+
+def schedule_plan(queue: EventQueue, plan: Plan, config: ScenarioConfig) -> None:
+    """Queue every planned entity's lifecycle events."""
+    for hoster in plan.hosters:
+        queue.push_new(hoster.birth_day, "hoster_birth", hoster=hoster)
+        # The registration expires at death_day and then walks the
+        # registry grace pipeline: suspended (out of the zone) at the
+        # redemption phase, purged — triggering the rename machinery —
+        # at the end of pending-delete.
+        starts = GRACE_POLICY.phase_starts(hoster.death_day)
+        from repro.epp.expiry import ExpiryPhase
+        suspend = starts[ExpiryPhase.REDEMPTION]
+        purge = starts[ExpiryPhase.PURGED]
+        if suspend < config.end_day:
+            queue.push_new(suspend, "hoster_suspend", hoster=hoster)
+        if purge < config.end_day:
+            queue.push_new(purge, "hoster_purge", hoster=hoster)
+        for client in hoster.clients:
+            queue.push_new(client.birth_day, "client_birth", client=client)
+            if client.transfer_day is not None and client.transfer_day < config.end_day:
+                queue.push_new(client.transfer_day, "client_transfer", client=client)
+            if client.fix_day is not None and client.fix_day < config.end_day:
+                queue.push_new(client.fix_day, "client_fix", client=client)
+            if client.expiry_day is not None and client.expiry_day < config.end_day:
+                queue.push_new(client.expiry_day, "client_expire", client=client)
+
+    for safe in plan.safe_domains:
+        queue.push_new(safe.birth_day, "safe_birth", safe=safe)
+
+    for typo in plan.typo_domains:
+        queue.push_new(typo.birth_day, "typo_birth", typo=typo)
+        if typo.fix_day is not None and typo.fix_day < config.end_day:
+            queue.push_new(typo.fix_day, "typo_fix", typo=typo)
+
+    for test in plan.test_ns:
+        queue.push_new(test.start_day, "test_start", test=test)
+        queue.push_new(test.end_day, "test_end", test=test)
+
+    if plan.namecheap is not None:
+        nc = plan.namecheap
+        queue.push_new(config.start_day, "namecheap_setup", plan=nc)
+        for client in nc.clients:
+            queue.push_new(client.birth_day, "client_birth", client=client)
+        queue.push_new(nc.day, "namecheap_delete", plan=nc)
+        queue.push_new(nc.day + 1, "namecheap_recover", plan=nc)
+        for client in nc.clients:
+            if client.fix_day is not None and client.fix_day < config.end_day:
+                queue.push_new(
+                    client.fix_day, "client_fix", client=client, reason="namecheap"
+                )
+
+
+def schedule_registrar_policy(queue: EventQueue, config: ScenarioConfig) -> None:
+    """Queue idiom adoptions, sink provisioning, and abandonments."""
+    for spec in config.registrars:
+        for effective_date, _idiom in spec.idiom_schedule:
+            day = max(config.start_day, simtime.to_day(effective_date))
+            queue.push_new(day, "provision_sinks", registrar=spec.ident)
+        if config.sink_abandon_enabled:
+            for abandon_date, sink in spec.sink_abandonments:
+                day = simtime.to_day(abandon_date)
+                queue.push_new(day, "sink_abandon", registrar=spec.ident, sink=sink)
+
+
+def schedule_remediation(queue: EventQueue, config: ScenarioConfig) -> None:
+    """Queue the post-notification remediation campaigns (§7)."""
+    base = config.notification_day
+    remediators = [
+        spec for spec in config.registrars if spec.remediate_on_notification
+    ]
+    for spec in remediators:
+        if spec.ident == "markmonitor":
+            queue.push_new(base + 55, "markmonitor_remediation", registrar=spec.ident)
+        else:
+            # Spread the re-rename sweep over several weekly batches.
+            for batch in range(8):
+                queue.push_new(
+                    base + 25 + batch * 7,
+                    "registrar_remediation",
+                    registrar=spec.ident,
+                    batch=batch,
+                    batches=8,
+                )

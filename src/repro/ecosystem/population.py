@@ -1,0 +1,606 @@
+"""Synthetic population planning: who exists, and what happens when.
+
+Builds the full cast of the simulated world before execution: hosting
+companies whose domains will die while other registrants still delegate
+to their nameservers (the raw material for sacrificial renames), those
+client registrants and their post-exposure behaviour, background domains
+on safe nameserver providers, typo-delegation noise, registry test
+nameservers, and the Namecheap accident. Everything is sampled from a
+single seeded RNG so a scenario is perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+import datetime as _dt
+
+from repro.ecosystem.config import ScenarioConfig
+from repro.epp.expiry import ExpiryPolicy
+from repro.simtime import DAYS_PER_YEAR, to_day
+
+#: Days from registration expiry to registry purge (auto-renew grace +
+#: redemption + pending delete). The rename — and therefore the exposure —
+#: happens at purge, not at expiry.
+GRACE_POLICY = ExpiryPolicy()
+PURGE_DELAY = (
+    GRACE_POLICY.auto_renew_days
+    + GRACE_POLICY.redemption_days
+    + GRACE_POLICY.pending_delete_days
+)
+
+# TLD mixes. Hosters avoid .biz/.us (renaming into .biz from the Neustar
+# repository would be an internal rename) and restricted TLDs.
+_HOSTER_TLDS = (("com", 0.66), ("net", 0.16), ("org", 0.13), ("info", 0.05))
+_REPO_TLDS = {
+    "sim-verisign": (("com", 0.80), ("net", 0.14), ("edu", 0.04), ("gov", 0.02)),
+    "sim-afilias": (("org", 0.75), ("info", 0.25)),
+    "sim-neustar": (("biz", 0.70), ("us", 0.30)),
+}
+_TLD_REPO = {
+    "com": "sim-verisign", "net": "sim-verisign",
+    "edu": "sim-verisign", "gov": "sim-verisign",
+    "org": "sim-afilias", "info": "sim-afilias",
+    "biz": "sim-neustar", "us": "sim-neustar",
+}
+
+_SYLLABLES = (
+    "ba be bi bo bu ca ce ci co cu da de di do du fa fe fi fo fu ga ge gi go "
+    "gu ha he hi ho hu ja jo ka ke ki ko ku la le li lo lu ma me mi mo mu na "
+    "ne ni no nu pa pe pi po pu ra re ri ro ru sa se si so su ta te ti to tu "
+    "va ve vi vo vu wa we wi wo za ze zi zo zu"
+).split()
+
+_SUFFIXES = (
+    "host", "web", "net", "dns", "serve", "media", "tech", "data", "cloud",
+    "link", "site", "zone", "works", "labs", "group", "line", "press", "mart",
+    "trade", "shop", "farm", "care", "law", "med", "city", "county", "church",
+)
+
+SAFE_PROVIDERS = (
+    ("domaincontrol.com", "godaddy"),
+    ("worldnic.net", "netsol"),
+    ("name-services.com", "enom"),
+    ("cloudfloordns.net", "bulkreg"),
+)
+
+
+class NameForge:
+    """Deterministic unique label generator."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set[str] = set()
+
+    def label(self, *, syllables: int = 3, suffix_prob: float = 0.4) -> str:
+        """A fresh pronounceable label, unique across this forge."""
+        for _ in range(100):
+            parts = [self._rng.choice(_SYLLABLES) for _ in range(syllables)]
+            name = "".join(parts)
+            if self._rng.random() < suffix_prob:
+                name += self._rng.choice(_SUFFIXES)
+            if name not in self._used:
+                self._used.add(name)
+                return name
+        # Fall back to an explicit counter; practically unreachable.
+        name = f"gen{len(self._used)}"
+        self._used.add(name)
+        return name
+
+
+def _weighted(rng: random.Random, table: tuple[tuple[str, float], ...]) -> str:
+    roll = rng.random() * sum(weight for _, weight in table)
+    acc = 0.0
+    for value, weight in table:
+        acc += weight
+        if roll < acc:
+            return value
+    return table[-1][0]
+
+
+# -- planned entities -----------------------------------------------------
+
+
+@dataclass
+class ClientPlan:
+    """One registrant domain that delegates to a dying hoster."""
+
+    domain: str
+    registrar: str
+    birth_day: int
+    ns_refs: tuple[str, ...]
+    partial: bool = False
+    cross_repo: bool = False
+    brand: bool = False
+    fix_day: int | None = None
+    expiry_day: int | None = None
+    #: Inter-registrar transfer (day, gaining registrar), if any.
+    transfer_day: int | None = None
+    transfer_to: str | None = None
+
+
+@dataclass
+class HosterPlan:
+    """One hosting company whose domain dies with linked nameservers."""
+
+    domain: str
+    registrar: str
+    birth_day: int
+    death_day: int
+    ns_hosts: tuple[str, ...]
+    clients: list[ClientPlan] = field(default_factory=list)
+
+
+@dataclass
+class SafeDomainPlan:
+    """Background domain on an always-working provider."""
+
+    domain: str
+    registrar: str
+    birth_day: int
+    ns_refs: tuple[str, ...]
+
+
+@dataclass
+class TypoDomainPlan:
+    """A domain whose owner mistyped a nameserver at registration."""
+
+    domain: str
+    registrar: str
+    birth_day: int
+    typo_ns: tuple[str, ...]
+    good_ns: tuple[str, ...]
+    fix_day: int | None
+
+
+@dataclass
+class TestNsPlan:
+    """A registry test delegation (the EMT- pattern of §3.2.2)."""
+
+    domain: str
+    registry_operator: str
+    ns_names: tuple[str, ...]
+    start_day: int
+    end_day: int
+
+
+@dataclass
+class NamecheapPlan:
+    """The scaled accidental mass-deletion event of §4."""
+
+    day: int
+    ns_domain: str
+    sponsor: str
+    host_names: tuple[str, ...]
+    clients: list[ClientPlan] = field(default_factory=list)
+
+
+@dataclass
+class Plan:
+    """The complete cast and schedule for one world."""
+
+    hosters: list[HosterPlan] = field(default_factory=list)
+    safe_domains: list[SafeDomainPlan] = field(default_factory=list)
+    typo_domains: list[TypoDomainPlan] = field(default_factory=list)
+    test_ns: list[TestNsPlan] = field(default_factory=list)
+    namecheap: NamecheapPlan | None = None
+
+    def client_count(self) -> int:
+        """Total planned hoster clients (excluding the Namecheap event)."""
+        return sum(len(h.clients) for h in self.hosters)
+
+
+# -- planner ----------------------------------------------------------------
+
+
+class PopulationPlanner:
+    """Samples a :class:`Plan` from a :class:`ScenarioConfig`."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.forge = NameForge(random.Random(config.seed + 1))
+        self._client_registrars = tuple(
+            (spec.ident, spec.client_share)
+            for spec in config.registrars
+            if spec.client_share > 0
+        )
+
+    def build(self) -> Plan:
+        """Generate the full plan."""
+        plan = Plan()
+        plan.hosters = self._plan_hosters()
+        plan.safe_domains = self._plan_safe_domains()
+        plan.safe_domains.extend(self._plan_collision_twins(plan.hosters))
+        plan.typo_domains = self._plan_typo_domains()
+        plan.test_ns = self._plan_test_ns()
+        if self.config.namecheap.enabled:
+            plan.namecheap = self._plan_namecheap()
+        self._assign_brand_clients(plan)
+        return plan
+
+    # -- hosters and their clients ------------------------------------------
+
+    def _death_day(self) -> int:
+        """Sample a hoster death day with linearly declining intensity.
+
+        The decline (start rate -> ``final_rate_fraction`` of it by the
+        study end) is what produces Figure 3's downward trend. A small
+        constant tail continues past the notification so the new
+        (post-remediation) idioms get exercised for Table 6.
+        """
+        cfg = self.config
+        span = cfg.study_end_day - cfg.start_day
+        f = cfg.final_rate_fraction
+        # ~8% of deaths land after the study end (the Table 6 tail).
+        if self.rng.random() < 0.08:
+            return self.rng.randrange(cfg.study_end_day, cfg.end_day)
+        # Inverse-CDF sample of a linearly declining density on [0, span).
+        u = self.rng.random()
+        if abs(1.0 - f) < 1e-9:
+            x = u
+        else:
+            # Density p(x) ~ 1 - (1-f)x on [0,1]. With a = (1-f)/2 the CDF
+            # is (x - a*x^2) / (1 - a); inverting gives the quadratic root:
+            a = (1.0 - f) / 2.0
+            x = (1.0 - math.sqrt(max(0.0, 1.0 - 4.0 * a * u * (1.0 - a)))) / (2.0 * a)
+            x = min(max(x, 0.0), 1.0)
+        # Leave room for a pre-death life: never die in the first weeks.
+        return max(cfg.start_day + 45, cfg.start_day + int(x * span))
+
+    def _plan_hosters(self) -> list[HosterPlan]:
+        cfg = self.config
+        hoster_table = tuple(
+            (spec.ident, spec.hoster_share)
+            for spec in cfg.registrars
+            if spec.hoster_share > 0
+        )
+        spec_by_ident = {spec.ident: spec for spec in cfg.registrars}
+        hosters = []
+        for _ in range(cfg.hoster_count):
+            registrar = _weighted(self.rng, hoster_table)
+            spec = spec_by_ident[registrar]
+            tld = _weighted(self.rng, _HOSTER_TLDS)
+            label = self.forge.label()
+            domain = f"{label}.{tld}"
+            death = self._death_day()
+            lifetime = self.rng.randrange(420, 3200)
+            birth = max(cfg.start_day, death - lifetime)
+            ns_count = spec.ns_per_hoster
+            if self.rng.random() < 0.2:
+                ns_count = max(1, ns_count + self.rng.choice((-1, 1)))
+            ns_hosts = tuple(f"ns{i + 1}.{domain}" for i in range(ns_count))
+            hoster = HosterPlan(
+                domain=domain,
+                registrar=registrar,
+                birth_day=birth,
+                death_day=death,
+                ns_hosts=ns_hosts,
+            )
+            hoster.clients = self._plan_clients(hoster, spec.clients_per_hoster)
+            hosters.append(hoster)
+        return hosters
+
+    def _sample_client_count(self, mean: float) -> int:
+        """Heavy-tailed client count with the given mean.
+
+        Most dying hosters have only a couple of clients still delegating
+        to them, but a small fraction carry dozens-to-hundreds — the
+        skew behind the paper's headline disparity (hijackers register 5%
+        of nameservers yet capture 32% of exposed domains) and the top
+        end of Figure 5. Modeled as a small-count body plus an
+        exponential burst component whose mean absorbs the rest.
+        """
+        if mean <= 1.2:
+            return max(0, int(self.rng.random() < mean))
+        body_mean = 1.62
+        # Registrars whose dying hosters carry very many client domains
+        # (the paper's Network Solutions / GMO / Xin Net ratios) burst
+        # often and heavily; the classic web-hoster profile bursts less
+        # often, with lognormal burst sizes so the domain mass is not
+        # entirely concentrated in a handful of mega-nameservers (the
+        # paper's hijacked/hijackable ratio depends on this balance).
+        burst_fraction = 0.45 if mean > 10 else 0.12
+        burst_mean = max(
+            2.0, (mean - body_mean * (1 - burst_fraction)) / burst_fraction
+        )
+        burst_cap = min(900, max(30, int(mean * 60)))
+        if self.rng.random() < burst_fraction:
+            if mean > 10:
+                size = 2 + int(self.rng.expovariate(1.0 / burst_mean))
+            else:
+                size = 2 + int(self.rng.lognormvariate(math.log(burst_mean / 1.5), 0.9))
+            return min(burst_cap, size)
+        roll = self.rng.random()
+        if roll < 0.06:
+            return 0
+        if roll < 0.56:
+            return 1
+        if roll < 0.82:
+            return 2
+        if roll < 0.94:
+            return 3
+        return 4
+
+    def _client_tld(self, hoster_tld: str, cross_repo: bool) -> str:
+        home_repo = _TLD_REPO[hoster_tld]
+        if cross_repo:
+            others = [op for op in _REPO_TLDS if op != home_repo]
+            repo = self.rng.choice(others)
+        else:
+            repo = home_repo
+        return _weighted(self.rng, _REPO_TLDS[repo])
+
+    def _fix_behaviour(self, death_day: int, partial: bool) -> tuple[int | None, int | None]:
+        """Sample (fix_day, expiry_day) for an exposed client.
+
+        ``death_day`` here is the hoster's registration expiry; the
+        client's exposure starts at the *purge* (expiry + grace), so all
+        reactive behaviour is measured from there.
+        """
+        death_day = death_day + PURGE_DELAY
+        cfg = self.config
+        roll = self.rng.random()
+        if partial:
+            # Owners with a working alternate nameserver rarely notice the
+            # exposure — but their registrations still lapse eventually
+            # (slower than the moribund fully-exposed population).
+            if roll < 0.15:
+                fix = death_day + self.rng.randrange(30, 700)
+                return fix, None
+            years = 1
+            while self.rng.random() < 0.45 and years < 8:
+                years += 1
+            expiry = death_day + self.rng.randrange(30, DAYS_PER_YEAR) \
+                + (years - 1) * DAYS_PER_YEAR
+            return None, expiry
+        if roll < cfg.fix_fast_fraction:
+            return death_day + self.rng.randrange(1, 8), None
+        if roll < cfg.fix_fast_fraction + cfg.fix_slow_fraction:
+            delay = int(self.rng.lognormvariate(math.log(70), 0.9))
+            return death_day + max(8, min(delay, 1200)), None
+        # Abandoned: never fixed; the registration lapses at an upcoming
+        # anniversary (with a chance of one or two absent-minded renewals).
+        years = 1
+        while self.rng.random() < 0.30 and years < 6:
+            years += 1
+        expiry = death_day + self.rng.randrange(20, DAYS_PER_YEAR) \
+            + (years - 1) * DAYS_PER_YEAR
+        return None, expiry
+
+    def _plan_clients(self, hoster: HosterPlan, mean_clients: float) -> list[ClientPlan]:
+        cfg = self.config
+        count = self._sample_client_count(mean_clients)
+        clients = []
+        hoster_tld = hoster.domain.rsplit(".", 1)[1]
+        for _ in range(count):
+            cross_repo = self.rng.random() < cfg.cross_repo_client_fraction
+            partial = (not cross_repo) and self.rng.random() < cfg.partial_exposure_fraction
+            tld = self._client_tld(hoster_tld, cross_repo)
+            domain = f"{self.forge.label()}.{tld}"
+            if tld in ("edu", "gov"):
+                registrar = "sim-verisign"
+            else:
+                registrar = _weighted(self.rng, self._client_registrars)
+            birth_low = hoster.birth_day
+            birth_high = max(birth_low + 1, hoster.death_day - 30)
+            birth = self.rng.randrange(birth_low, birth_high)
+            if len(hoster.ns_hosts) == 1 or self.rng.random() < 0.25:
+                ns_refs: tuple[str, ...] = (hoster.ns_hosts[0],)
+            else:
+                ns_refs = hoster.ns_hosts
+            if partial:
+                provider, _owner = self.rng.choice(SAFE_PROVIDERS)
+                ns_refs = ns_refs + (f"ns1.{provider}",)
+            fix_day, expiry_day = self._fix_behaviour(hoster.death_day, partial)
+            transfer_day: int | None = None
+            transfer_to: str | None = None
+            if registrar != "sim-verisign" and self.rng.random() < 0.03:
+                # A slice of registrants move registrars mid-life, so the
+                # "current registrar" at remediation time differs from the
+                # original sponsor (matters for §7.1's GoDaddy action).
+                horizon = expiry_day if expiry_day is not None else hoster.death_day + 600
+                if horizon - birth > 120:
+                    transfer_day = self.rng.randrange(birth + 60, horizon - 30)
+                    others = [
+                        ident for ident, _w in self._client_registrars
+                        if ident != registrar
+                    ]
+                    transfer_to = self.rng.choice(others)
+            clients.append(
+                ClientPlan(
+                    domain=domain,
+                    registrar=registrar,
+                    birth_day=birth,
+                    ns_refs=ns_refs,
+                    partial=partial,
+                    cross_repo=cross_repo,
+                    fix_day=fix_day,
+                    expiry_day=expiry_day,
+                    transfer_day=transfer_day,
+                    transfer_to=transfer_to,
+                )
+            )
+        return clients
+
+    # -- background population ------------------------------------------------
+
+    def _plan_safe_domains(self) -> list[SafeDomainPlan]:
+        cfg = self.config
+        plans = []
+        for _ in range(cfg.safe_domain_count):
+            provider, _owner = self.rng.choice(SAFE_PROVIDERS)
+            tld = _weighted(
+                self.rng,
+                (("com", 0.6), ("net", 0.12), ("org", 0.14),
+                 ("info", 0.05), ("biz", 0.05), ("us", 0.04)),
+            )
+            domain = f"{self.forge.label()}.{tld}"
+            registrar = _weighted(self.rng, self._client_registrars)
+            birth = self.rng.randrange(cfg.start_day, cfg.study_end_day)
+            ns_refs = (f"ns1.{provider}", f"ns2.{provider}")
+            plans.append(SafeDomainPlan(domain, registrar, birth, ns_refs))
+        return plans
+
+    def _plan_collision_twins(
+        self, hosters: list[HosterPlan]
+    ) -> list[SafeDomainPlan]:
+        """Pre-registered ``{sld}.biz`` twins of some GoDaddy hosters.
+
+        The PLEASEDROPTHISHOST idiom keeps the original second-level name
+        verbatim, so when ``{sld}.biz`` happens to be registered already
+        the sacrificial name lands on an existing domain (the paper
+        counts 3,704 such accidents). These twins make that collision
+        happen in the simulation.
+        """
+        switch_day = to_day(_dt.date(2015, 3, 1))
+        twins = []
+        for hoster in hosters:
+            if hoster.registrar != "godaddy" or hoster.death_day >= switch_day:
+                continue
+            if self.rng.random() >= 0.06:
+                continue
+            label = hoster.domain.rsplit(".", 1)[0]
+            provider, _owner = self.rng.choice(SAFE_PROVIDERS)
+            birth = max(0, hoster.death_day - self.rng.randrange(60, 900))
+            twins.append(
+                SafeDomainPlan(
+                    domain=f"{label}.biz",
+                    registrar=_weighted(self.rng, self._client_registrars),
+                    birth_day=birth,
+                    ns_refs=(f"ns1.{provider}", f"ns2.{provider}"),
+                )
+            )
+        return twins
+
+    def _plan_typo_domains(self) -> list[TypoDomainPlan]:
+        cfg = self.config
+        plans = []
+        shared_typos: list[str] = []
+        for index in range(cfg.typo_domain_count):
+            provider, _owner = self.rng.choice(SAFE_PROVIDERS)
+            label, ptld = provider.rsplit(".", 1)
+            # Mangle the provider name: transposition or dropped letter.
+            if len(label) > 4 and self.rng.random() < 0.5:
+                pos = self.rng.randrange(len(label) - 1)
+                mangled = label[:pos] + label[pos + 1] + label[pos] + label[pos + 2:]
+            else:
+                pos = self.rng.randrange(len(label))
+                mangled = label[:pos] + label[pos + 1:]
+            typo = f"ns1.{mangled}{self.rng.randrange(10)}.{ptld}"
+            # A slice of typo nameservers is shared by domains in different
+            # repositories — single-repository-property violations the
+            # pipeline must eliminate (the paper drops 11,403 this way).
+            if shared_typos and self.rng.random() < 0.18:
+                typo = self.rng.choice(shared_typos)
+            elif self.rng.random() < 0.25:
+                shared_typos.append(typo)
+            tld = _weighted(
+                self.rng,
+                (("com", 0.45), ("net", 0.1), ("org", 0.2),
+                 ("info", 0.1), ("biz", 0.1), ("us", 0.05)),
+            )
+            domain = f"{self.forge.label()}.{tld}"
+            registrar = _weighted(self.rng, self._client_registrars)
+            birth = self.rng.randrange(cfg.start_day, cfg.study_end_day)
+            fix: int | None = None
+            if self.rng.random() < 0.7:
+                fix = birth + self.rng.randrange(10, 400)
+            plans.append(
+                TypoDomainPlan(
+                    domain=domain,
+                    registrar=registrar,
+                    birth_day=birth,
+                    typo_ns=(typo,),
+                    good_ns=(f"ns1.{provider}", f"ns2.{provider}"),
+                    fix_day=fix,
+                )
+            )
+        return plans
+
+    def _plan_test_ns(self) -> list[TestNsPlan]:
+        cfg = self.config
+        plans = []
+        for index in range(cfg.test_ns_count):
+            start = self.rng.randrange(cfg.start_day, cfg.study_end_day)
+            end = start + self.rng.randrange(3, 40)
+            token = self.rng.randrange(10 ** 8, 10 ** 9)
+            stamp = 1400000000000 + self.rng.randrange(10 ** 11)
+            domain = f"emt-d-{token}.com"
+            ns_names = tuple(
+                f"emt-ns{i + 1}.emt-t-{token}-{stamp}-{i + 1}-u.com"
+                for i in range(2)
+            )
+            plans.append(
+                TestNsPlan(
+                    domain=domain,
+                    registry_operator="sim-verisign",
+                    ns_names=ns_names,
+                    start_day=start,
+                    end_day=min(end, cfg.end_day - 1),
+                )
+            )
+        return plans
+
+    # -- special scenarios ------------------------------------------------------
+
+    def _plan_namecheap(self) -> NamecheapPlan:
+        cfg = self.config
+        spec = cfg.namecheap
+        host_names = tuple(
+            f"ns{i + 1}.{spec.ns_domain}" for i in range(spec.host_count)
+        )
+        plan = NamecheapPlan(
+            day=spec.day,
+            ns_domain=spec.ns_domain,
+            sponsor=spec.sponsor,
+            host_names=host_names,
+        )
+        never_left = spec.never_fixed
+        for index in range(spec.client_count):
+            tld = _weighted(self.rng, (("com", 0.8), ("net", 0.2)))
+            domain = f"{self.forge.label()}.{tld}"
+            birth = self.rng.randrange(cfg.start_day, max(spec.day - 30, 1))
+            pair_start = self.rng.randrange(len(host_names))
+            ns_refs = (
+                host_names[pair_start],
+                host_names[(pair_start + 1) % len(host_names)],
+            )
+            remaining = spec.client_count - index
+            if never_left > 0 and self.rng.random() < never_left / remaining:
+                fix: int | None = None
+                never_left -= 1
+            elif self.rng.random() < spec.fixed_within_3_days:
+                fix = spec.day + self.rng.randrange(1, 4)
+            else:
+                fix = spec.day + self.rng.randrange(4, 1400)
+            plan.clients.append(
+                ClientPlan(
+                    domain=domain,
+                    registrar="namecheap",
+                    birth_day=birth,
+                    ns_refs=ns_refs,
+                    fix_day=fix,
+                    expiry_day=None,
+                )
+            )
+        return plan
+
+    def _assign_brand_clients(self, plan: Plan) -> None:
+        """Convert some exposed clients into MarkMonitor brand domains."""
+        cfg = self.config
+        candidates = [
+            client
+            for hoster in plan.hosters
+            for client in hoster.clients
+            if not client.cross_repo and not client.partial
+            and client.domain.rsplit(".", 1)[1] not in ("edu", "gov")
+        ]
+        self.rng.shuffle(candidates)
+        for client in candidates[: cfg.brand_client_count]:
+            client.brand = True
+            client.registrar = "markmonitor"
+            client.fix_day = None     # fixed only via notification outreach
+            client.expiry_day = None  # brands keep renewing

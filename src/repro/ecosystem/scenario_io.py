@@ -1,0 +1,220 @@
+"""Scenario (de)serialization: JSON round-trips for ScenarioConfig.
+
+Lets a scenario be versioned, shared, and replayed exactly:
+
+    riskybiz report --config my-scenario.json
+
+Idioms are serialized by type + parameters (the idiom classes are the
+registry); dates as ISO strings; everything else as plain values.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any
+
+from repro.ecosystem.config import (
+    HijackerSpec,
+    NamecheapEventSpec,
+    RegistrarSpec,
+    ScenarioConfig,
+    default_scenario,
+)
+from repro.registrar.idioms import (
+    DeletedDropIdiom,
+    DropThisHostIdiom,
+    Enom123BizIdiom,
+    PleaseDropThisHostIdiom,
+    RenamingIdiom,
+    ReservedLabelIdiom,
+    SinkDomainIdiom,
+    SldRandomSuffixIdiom,
+)
+
+_IDIOM_TYPES: dict[str, type] = {
+    "PleaseDropThisHostIdiom": PleaseDropThisHostIdiom,
+    "DropThisHostIdiom": DropThisHostIdiom,
+    "DeletedDropIdiom": DeletedDropIdiom,
+    "Enom123BizIdiom": Enom123BizIdiom,
+    "SldRandomSuffixIdiom": SldRandomSuffixIdiom,
+    "SinkDomainIdiom": SinkDomainIdiom,
+    "ReservedLabelIdiom": ReservedLabelIdiom,
+}
+
+
+def _idiom_to_json(idiom: RenamingIdiom) -> dict[str, Any]:
+    data: dict[str, Any] = {"type": type(idiom).__name__}
+    if isinstance(idiom, SinkDomainIdiom):
+        data["sink"] = idiom.sink
+        data["tag_length"] = idiom.tag_length
+    elif isinstance(idiom, ReservedLabelIdiom):
+        data["apex"] = idiom.apex
+    elif isinstance(idiom, (SldRandomSuffixIdiom, PleaseDropThisHostIdiom)):
+        data["rand_length"] = idiom.rand_length
+    return data
+
+
+def _idiom_from_json(data: dict[str, Any]) -> RenamingIdiom:
+    type_name = data["type"]
+    cls = _IDIOM_TYPES.get(type_name)
+    if cls is None:
+        raise ValueError(f"unknown idiom type {type_name!r}")
+    kwargs = {k: v for k, v in data.items() if k != "type"}
+    return cls(**kwargs)
+
+
+def _date_to_json(date: _dt.date) -> str:
+    return date.isoformat()
+
+
+def _date_from_json(text: str) -> _dt.date:
+    return _dt.date.fromisoformat(text)
+
+
+def scenario_to_dict(config: ScenarioConfig) -> dict[str, Any]:
+    """A JSON-ready dict for a scenario."""
+    return {
+        "seed": config.seed,
+        "start_day": config.start_day,
+        "end_day": config.end_day,
+        "study_end_day": config.study_end_day,
+        "notification_day": config.notification_day,
+        "hoster_count": config.hoster_count,
+        "final_rate_fraction": config.final_rate_fraction,
+        "safe_domain_count": config.safe_domain_count,
+        "typo_domain_count": config.typo_domain_count,
+        "test_ns_count": config.test_ns_count,
+        "partial_exposure_fraction": config.partial_exposure_fraction,
+        "cross_repo_client_fraction": config.cross_repo_client_fraction,
+        "fix_fast_fraction": config.fix_fast_fraction,
+        "fix_slow_fraction": config.fix_slow_fraction,
+        "brand_client_count": config.brand_client_count,
+        "sink_abandon_enabled": config.sink_abandon_enabled,
+        "namecheap": {
+            "enabled": config.namecheap.enabled,
+            "day": config.namecheap.day,
+            "ns_domain": config.namecheap.ns_domain,
+            "sponsor": config.namecheap.sponsor,
+            "host_count": config.namecheap.host_count,
+            "client_count": config.namecheap.client_count,
+            "fixed_within_3_days": config.namecheap.fixed_within_3_days,
+            "never_fixed": config.namecheap.never_fixed,
+        },
+        "registrars": [
+            {
+                "ident": spec.ident,
+                "display_name": spec.display_name,
+                "idiom_schedule": [
+                    [_date_to_json(date), _idiom_to_json(idiom)]
+                    for date, idiom in spec.idiom_schedule
+                ],
+                "hoster_share": spec.hoster_share,
+                "client_share": spec.client_share,
+                "clients_per_hoster": spec.clients_per_hoster,
+                "ns_per_hoster": spec.ns_per_hoster,
+                "default_ns_domain": spec.default_ns_domain,
+                "remediate_on_notification": spec.remediate_on_notification,
+                "sink_abandonments": [
+                    [_date_to_json(date), sink]
+                    for date, sink in spec.sink_abandonments
+                ],
+            }
+            for spec in config.registrars
+        ],
+        "hijackers": [
+            {
+                "ident": spec.ident,
+                "ns_domain": spec.ns_domain,
+                "active_from": _date_to_json(spec.active_from),
+                "active_until": _date_to_json(spec.active_until),
+                "min_value": spec.min_value,
+                "interest": spec.interest,
+                "speed": spec.speed,
+                "renew_probs": list(spec.renew_probs),
+                "monthly_capacity": spec.monthly_capacity,
+            }
+            for spec in config.hijackers
+        ],
+    }
+
+
+def scenario_from_dict(data: dict[str, Any]) -> ScenarioConfig:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    registrars = tuple(
+        RegistrarSpec(
+            ident=entry["ident"],
+            display_name=entry["display_name"],
+            idiom_schedule=tuple(
+                (_date_from_json(date), _idiom_from_json(idiom))
+                for date, idiom in entry["idiom_schedule"]
+            ),
+            hoster_share=entry["hoster_share"],
+            client_share=entry["client_share"],
+            clients_per_hoster=entry["clients_per_hoster"],
+            ns_per_hoster=entry["ns_per_hoster"],
+            default_ns_domain=entry["default_ns_domain"],
+            remediate_on_notification=entry["remediate_on_notification"],
+            sink_abandonments=tuple(
+                (_date_from_json(date), sink)
+                for date, sink in entry["sink_abandonments"]
+            ),
+        )
+        for entry in data["registrars"]
+    )
+    hijackers = tuple(
+        HijackerSpec(
+            ident=entry["ident"],
+            ns_domain=entry["ns_domain"],
+            active_from=_date_from_json(entry["active_from"]),
+            active_until=_date_from_json(entry["active_until"]),
+            min_value=entry["min_value"],
+            interest=entry["interest"],
+            speed=entry["speed"],
+            renew_probs=tuple(entry["renew_probs"]),
+            monthly_capacity=entry["monthly_capacity"],
+        )
+        for entry in data["hijackers"]
+    )
+    namecheap = NamecheapEventSpec(**data["namecheap"])
+    base = default_scenario(data["seed"])
+    return replace(
+        base,
+        seed=data["seed"],
+        start_day=data["start_day"],
+        end_day=data["end_day"],
+        study_end_day=data["study_end_day"],
+        notification_day=data["notification_day"],
+        hoster_count=data["hoster_count"],
+        final_rate_fraction=data["final_rate_fraction"],
+        safe_domain_count=data["safe_domain_count"],
+        typo_domain_count=data["typo_domain_count"],
+        test_ns_count=data["test_ns_count"],
+        partial_exposure_fraction=data["partial_exposure_fraction"],
+        cross_repo_client_fraction=data["cross_repo_client_fraction"],
+        fix_fast_fraction=data["fix_fast_fraction"],
+        fix_slow_fraction=data["fix_slow_fraction"],
+        brand_client_count=data["brand_client_count"],
+        sink_abandon_enabled=data["sink_abandon_enabled"],
+        namecheap=namecheap,
+        registrars=registrars,
+        hijackers=hijackers,
+    )
+
+
+def save_scenario(config: ScenarioConfig, path: str | Path) -> Path:
+    """Write a scenario as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(scenario_to_dict(config), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def load_scenario(path: str | Path) -> ScenarioConfig:
+    """Read a scenario written by :func:`save_scenario`."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    return scenario_from_dict(data)

@@ -1,0 +1,34 @@
+"""EPP (Extensible Provisioning Protocol) registry simulator.
+
+Implements the object model and referential-integrity rules of RFC 5730
+(EPP), RFC 5731 (domain mapping), and RFC 5732 (host mapping) to the depth
+the paper's mechanism depends on:
+
+* domain objects SHOULD NOT be deleted while subordinate host objects
+  exist (RFC 5731 §3.2.2);
+* host objects SHOULD NOT be deleted while any domain references them
+  (RFC 5732 §3.2.2);
+* host objects may be *renamed*; renaming into a namespace **internal** to
+  the repository requires the new superordinate domain to exist, while
+  renaming into an **external** namespace (a TLD the repository is not
+  authoritative for) is unchecked — the loophole that creates sacrificial
+  nameservers;
+* a host object subordinate to an external namespace can no longer be
+  modified by the registrar that renamed it;
+* registrar isolation: only the sponsoring registrar may mutate an object.
+"""
+
+from repro.epp.errors import EppError, ResultCode
+from repro.epp.objects import DomainObject, DomainStatus, HostObject
+from repro.epp.repository import EppRepository
+from repro.epp.registry import Registry
+
+__all__ = [
+    "EppError",
+    "ResultCode",
+    "DomainObject",
+    "DomainStatus",
+    "HostObject",
+    "EppRepository",
+    "Registry",
+]

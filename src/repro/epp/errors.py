@@ -1,0 +1,48 @@
+"""EPP result codes (RFC 5730 §3) and the library's EPP exception."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class ResultCode(IntEnum):
+    """The subset of RFC 5730 result codes the simulator produces."""
+
+    OK = 1000
+    OK_PENDING = 1001
+    UNIMPLEMENTED_OPTION = 2102
+    AUTHORIZATION_ERROR = 2201
+    OBJECT_EXISTS = 2302
+    OBJECT_DOES_NOT_EXIST = 2303
+    STATUS_PROHIBITS_OPERATION = 2304
+    ASSOCIATION_PROHIBITS_OPERATION = 2305
+    PARAMETER_VALUE_POLICY_ERROR = 2306
+
+    @property
+    def is_success(self) -> bool:
+        """RFC 5730: codes in the 1xxx range indicate success."""
+        return 1000 <= int(self) < 2000
+
+
+#: Human-readable messages matching RFC 5730's canonical response text.
+MESSAGES: dict[ResultCode, str] = {
+    ResultCode.OK: "Command completed successfully",
+    ResultCode.OK_PENDING: "Command completed successfully; action pending",
+    ResultCode.UNIMPLEMENTED_OPTION: "Unimplemented option",
+    ResultCode.AUTHORIZATION_ERROR: "Authorization error",
+    ResultCode.OBJECT_EXISTS: "Object exists",
+    ResultCode.OBJECT_DOES_NOT_EXIST: "Object does not exist",
+    ResultCode.STATUS_PROHIBITS_OPERATION: "Object status prohibits operation",
+    ResultCode.ASSOCIATION_PROHIBITS_OPERATION: "Object association prohibits operation",
+    ResultCode.PARAMETER_VALUE_POLICY_ERROR: "Parameter value policy error",
+}
+
+
+class EppError(Exception):
+    """An EPP command failed; carries the RFC 5730 result code."""
+
+    def __init__(self, code: ResultCode, detail: str = "") -> None:
+        self.code = code
+        self.detail = detail
+        message = MESSAGES.get(code, "EPP error")
+        super().__init__(f"{int(code)} {message}" + (f": {detail}" if detail else ""))

@@ -1,0 +1,175 @@
+"""Registry-side domain expiration pipeline (RFC 3915-style).
+
+Real registrations do not vanish at their expiry date: they pass
+through an auto-renew grace window (the registrar may still renew),
+then redemption (the domain is suspended — removed from the zone — but
+recoverable), then pending-delete, and only then are purged. Purging an
+expired domain with linked subordinate hosts is exactly the moment the
+paper's rename-then-delete machinery fires.
+
+:class:`ExpiryEngine` tracks scheduled expirations for one repository
+and emits :class:`ExpiryTransition`s as simulation time advances; the
+caller applies the side effects (suspend, purge) through whatever
+channel it owns — the engine never mutates the repository itself, so it
+composes with both the standard machinery and the §7.3 cascade fix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dnscore.names import Name
+
+
+class ExpiryPhase(str, Enum):
+    """Where an expiring registration currently stands."""
+
+    ACTIVE = "active"
+    AUTO_RENEW = "autoRenewGrace"
+    REDEMPTION = "redemptionPeriod"
+    PENDING_DELETE = "pendingDelete"
+    PURGED = "purged"
+
+#: The ordered pipeline after the expiry date.
+PHASE_ORDER = (
+    ExpiryPhase.AUTO_RENEW,
+    ExpiryPhase.REDEMPTION,
+    ExpiryPhase.PENDING_DELETE,
+    ExpiryPhase.PURGED,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ExpiryPolicy:
+    """Grace-period lengths in days (ICANN-typical defaults)."""
+
+    auto_renew_days: int = 45
+    redemption_days: int = 30
+    pending_delete_days: int = 5
+
+    def phase_starts(self, expiry_day: int) -> dict[ExpiryPhase, int]:
+        """Day each phase begins for a registration expiring then."""
+        auto = expiry_day
+        redemption = auto + self.auto_renew_days
+        pending = redemption + self.redemption_days
+        purge = pending + self.pending_delete_days
+        return {
+            ExpiryPhase.AUTO_RENEW: auto,
+            ExpiryPhase.REDEMPTION: redemption,
+            ExpiryPhase.PENDING_DELETE: pending,
+            ExpiryPhase.PURGED: purge,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class ExpiryTransition:
+    """One phase change emitted by the engine."""
+
+    day: int
+    domain: str
+    phase: ExpiryPhase
+
+
+@dataclass
+class _Tracked:
+    expiry_day: int
+    phase: ExpiryPhase = ExpiryPhase.ACTIVE
+    generation: int = 0  # bumped on renew/restore to invalidate old events
+
+
+class ExpiryEngine:
+    """Tracks expirations and yields phase transitions in day order."""
+
+    def __init__(self, policy: ExpiryPolicy | None = None) -> None:
+        self.policy = policy or ExpiryPolicy()
+        self._tracked: dict[str, _Tracked] = {}
+        self._heap: list[tuple[int, int, str, ExpiryPhase, int]] = []
+        self._counter = 0
+
+    # -- registration lifecycle ------------------------------------------
+
+    def schedule(self, domain: str, expiry_day: int) -> None:
+        """Track a registration that will expire on ``expiry_day``."""
+        text = Name(domain).text
+        entry = self._tracked.get(text)
+        if entry is None:
+            entry = _Tracked(expiry_day=expiry_day)
+            self._tracked[text] = entry
+        else:
+            entry.expiry_day = expiry_day
+            entry.phase = ExpiryPhase.ACTIVE
+            entry.generation += 1
+        self._push_phases(text, entry)
+
+    def _push_phases(self, domain: str, entry: _Tracked) -> None:
+        for phase, day in self.policy.phase_starts(entry.expiry_day).items():
+            self._counter += 1
+            heapq.heappush(
+                self._heap, (day, self._counter, domain, phase, entry.generation)
+            )
+
+    def renew(self, domain: str, new_expiry_day: int) -> None:
+        """A renewal (or redemption restore): restart the clock."""
+        self.schedule(domain, new_expiry_day)
+
+    def cancel(self, domain: str) -> None:
+        """Stop tracking (explicit deletion or transfer-out-of-scope)."""
+        text = Name(domain).text
+        entry = self._tracked.pop(text, None)
+        if entry is not None:
+            entry.generation += 1  # orphan any queued events
+
+    def phase_of(self, domain: str) -> ExpiryPhase:
+        """Current phase (ACTIVE if untracked)."""
+        entry = self._tracked.get(Name(domain).text)
+        return entry.phase if entry is not None else ExpiryPhase.ACTIVE
+
+    def is_recoverable(self, domain: str) -> bool:
+        """True while the registrant can still get the name back."""
+        return self.phase_of(domain) in (
+            ExpiryPhase.ACTIVE, ExpiryPhase.AUTO_RENEW, ExpiryPhase.REDEMPTION,
+        )
+
+    # -- time ----------------------------------------------------------------
+
+    def advance(self, day: int) -> list[ExpiryTransition]:
+        """All transitions with ``transition_day <= day``, in order.
+
+        Stale events (superseded by a renew/cancel) are dropped silently.
+        Purged domains leave the tracking table; the caller performs the
+        actual deletion (registrar machinery, registry purge, or the
+        §7.3 cascade).
+        """
+        transitions: list[ExpiryTransition] = []
+        while self._heap and self._heap[0][0] <= day:
+            event_day, _seq, domain, phase, generation = heapq.heappop(self._heap)
+            entry = self._tracked.get(domain)
+            if entry is None or entry.generation != generation:
+                continue  # superseded
+            if PHASE_ORDER.index(phase) <= (
+                -1 if entry.phase is ExpiryPhase.ACTIVE
+                else PHASE_ORDER.index(entry.phase)
+            ):
+                continue  # already past this phase
+            entry.phase = phase
+            transitions.append(ExpiryTransition(event_day, domain, phase))
+            if phase is ExpiryPhase.PURGED:
+                del self._tracked[domain]
+        return transitions
+
+    def next_transition_day(self) -> int | None:
+        """The earliest pending transition day, if any (for schedulers)."""
+        while self._heap:
+            day, _seq, domain, _phase, generation = self._heap[0]
+            entry = self._tracked.get(domain)
+            if entry is None or entry.generation != generation:
+                heapq.heappop(self._heap)
+                continue
+            return day
+        return None
+
+    def tracked_count(self) -> int:
+        """Registrations currently being tracked."""
+        return len(self._tracked)

@@ -1,0 +1,190 @@
+"""Proposed EPP fixes from the paper's §7.3, implemented.
+
+The paper sketches three robust alternatives to sink domains; this module
+makes each of them executable so counterfactual worlds can measure what
+they would have prevented:
+
+* **Reserved-TLD renaming** — require renames to land under an
+  IETF-reserved TLD (``.invalid``, RFC 2606/6761). No registry sells it,
+  so sacrificial names are permanently unregisterable. Implemented as
+  :func:`invalid_tld_idiom` (a ``ReservedLabelIdiom`` under ``invalid``),
+  plus :class:`ReservedTldPolicy` for repositories that *enforce* the
+  rule on the rename operation itself.
+
+* **Cascade deletion** — change RFC 5731's deletion rule so deleting a
+  domain also removes all *references* to its subordinate host objects.
+  No dangling delegations are ever created inside the repository; the
+  affected domains simply lose the dead nameserver (and, if it was their
+  only one, drop out of the zone — the availability cost the paper
+  acknowledges). Implemented by :func:`cascade_delete_domain`.
+
+* **Inter-registry deletion notification** — cascade deletion cannot fix
+  references *across* repositories (a .org domain delegating to a .com
+  host). :class:`DeletionNotificationBus` carries deleted-host
+  announcements between repositories, which drop their matching external
+  host references on receipt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dnscore.names import Name
+from repro.epp.errors import EppError, ResultCode
+from repro.epp.repository import EppRepository
+from repro.registrar.idioms import RenamingIdiom, ReservedLabelIdiom
+
+#: TLDs reserved by RFC 2606 / RFC 6761 — never sold by any registry.
+RESERVED_TLDS = frozenset({"invalid", "test", "example", "localhost"})
+
+
+def invalid_tld_idiom() -> ReservedLabelIdiom:
+    """The §7.3 proposal: rename unwanted hosts under ``.invalid``."""
+    return ReservedLabelIdiom(apex="invalid")
+
+
+@dataclass
+class ReservedTldPolicy:
+    """Server-side enforcement of reserved-TLD renaming.
+
+    Wraps a repository's rename operation: renames whose target is not
+    under a reserved TLD (and not internal to the repository, i.e. sink
+    renames the registrar provably controls) are rejected with a policy
+    error. This is what an amended EPP standard would make registries do.
+    """
+
+    repository: EppRepository
+    allow_internal_sinks: bool = True
+
+    def rename_host(
+        self, registrar: str, old: str, new: str, *, day: int
+    ):
+        """Policy-checked <host:update> name change."""
+        target = Name(new)
+        if target.tld not in RESERVED_TLDS:
+            if not (self.allow_internal_sinks and self.repository.is_internal(new)):
+                raise EppError(
+                    ResultCode.PARAMETER_VALUE_POLICY_ERROR,
+                    f"rename target {target.text} is not under a reserved TLD",
+                )
+        return self.repository.rename_host(registrar, old, new, day=day)
+
+
+def cascade_delete_domain(
+    repository: EppRepository, registrar: str, name: str, *, day: int
+) -> dict[str, list[str]]:
+    """Delete a domain with §7.3 cascade semantics.
+
+    For every subordinate host object: remove it from the delegation of
+    each domain that references it (the sponsoring registrar cannot do
+    this under standard EPP isolation — the *registry* performs it as
+    part of the deletion transaction), then delete the host, then the
+    domain. Returns {host: [domains whose delegation was trimmed]}.
+
+    Domains left with an empty nameserver set drop out of the zone:
+    cascade deletion trades dangling-delegation risk for immediate,
+    visible breakage — the paper's availability/integrity trade-off.
+    """
+    obj = repository.domain(name)
+    if obj.sponsor != registrar:
+        raise EppError(
+            ResultCode.AUTHORIZATION_ERROR,
+            f"domain {name} is sponsored by {obj.sponsor}, not {registrar}",
+        )
+    trimmed: dict[str, list[str]] = {}
+    if obj.nameservers:
+        repository.update_domain_ns(
+            registrar, name, day=day, remove=list(obj.nameservers)
+        )
+    for host_name in sorted(repository.subordinate_hosts(name)):
+        host = repository.host(host_name)
+        affected = sorted(host.linked_domains)
+        for domain_name in affected:
+            # Registry-level action: bypass registrar isolation for the
+            # reference removal only (the cascade is a registry function).
+            linked = repository.domain(domain_name)
+            repository.update_domain_ns(
+                linked.sponsor, domain_name, day=day, remove=[host_name]
+            )
+        repository.delete_host(registrar, host_name, day=day)
+        trimmed[host_name] = affected
+    repository.delete_domain(registrar, name, day=day)
+    return trimmed
+
+
+@dataclass
+class DeletionNotificationBus:
+    """Inter-registry deleted-nameserver announcements (§7.3).
+
+    Repositories subscribe; when any repository cascade-deletes a host,
+    it publishes the host name, and every *other* repository that holds
+    an external host object by that name removes its references too.
+    """
+
+    _subscribers: list[EppRepository] = field(default_factory=list)
+    _log: list[tuple[int, str, str]] = field(default_factory=list)
+    #: Optional observer for integration with world event logs.
+    on_reference_removed: Callable[[int, str, str], None] | None = None
+
+    def subscribe(self, repository: EppRepository) -> None:
+        """Register a repository to receive announcements."""
+        if repository not in self._subscribers:
+            self._subscribers.append(repository)
+
+    def publish(self, origin: EppRepository, host_name: str, *, day: int) -> int:
+        """Announce a deleted nameserver; returns references removed."""
+        host_text = Name(host_name).text
+        removed = 0
+        for repository in self._subscribers:
+            if repository is origin:
+                continue
+            if not repository.host_exists(host_text):
+                continue
+            host = repository.host(host_text)
+            if not host.external:
+                continue  # an unrelated internal host that shares the name
+            for domain_name in sorted(host.linked_domains):
+                sponsor = repository.domain(domain_name).sponsor
+                repository.update_domain_ns(
+                    sponsor, domain_name, day=day, remove=[host_text]
+                )
+                removed += 1
+                self._log.append((day, repository.operator, domain_name))
+                if self.on_reference_removed is not None:
+                    self.on_reference_removed(day, repository.operator, domain_name)
+            repository.delete_host(host.sponsor, host_text, day=day)
+        return removed
+
+    def announcements(self) -> list[tuple[int, str, str]]:
+        """(day, repository, domain) reference removals performed."""
+        return list(self._log)
+
+
+def cascade_delete_everywhere(
+    repositories: list[EppRepository],
+    registrar: str,
+    name: str,
+    *,
+    day: int,
+    bus: DeletionNotificationBus | None = None,
+) -> dict[str, list[str]]:
+    """Cascade-delete a domain and propagate across repositories.
+
+    The combination the paper calls the "more ambitious approach":
+    cascade semantics inside the home repository plus bus notifications
+    that clean up cross-repository references to the deleted hosts.
+    """
+    home = next(
+        (repo for repo in repositories if repo.is_internal(name)), None
+    )
+    if home is None:
+        raise EppError(
+            ResultCode.OBJECT_DOES_NOT_EXIST,
+            f"no repository is authoritative for {name}",
+        )
+    trimmed = cascade_delete_domain(home, registrar, name, day=day)
+    if bus is not None:
+        for host_name in trimmed:
+            bus.publish(home, host_name, day=day)
+    return trimmed

@@ -1,0 +1,21 @@
+"""Controlled experiments: §6.1 (hijack) and §7.3 (AS112 residual risk)."""
+
+from repro.experiment.as112 import (
+    As112Experiment,
+    As112Report,
+    run_as112_experiment,
+)
+from repro.experiment.controlled import (
+    ControlledExperiment,
+    ExperimentReport,
+    run_controlled_experiment,
+)
+
+__all__ = [
+    "As112Experiment",
+    "As112Report",
+    "run_as112_experiment",
+    "ControlledExperiment",
+    "ExperimentReport",
+    "run_controlled_experiment",
+]

@@ -1,0 +1,134 @@
+"""The §7.3 residual-risk experiment: a rogue AS112 anycast node.
+
+Demonstrates, on a finished world, the trade-off the paper flags about
+renaming under ``empty.as112.arpa``: the names can never be registered,
+but because AS112 is anycast, an attacker operating one node can answer
+the delegated queries in its own catchment. The experiment measures the
+regional hijack and then shows that signing the zone (the mitigation
+the paper suggests in footnote 15) neutralizes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.records import RRType
+from repro.ecosystem.world import WorldResult
+from repro.resolver.anycast import AnycastBehavior, AnycastNode
+from repro.resolver.resolver import IterativeResolver
+from repro.resolver.server import AnsweringBehavior, SilentBehavior
+
+AS112_APEX = "empty.as112.arpa"
+HONEST_CATCHMENT = "0.0.0.0/1"        # "most of the Internet"
+ROGUE_CATCHMENT = "198.18.0.0/15"     # the attacker's region
+VICTIM_RESOLVER_INSIDE = "198.18.0.53"
+VICTIM_RESOLVER_OUTSIDE = "9.9.9.9"
+ATTACK_ADDRESS = "198.18.66.66"
+
+
+@dataclass
+class As112Report:
+    """What the rogue-node experiment measured."""
+
+    protected_domains: tuple[str, ...]
+    hijacked_in_catchment: list[str] = field(default_factory=list)
+    unaffected_outside: list[str] = field(default_factory=list)
+    hijacked_with_dnssec: list[str] = field(default_factory=list)
+
+    @property
+    def regional_hijack_works(self) -> bool:
+        """Unsigned zone: the attacker answers inside its catchment."""
+        return bool(self.hijacked_in_catchment) and not self.unaffected_outside
+
+    @property
+    def dnssec_mitigates(self) -> bool:
+        """Signed zone: the forged answers are rejected everywhere."""
+        return not self.hijacked_with_dnssec
+
+
+class As112Experiment:
+    """Stands up honest + rogue anycast nodes and measures the effect."""
+
+    def __init__(self, world_result: WorldResult, study: StudyAnalysis) -> None:
+        self.world = world_result
+        self.study = study
+
+    def protected_domains(self, day: int) -> list[str]:
+        """Domains currently delegated to empty.as112.arpa names."""
+        domains: set[str] = set()
+        for view in self.study.nameservers.values():
+            if view.info.idiom_id != "EMPTY.AS112.ARPA":
+                continue
+            domains |= view.domains_on(day)
+        return sorted(domains)
+
+    def _build_resolver(self, *, signed_zone: bool, day: int) -> tuple[
+        IterativeResolver, AnycastBehavior
+    ]:
+        resolver = IterativeResolver(self.world.zonedb)
+        anycast = AnycastBehavior(signed_zone=signed_zone)
+        anycast.add_node(
+            AnycastNode(
+                name="honest-sink",
+                catchments=(HONEST_CATCHMENT, "128.0.0.0/1"),
+                behavior=SilentBehavior(),
+                honest=True,
+            )
+        )
+        rogue = AnsweringBehavior()
+        for domain in self.protected_domains(day):
+            rogue.add_record(domain, RRType.A, ATTACK_ADDRESS)
+        # The rogue node is inserted first so its (narrower) catchment
+        # wins for sources inside it — anycast picks the closest node.
+        anycast.nodes.insert(
+            0,
+            AnycastNode(
+                name="rogue-node",
+                catchments=(ROGUE_CATCHMENT,),
+                behavior=rogue,
+                honest=False,
+            ),
+        )
+        for view in self.study.nameservers.values():
+            if view.info.idiom_id == "EMPTY.AS112.ARPA":
+                resolver.attach_server(view.name, anycast)
+        return resolver, anycast
+
+    def run(self, *, day: int | None = None, sample: int = 25) -> As112Report:
+        """Measure the regional hijack, with and without DNSSEC."""
+        if day is None:
+            day = self.world.config.end_day - 1
+        victims = self.protected_domains(day)[:sample]
+        report = As112Report(protected_domains=tuple(victims))
+        if not victims:
+            return report
+
+        resolver, _ = self._build_resolver(signed_zone=False, day=day)
+        for domain in victims:
+            inside = resolver.resolve(
+                domain, day=day, source_ip=VICTIM_RESOLVER_INSIDE
+            )
+            outside = resolver.resolve(
+                domain, day=day, source_ip=VICTIM_RESOLVER_OUTSIDE
+            )
+            if inside.ok and inside.answer == [ATTACK_ADDRESS]:
+                report.hijacked_in_catchment.append(domain)
+            if outside.ok:
+                report.unaffected_outside.append(domain)
+
+        signed_resolver, _ = self._build_resolver(signed_zone=True, day=day)
+        for domain in victims:
+            inside = signed_resolver.resolve(
+                domain, day=day, source_ip=VICTIM_RESOLVER_INSIDE
+            )
+            if inside.ok:
+                report.hijacked_with_dnssec.append(domain)
+        return report
+
+
+def run_as112_experiment(
+    world_result: WorldResult, study: StudyAnalysis
+) -> As112Report:
+    """Convenience wrapper used by the benchmark."""
+    return As112Experiment(world_result, study).run()

@@ -1,0 +1,205 @@
+"""The §6.1 controlled experiment, reproduced in simulation.
+
+The paper registered five sacrificial nameserver domains, observed
+incoming queries (surprisingly including .edu and .gov names — the
+shared-EPP-repository effect), and then confirmed actual hijack
+capability by answering queries for a hijackable .edu domain, but only
+for requests from a /24 the authors controlled.
+
+This module replays that protocol against a simulated world:
+
+1. pick a hijackable sacrificial group whose delegated domains cross
+   TLDs within one repository (ideally touching .edu/.gov);
+2. defensively register the sacrificial domain and stand up a server
+   that logs queries but never answers;
+3. drive resolver traffic for the delegated domains and confirm the
+   queries (including the restricted-TLD ones) arrive;
+4. enable scoped answers (only from the experiment /24, only during the
+   test window) and confirm the hijack works from inside the scope and
+   remains invisible outside it;
+5. purge the query logs (the §8 ethics requirement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.names import Name
+from repro.dnscore.records import RRType
+from repro.ecosystem.world import WorldResult
+from repro.resolver.resolver import IterativeResolver, ResolutionStatus
+from repro.resolver.server import AnsweringBehavior, ScopedBehavior
+
+RESEARCH_NETWORK = "198.51.100.0/24"
+INSIDE_IP = "198.51.100.42"
+OUTSIDE_IP = "203.0.113.77"
+PROOF_ADDRESS = "198.51.100.200"
+
+
+@dataclass
+class ExperimentReport:
+    """What the controlled experiment observed."""
+
+    sacrificial_domain: str
+    nameservers: tuple[str, ...]
+    delegated_domains: tuple[str, ...]
+    restricted_tld_domains: tuple[str, ...]
+    queries_observed: int = 0
+    restricted_queries_observed: int = 0
+    scoped_answer: list[str] = field(default_factory=list)
+    outside_answer_status: str = ""
+    pre_registration_status: str = ""
+    logs_purged: int = 0
+
+    @property
+    def hijack_demonstrated(self) -> bool:
+        """True if the scoped hijack answered inside and not outside."""
+        return bool(self.scoped_answer) and self.outside_answer_status != "answered"
+
+    @property
+    def cross_tld_effect_observed(self) -> bool:
+        """True if restricted-TLD (.edu/.gov) queries reached our server."""
+        return self.restricted_queries_observed > 0
+
+
+class ControlledExperiment:
+    """Drives the §6.1 protocol against a finished world run."""
+
+    def __init__(
+        self,
+        world_result: WorldResult,
+        study: StudyAnalysis,
+        *,
+        day: int | None = None,
+    ) -> None:
+        self.world = world_result
+        self.study = study
+        self.day = day if day is not None else study.config.study_end - 1
+        self.resolver = IterativeResolver(world_result.zonedb)
+
+    # -- target selection ---------------------------------------------------
+
+    def pick_target(self) -> str | None:
+        """A hijackable, unregistered group — preferring .edu/.gov reach.
+
+        Mirrors the paper's target choice: the victim domains must be
+        currently delegated to the sacrificial name, and for the
+        restricted-TLD demonstration the group should touch .edu/.gov.
+        """
+        best: tuple[int, int, str] | None = None
+        for group in self.study.groups.values():
+            if not group.hijackable or group.registered_on(self.day):
+                continue
+            if not self.world.roster.operates(group.registered_domain):
+                continue
+            registry = self.world.roster.registry_for(group.registered_domain)
+            if registry.repository.domain_exists(group.registered_domain):
+                continue
+            domains = self._delegated_now(group.registered_domain)
+            if not domains:
+                continue
+            restricted = sum(
+                1 for d in domains if Name(d).tld in ("edu", "gov")
+            )
+            key = (restricted, len(domains), group.registered_domain)
+            if best is None or key > best:
+                best = key
+        return best[2] if best else None
+
+    def _delegated_now(self, registered_domain: str) -> list[str]:
+        group = self.study.groups[registered_domain]
+        domains: set[str] = set()
+        for view in group.nameservers:
+            domains |= view.domains_on(self.day)
+        return sorted(domains)
+
+    # -- the protocol ----------------------------------------------------------
+
+    def run(self, target: str | None = None) -> ExperimentReport:
+        """Execute the full protocol; returns the observation report."""
+        target = target or self.pick_target()
+        if target is None:
+            raise LookupError("no hijackable sacrificial group is available")
+        group = self.study.groups[target]
+        ns_names = tuple(sorted(view.name for view in group.nameservers))
+        delegated = tuple(self._delegated_now(target))
+        restricted = tuple(
+            d for d in delegated if Name(d).tld in ("edu", "gov")
+        )
+        report = ExperimentReport(
+            sacrificial_domain=target,
+            nameservers=ns_names,
+            delegated_domains=delegated,
+            restricted_tld_domains=restricted,
+        )
+
+        # Step 0: before registration, the victims must be lame.
+        if delegated:
+            pre = self.resolver.resolve(delegated[0], day=self.day)
+            report.pre_registration_status = pre.status.value
+
+        # Step 1: defensive registration via an accredited registrar.
+        # Exactly like a hijacker, we register the sacrificial domain and
+        # create subordinate host objects *for the sacrificial nameserver
+        # names themselves*, with glue — so resolvers obtain an address
+        # for the renamed nameservers and send the victim-domain queries
+        # straight to infrastructure we control.
+        registrar = self.world.registrars["bulkreg"]
+        result = registrar.register_domain(
+            self.world.roster, target, day=self.day,
+            nameservers=[], period_years=1, registrant="research",
+        )
+        if not result.ok:
+            raise RuntimeError(f"defensive registration failed: {result.code}")
+        registrar.create_subordinate_hosts(
+            self.world.roster, target,
+            {ns: [f"198.51.100.{10 + i}"] for i, ns in enumerate(ns_names)},
+            day=self.day,
+        )
+        registrar.update_nameservers(
+            self.world.roster, target, day=self.day, add=list(ns_names)
+        )
+
+        # Step 2: observe queries without ever answering.
+        scoped = ScopedBehavior(
+            allowed_network=RESEARCH_NETWORK,
+            window_start=self.day,
+            window_end=self.day + 7,
+        )
+        for ns in ns_names:
+            self.resolver.attach_server(ns, scoped)
+        for index, domain in enumerate(delegated):
+            self.resolver.resolve(
+                domain, day=self.day, source_ip=f"192.0.2.{(index % 250) + 1}"
+            )
+        report.queries_observed = len(scoped.query_log)
+        report.restricted_queries_observed = sum(
+            1 for q in scoped.query_log
+            if Name(q.qname).tld in ("edu", "gov")
+        )
+
+        # Step 3: scoped hijack proof on one victim (an .edu/.gov one if
+        # the group reaches a restricted TLD).
+        proof_domain = (restricted or delegated)[0] if delegated else None
+        if proof_domain is not None:
+            scoped.inner.add_record(proof_domain, RRType.A, PROOF_ADDRESS)
+            inside = self.resolver.resolve(
+                proof_domain, day=self.day, source_ip=INSIDE_IP
+            )
+            outside = self.resolver.resolve(
+                proof_domain, day=self.day, source_ip=OUTSIDE_IP
+            )
+            report.scoped_answer = inside.answer if inside.ok else []
+            report.outside_answer_status = outside.status.value
+
+        # Step 4: ethics — destroy the query logs.
+        report.logs_purged = scoped.purge_logs()
+        return report
+
+
+def run_controlled_experiment(
+    world_result: WorldResult, study: StudyAnalysis
+) -> ExperimentReport:
+    """Convenience wrapper used by the example and the benchmark."""
+    return ControlledExperiment(world_result, study).run()

@@ -1,0 +1,150 @@
+"""Defensive registration sweeps (paper footnote 11).
+
+Pending registrar outreach, the authors defensively registered the
+sacrificial domains of the most sensitive targets ("The .edu domain is
+no longer hijackable due to our defensive registrations pending
+outreach"). This module plans and executes that strategy at scale on a
+simulated world: enumerate every currently hijackable sacrificial
+domain, rank by what a registration protects, register (optionally only
+the top N or only restricted-TLD-reaching ones), and report cost and
+coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.names import Name
+from repro.ecosystem.world import WorldResult
+
+#: Typical .biz/.com retail registration fee, for cost reporting.
+REGISTRATION_FEE_USD = 12.0
+
+
+@dataclass(frozen=True, slots=True)
+class DefensiveTarget:
+    """One sacrificial domain the sweep could register."""
+
+    registered_domain: str
+    nameserver_names: tuple[str, ...]
+    protected_domains: tuple[str, ...]
+    reaches_restricted_tld: bool
+
+    @property
+    def protection_count(self) -> int:
+        """How many domains one registration would protect."""
+        return len(self.protected_domains)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a defensive sweep."""
+
+    day: int
+    targets_considered: int
+    registered: list[DefensiveTarget] = field(default_factory=list)
+    failed: list[str] = field(default_factory=list)
+
+    @property
+    def protected_domains(self) -> set[str]:
+        """Union of domains protected by the registrations."""
+        protected: set[str] = set()
+        for target in self.registered:
+            protected.update(target.protected_domains)
+        return protected
+
+    @property
+    def cost_usd(self) -> float:
+        """First-year cost of the sweep."""
+        return len(self.registered) * REGISTRATION_FEE_USD
+
+    def cost_per_protected_domain(self) -> float:
+        """Dollars per domain protected (the ROI the paper reasons about)."""
+        count = len(self.protected_domains)
+        return self.cost_usd / count if count else 0.0
+
+
+class DefensiveSweep:
+    """Plans and executes defensive registrations on a world."""
+
+    def __init__(
+        self,
+        world_result: WorldResult,
+        study: StudyAnalysis,
+        *,
+        day: int | None = None,
+    ) -> None:
+        self.world = world_result
+        self.study = study
+        self.day = day if day is not None else study.config.study_end - 1
+
+    def enumerate_targets(self) -> list[DefensiveTarget]:
+        """All currently hijackable groups, highest protection first."""
+        targets = []
+        for group in self.study.groups.values():
+            if not group.hijackable or group.registered_on(self.day):
+                continue
+            if not self.world.roster.operates(group.registered_domain):
+                continue
+            registry = self.world.roster.registry_for(group.registered_domain)
+            if registry.repository.domain_exists(group.registered_domain):
+                continue
+            protected: set[str] = set()
+            for view in group.nameservers:
+                protected |= view.domains_on(self.day)
+            if not protected:
+                continue
+            targets.append(
+                DefensiveTarget(
+                    registered_domain=group.registered_domain,
+                    nameserver_names=tuple(
+                        sorted(view.name for view in group.nameservers)
+                    ),
+                    protected_domains=tuple(sorted(protected)),
+                    reaches_restricted_tld=any(
+                        Name(domain).tld in ("edu", "gov") for domain in protected
+                    ),
+                )
+            )
+        targets.sort(
+            key=lambda t: (-t.reaches_restricted_tld, -t.protection_count,
+                           t.registered_domain)
+        )
+        return targets
+
+    def execute(
+        self,
+        *,
+        budget: int | None = None,
+        restricted_only: bool = False,
+        registrant: str = "defensive-research",
+    ) -> SweepReport:
+        """Register targets (most valuable first) within the budget.
+
+        Registered domains get **no nameservers**: a defensive holder has
+        nothing to answer, it only needs the name off the market — so
+        protected domains stay lame rather than hijacked.
+        """
+        targets = self.enumerate_targets()
+        report = SweepReport(day=self.day, targets_considered=len(targets))
+        registrar = self.world.registrars["bulkreg"]
+        for target in targets:
+            if restricted_only and not target.reaches_restricted_tld:
+                continue
+            if budget is not None and len(report.registered) >= budget:
+                break
+            result = registrar.register_domain(
+                self.world.roster, target.registered_domain,
+                day=self.day, nameservers=[], period_years=1,
+                registrant=registrant,
+            )
+            if result.ok:
+                self.world.whois.record_registration(
+                    target.registered_domain, "bulkreg",
+                    day=self.day, registrant=registrant,
+                )
+                report.registered.append(target)
+            else:
+                report.failed.append(target.registered_domain)
+        return report

@@ -1,0 +1,203 @@
+"""§6.2: how hijacked domains are used — parking vs. redirect probing.
+
+The paper manually visited hijacked domains and found two monetization
+models: classic parking pages with topical ad links (mpower.nl et al.)
+and mass redirection to the operator's own destination site
+(phonesear.ch's SEO funnel). It also retrospectively sampled 100 random
+hijacked domains via the Wayback Machine and found the mix stable over
+time.
+
+This module reproduces that study programmatically: it stands up each
+hijacker's serving behaviour (parking farms answer every victim with the
+farm address; the redirect operator answers with its destination site's
+address), probes hijacked domains through the resolver, and classifies
+each answer — a domain resolving to the same address as the operator's
+own site is a *redirect*; a distinct farm address is *parking*. The
+retrospective check replays the probe at sampled historical days.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.study import StudyAnalysis
+from repro.dnscore.psl import default_psl
+from repro.ecosystem.world import WorldResult
+from repro.resolver.resolver import IterativeResolver
+from repro.resolver.server import ParkingBehavior, RedirectBehavior
+
+#: Operators that funnel victims to their own destination site.
+REDIRECT_OPERATORS = frozenset({"phonesear.ch"})
+
+_FARM_BASE = "203.0.113."
+_DESTINATION_ADDRESS = "203.0.113.80"
+
+
+@dataclass
+class MonetizationReport:
+    """Classification of probed hijacked domains."""
+
+    day: int
+    sampled: int
+    classes: Counter = field(default_factory=Counter)
+    by_operator: dict[str, Counter] = field(default_factory=dict)
+    retrospective: list[tuple[int, Counter]] = field(default_factory=list)
+
+    @property
+    def parking_fraction(self) -> float:
+        """Share of classified probes that hit parking pages."""
+        total = sum(self.classes.values())
+        return self.classes["parking"] / total if total else 0.0
+
+    def retrospective_stable(self) -> bool:
+        """Parking dominates at every sampled historical day (§6.2)."""
+        for _day, classes in self.retrospective:
+            total = sum(classes.values())
+            if total and classes["parking"] / total < 0.5:
+                return False
+        return True
+
+
+class MonetizationProbe:
+    """Builds the serving world and classifies hijacked-domain answers."""
+
+    def __init__(self, world_result: WorldResult, study: StudyAnalysis) -> None:
+        self.world = world_result
+        self.study = study
+        self.psl = default_psl()
+        self.resolver = IterativeResolver(world_result.zonedb)
+        self._operator_addresses: dict[str, str] = {}
+        self._install_operators()
+
+    def _install_operators(self) -> None:
+        """Attach each hijacker's serving behaviour to its nameservers."""
+        for index, spec in enumerate(self.world.config.hijackers):
+            ns_domain = spec.ns_domain
+            if ns_domain in REDIRECT_OPERATORS:
+                behavior = RedirectBehavior(
+                    destination_address=_DESTINATION_ADDRESS
+                )
+                self._operator_addresses[ns_domain] = _DESTINATION_ADDRESS
+            else:
+                farm = f"{_FARM_BASE}{100 + index}"
+                behavior = ParkingBehavior(parking_address=farm)
+                self._operator_addresses[ns_domain] = farm
+            for ns_host in spec.ns_hosts():
+                self.resolver.attach_server(ns_host, behavior)
+        # The hijacker also answers *as* the sacrificial nameservers of
+        # the groups it registered: a resolver following the victim's
+        # delegation ends up at infrastructure the operator runs. (The
+        # redirect behaviour answers the operator's own apex too, which
+        # is what makes the redirect classification signal observable.)
+        for group in self.study.groups.values():
+            if not (group.hijackable and group.hijacked):
+                continue
+            first = group.first_hijack_day
+            if first is None:
+                continue
+            controlling = self.study.zonedb.nameservers_of(
+                group.registered_domain, first
+            )
+            operators = {
+                self.psl.registered_domain(ns) for ns in controlling
+            } & set(self._operator_addresses)
+            if not operators:
+                continue
+            operator = sorted(operators)[0]
+            hosts = self._actor_hosts(operator)
+            behavior = self.resolver.server_for(hosts[0]) if hosts else None
+            if behavior is None:
+                continue
+            for view in group.nameservers:
+                self.resolver.attach_server(view.name, behavior)
+
+    def _actor_hosts(self, operator: str) -> tuple[str, ...]:
+        """The controlling nameserver host names of one operator."""
+        for spec in self.world.config.hijackers:
+            if spec.ns_domain == operator:
+                return spec.ns_hosts()
+        return ()
+
+    def _hijacked_at(self, day: int) -> list[tuple[str, str]]:
+        """(domain, controlling operator domain) pairs hijacked on day."""
+        pairs = []
+        for group in self.study.groups.values():
+            if not (group.hijackable and group.registered_on(day)):
+                continue
+            controlling = self.study.zonedb.nameservers_of(
+                group.registered_domain, day
+            )
+            operators = {
+                self.psl.registered_domain(ns) for ns in controlling
+            } & set(self._operator_addresses)
+            if not operators:
+                continue
+            operator = sorted(operators)[0]
+            for view in group.nameservers:
+                for domain in view.domains_on(day):
+                    pairs.append((domain, operator))
+        return pairs
+
+    def classify(self, domain: str, day: int) -> tuple[str, str | None]:
+        """Probe one domain; return (class, operator actually answering).
+
+        Classification goes by what the probe *observes* (as the paper's
+        manual visits did): an answer matching a redirect operator's
+        destination site is a redirect; an answer matching any parking
+        farm is parking. Domains with several hijacked nameservers may be
+        answered by a different operator than the one that registered a
+        given group — the observed answer wins.
+        """
+        resolution = self.resolver.resolve(domain, day=day)
+        if not resolution.ok:
+            return "unreachable", None
+        address = resolution.answer[0]
+        for operator, expected in self._operator_addresses.items():
+            if address != expected:
+                continue
+            if operator in REDIRECT_OPERATORS:
+                return "redirect", operator
+            return "parking", operator
+        return "other", None
+
+    def run(
+        self,
+        *,
+        day: int | None = None,
+        sample: int = 100,
+        retrospective_days: int = 4,
+        seed: int = 0,
+    ) -> MonetizationReport:
+        """Probe a sample now plus retrospective samples back in time."""
+        if day is None:
+            day = self.study.config.study_end - 1
+        rng = random.Random(seed)
+        pairs = self._hijacked_at(day)
+        rng.shuffle(pairs)
+        report = MonetizationReport(day=day, sampled=min(sample, len(pairs)))
+        for domain, _registering_operator in pairs[:sample]:
+            verdict, answering = self.classify(domain, day)
+            report.classes[verdict] += 1
+            if answering is not None:
+                report.by_operator.setdefault(answering, Counter())[verdict] += 1
+        # Wayback-style retrospective: re-probe at earlier days.
+        step = max(1, day // (retrospective_days + 1))
+        for past_day in range(step, day, step):
+            past_pairs = self._hijacked_at(past_day)
+            rng.shuffle(past_pairs)
+            classes: Counter = Counter()
+            for domain, _operator in past_pairs[:sample]:
+                verdict, _answering = self.classify(domain, past_day)
+                classes[verdict] += 1
+            if classes:
+                report.retrospective.append((past_day, classes))
+        return report
+
+
+def run_monetization_probe(
+    world_result: WorldResult, study: StudyAnalysis, **kwargs
+) -> MonetizationReport:
+    """Convenience wrapper used by the benchmark."""
+    return MonetizationProbe(world_result, study).run(**kwargs)

@@ -1,0 +1,39 @@
+"""Registrar agents, renaming idioms, and the deletion machinery.
+
+This subpackage models the *operational practice* side of the paper:
+registrars that must delete expired domains, the EPP constraint that
+blocks deletion while subordinate host objects are linked, and the
+rename-to-delete workaround — parameterized by the per-registrar renaming
+idioms documented in the paper's Tables 1, 2, and 6.
+"""
+
+from repro.registrar.idioms import (
+    RenamingIdiom,
+    SinkDomainIdiom,
+    PleaseDropThisHostIdiom,
+    DropThisHostIdiom,
+    DeletedDropIdiom,
+    Enom123BizIdiom,
+    SldRandomSuffixIdiom,
+    ReservedLabelIdiom,
+    idiom_catalog,
+)
+from repro.registrar.policy import DeletionMachinery, DeletionOutcome, HostRename
+from repro.registrar.registrar import IdiomSchedule, Registrar
+
+__all__ = [
+    "RenamingIdiom",
+    "SinkDomainIdiom",
+    "PleaseDropThisHostIdiom",
+    "DropThisHostIdiom",
+    "DeletedDropIdiom",
+    "Enom123BizIdiom",
+    "SldRandomSuffixIdiom",
+    "ReservedLabelIdiom",
+    "idiom_catalog",
+    "DeletionMachinery",
+    "DeletionOutcome",
+    "HostRename",
+    "IdiomSchedule",
+    "Registrar",
+]

@@ -1,0 +1,308 @@
+"""Registrar renaming idioms (paper Tables 1, 2, and 6).
+
+When the deletion machinery must rename a host object out of a domain's
+namespace, the replacement name is produced by the registrar's *renaming
+idiom*. The paper documents two classes:
+
+* **sink-domain idioms** (Table 1) rename under a fixed domain the
+  registrar keeps registered — non-hijackable while the registration is
+  maintained;
+* **random-name idioms** (Table 2) rename to a fresh, usually
+  unregistered, name in a foreign TLD (classically ``.biz``) —
+  hijackable by whoever registers that name.
+
+Table 6 adds the post-remediation idioms (a reserved-namespace label and
+two new sink domains).
+
+Every idiom is deterministic given the caller-supplied
+:class:`random.Random`, and takes an ``attempt`` counter so collision
+retries produce different names.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+
+_ALNUM = string.ascii_lowercase + string.digits
+_HEX = "0123456789abcdef"
+
+
+def random_alnum(rng: random.Random, length: int) -> str:
+    """A lowercase alphanumeric string of the given length."""
+    return "".join(rng.choice(_ALNUM) for _ in range(length))
+
+
+def random_uuid(rng: random.Random) -> str:
+    """A UUID-shaped hex string (GoDaddy's DROPTHISHOST suffix format)."""
+    parts = (8, 4, 4, 4, 12)
+    return "-".join("".join(rng.choice(_HEX) for _ in range(n)) for n in parts)
+
+
+class RenamingIdiom(ABC):
+    """One registrar's scheme for naming renamed (sacrificial) hosts."""
+
+    #: Short identifier matching the paper's "Renaming Idiom" column.
+    idiom_id: str = ""
+    #: True if the produced names are registerable by third parties.
+    hijackable: bool = True
+    #: The fixed sink registered-domain, if the idiom uses one.
+    sink_domain: str | None = None
+
+    @abstractmethod
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        """Produce the sacrificial name replacing ``host``."""
+
+    def sink_domains_needed(self) -> tuple[str, ...]:
+        """Registered domains the registrar must hold for safety."""
+        return (self.sink_domain,) if self.sink_domain else ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(idiom_id={self.idiom_id!r})"
+
+
+def _flatten(host: str) -> str:
+    """Flatten a host name into a single label fragment (dots to dashes)."""
+    return Name(host).text.replace(".", "-")
+
+
+@dataclass(repr=False)
+class SinkDomainIdiom(RenamingIdiom):
+    """Rename under a registered sink domain: ``{tag}.{sink}``.
+
+    Used (per Table 1) by Internet.bs (DUMMYNS.COM), Network Solutions
+    (LAMEDELEGATION.ORG), TLD Registrar Solutions (NSHOLDFIX.COM), GMO
+    Internet (DELETE-HOST.COM), Xin Net (DELETEDNS.COM), and SRSPlus
+    (LAMEDELEGATIONSERVERS.{COM,NET}); and (per Table 6) post-remediation
+    by Internet.bs (NOTAPLACETO.BE) and Enom (DELETE-REGISTRATION.COM).
+    """
+
+    sink: str
+    tag_length: int = 6
+
+    def __post_init__(self) -> None:
+        self.sink_domain = Name(self.sink).text
+        self.idiom_id = self.sink_domain.upper()
+        self.hijackable = False
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        tag = _flatten(host)
+        suffix = random_alnum(rng, self.tag_length + attempt)
+        return f"{tag}-{suffix}.{self.sink_domain}"
+
+
+@dataclass(repr=False)
+class PleaseDropThisHostIdiom(RenamingIdiom):
+    """GoDaddy's early idiom: ``pleasedropthishost{rand}.{sld}.biz``.
+
+    The original second-level name is preserved, the host label is
+    replaced with PLEASEDROPTHISHOST plus a random string, and the TLD
+    becomes ``.biz`` — or ``.com`` when the original was already in
+    ``.biz``. Because the SLD is preserved verbatim, the produced
+    registered domain can collide with an *existing* registration (the
+    paper counts 3,704 such accidents).
+    """
+
+    rand_length: int = 5
+
+    def __post_init__(self) -> None:
+        self.idiom_id = "PLEASEDROPTHISHOST"
+        self.hijackable = True
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        psl = psl or default_psl()
+        name = Name(host)
+        sld = psl.sld(name) or name.labels[0]
+        new_tld = "com" if name.tld == "biz" else "biz"
+        label = "pleasedropthishost" + random_alnum(rng, self.rand_length + attempt)
+        return f"{label}.{sld}.{new_tld}"
+
+
+@dataclass(repr=False)
+class DropThisHostIdiom(RenamingIdiom):
+    """GoDaddy's 2015+ idiom: ``dropthishost-{uuid}.biz``.
+
+    A fresh UUID per rename avoids the accidental collisions of the
+    PLEASEDROPTHISHOST scheme but the name remains registerable.
+    """
+
+    def __post_init__(self) -> None:
+        self.idiom_id = "DROPTHISHOST"
+        self.hijackable = True
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        return f"dropthishost-{random_uuid(rng)}.biz"
+
+
+@dataclass(repr=False)
+class DeletedDropIdiom(RenamingIdiom):
+    """Internet.bs's 2015+ idiom: ``deleted-{rand}.drop-{rand}.biz``."""
+
+    def __post_init__(self) -> None:
+        self.idiom_id = "DELETED-DROP"
+        self.hijackable = True
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        left = "deleted-" + random_alnum(rng, 5 + attempt)
+        right = "drop-" + random_alnum(rng, 6)
+        return f"{left}.{right}.biz"
+
+
+@dataclass(repr=False)
+class Enom123BizIdiom(RenamingIdiom):
+    """Enom's early idiom: ``ns1.foo.com`` becomes ``ns1.foo123.biz``.
+
+    The host label is preserved, ``123`` is appended to the SLD, and the
+    TLD is replaced with ``.biz``. Deterministic — collision retries fall
+    back to appending extra digits.
+    """
+
+    def __post_init__(self) -> None:
+        self.idiom_id = "123.BIZ"
+        self.hijackable = True
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        psl = psl or default_psl()
+        name = Name(host)
+        sld = psl.sld(name) or name.labels[0]
+        sub = psl.subdomain_part(name) or "ns"
+        extra = str(attempt) if attempt else ""
+        return f"{sub}.{sld}123{extra}.biz"
+
+
+@dataclass(repr=False)
+class SldRandomSuffixIdiom(RenamingIdiom):
+    """The ``ns1.foo.com`` → ``ns1.foo{rand}.biz`` family.
+
+    Used by Enom (post-2012), DomainPeople, Fabulous.com, and
+    Register.com with varying random-string lengths. When the original
+    host is already under ``.biz`` the replacement uses ``.com``
+    (matching Enom's documented behaviour).
+    """
+
+    rand_length: int = 6
+
+    def __post_init__(self) -> None:
+        self.idiom_id = "XXXXX.BIZ"
+        self.hijackable = True
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        psl = psl or default_psl()
+        name = Name(host)
+        sld = psl.sld(name) or name.labels[0]
+        sub = psl.subdomain_part(name) or "ns"
+        new_tld = "com" if name.tld == "biz" else "biz"
+        suffix = random_alnum(rng, self.rand_length + attempt)
+        return f"{sub}.{sld}{suffix}.{new_tld}"
+
+
+@dataclass(repr=False)
+class ReservedLabelIdiom(RenamingIdiom):
+    """GoDaddy's post-remediation idiom: ``{rand}.empty.as112.arpa``.
+
+    Renames under a reserved namespace that no registry sells, so the
+    name can never be registered (Table 6). The same class models any
+    future ``.invalid``-style reserved-TLD scheme.
+    """
+
+    apex: str = "empty.as112.arpa"
+
+    def __post_init__(self) -> None:
+        self.apex = Name(self.apex).text
+        self.idiom_id = self.apex.upper()
+        self.hijackable = False
+        self.sink_domain = None  # reserved namespace: nothing to register
+
+    def rename(
+        self,
+        host: str,
+        rng: random.Random,
+        *,
+        attempt: int = 0,
+        psl: PublicSuffixList | None = None,
+    ) -> str:
+        tag = _flatten(host)
+        suffix = random_alnum(rng, 6 + attempt)
+        return f"{tag}-{suffix}.{self.apex}"
+
+
+def idiom_catalog() -> dict[str, RenamingIdiom]:
+    """Every idiom documented in the paper, keyed by its idiom id.
+
+    Table 1 (sink domains), Table 2 (random names), and Table 6
+    (post-remediation schemes).
+    """
+    idioms: list[RenamingIdiom] = [
+        # Table 1 — non-hijackable sink domains.
+        SinkDomainIdiom("dummyns.com"),
+        SinkDomainIdiom("lamedelegation.org"),
+        SinkDomainIdiom("nsholdfix.com"),
+        SinkDomainIdiom("delete-host.com"),
+        SinkDomainIdiom("deletedns.com"),
+        SinkDomainIdiom("lamedelegationservers.com"),
+        # Table 2 — hijackable random names.
+        PleaseDropThisHostIdiom(),
+        DropThisHostIdiom(),
+        DeletedDropIdiom(),
+        Enom123BizIdiom(),
+        SldRandomSuffixIdiom(),
+        # Table 6 — post-remediation idioms.
+        ReservedLabelIdiom(),
+        SinkDomainIdiom("notaplaceto.be"),
+        SinkDomainIdiom("delete-registration.com"),
+    ]
+    return {idiom.idiom_id: idiom for idiom in idioms}

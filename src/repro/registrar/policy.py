@@ -1,0 +1,212 @@
+"""The registrar deletion machinery: rename-then-delete.
+
+This module implements the undocumented operational workaround at the
+heart of the paper. Deleting an expired domain fails with EPP 2305 while
+subordinate host objects exist; unlinked subordinate hosts can simply be
+deleted, but a host still referenced by *other* domains (possibly at other
+registrars, which isolation puts out of reach) can only be *renamed* out
+of the way. The machinery renames such hosts using the registrar's
+current idiom, retrying on host-object collisions, then deletes the
+domain.
+
+Sink-domain idioms additionally require the registrar to hold the sink
+registration in every repository where the rename target is internal;
+:func:`ensure_sink_domains` provisions those.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.epp.commands import EppSession
+from repro.epp.errors import ResultCode
+from repro.epp.registry import Registry
+from repro.registrar.idioms import RenamingIdiom
+
+
+@dataclass(frozen=True, slots=True)
+class HostRename:
+    """One sacrificial rename performed during a deletion."""
+
+    old_name: str
+    new_name: str
+    day: int
+    linked_domains: tuple[str, ...]
+    attempts: int = 1
+
+
+@dataclass
+class DeletionOutcome:
+    """The full result of one delete-domain operation."""
+
+    domain: str
+    day: int
+    deleted: bool = False
+    renames: list[HostRename] = field(default_factory=list)
+    deleted_hosts: list[str] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def created_sacrificial(self) -> bool:
+        """True if any host was renamed (a sacrificial name was created)."""
+        return bool(self.renames)
+
+
+class DeletionMachinery:
+    """Deletes domains through EPP, renaming linked subordinate hosts.
+
+    One instance per registrar; stateless apart from its RNG, which must
+    be the registrar's own stream so runs stay deterministic.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        *,
+        psl: PublicSuffixList | None = None,
+        max_rename_attempts: int = 8,
+    ) -> None:
+        self._rng = rng
+        self._psl = psl or default_psl()
+        self._max_attempts = max_rename_attempts
+
+    def delete_domain(
+        self,
+        session: EppSession,
+        domain: str,
+        idiom: RenamingIdiom,
+        *,
+        day: int,
+    ) -> DeletionOutcome:
+        """Delete ``domain``, renaming linked subordinate hosts as needed.
+
+        Follows the observed operational sequence:
+
+        1. try <domain:delete> — done if it succeeds;
+        2. on 2305, walk the subordinate hosts: <host:delete> the
+           unlinked ones, rename the linked ones via the idiom;
+        3. retry <domain:delete>.
+        """
+        outcome = DeletionOutcome(domain=Name(domain).text, day=day)
+        result = session.domain_delete(domain, day=day)
+        if result.ok:
+            outcome.deleted = True
+            return outcome
+        if result.code is not ResultCode.ASSOCIATION_PROHIBITS_OPERATION:
+            outcome.errors.append(f"domain:delete -> {result.code} {result.detail}")
+            return outcome
+
+        repo = session.repository
+        # Strip the dying domain's own delegation first: its subordinate
+        # hosts should not be kept alive (and renamed) merely because the
+        # domain being deleted delegates to them. Registrar deprovisioning
+        # removes the zone entry as part of deletion anyway.
+        own_ns = list(repo.domain(domain).nameservers)
+        if own_ns:
+            session.domain_update_ns(domain, day=day, remove=own_ns)
+        for host_name in sorted(repo.subordinate_hosts(domain)):
+            self._clear_host(session, host_name, idiom, day, outcome)
+
+        result = session.domain_delete(domain, day=day)
+        if result.ok:
+            outcome.deleted = True
+        else:
+            outcome.errors.append(
+                f"final domain:delete -> {result.code} {result.detail}"
+            )
+        return outcome
+
+    def _clear_host(
+        self,
+        session: EppSession,
+        host_name: str,
+        idiom: RenamingIdiom,
+        day: int,
+        outcome: DeletionOutcome,
+    ) -> None:
+        delete_result = session.host_delete(host_name, day=day)
+        if delete_result.ok:
+            outcome.deleted_hosts.append(host_name)
+            return
+        if delete_result.code is not ResultCode.ASSOCIATION_PROHIBITS_OPERATION:
+            outcome.errors.append(
+                f"host:delete {host_name} -> {delete_result.code} "
+                f"{delete_result.detail}"
+            )
+            return
+        # Host is linked by other domains: rename it out of the namespace.
+        linked = tuple(sorted(session.repository.host(host_name).linked_domains))
+        for attempt in range(self._max_attempts):
+            new_name = idiom.rename(
+                host_name, self._rng, attempt=attempt, psl=self._psl
+            )
+            rename_result = session.host_rename(host_name, new_name, day=day)
+            if rename_result.ok:
+                # Drop stale glue: an internal (sink) rename keeps the host
+                # object's addresses, which would leave the sacrificial name
+                # statically resolvable via glue. Operationally registrars
+                # strip the addresses so the sink host answers nothing.
+                host_obj = session.repository.host(new_name)
+                if not host_obj.external and host_obj.addresses:
+                    session.host_set_addresses(new_name, (), day=day)
+                outcome.renames.append(
+                    HostRename(
+                        old_name=Name(host_name).text,
+                        new_name=Name(new_name).text,
+                        day=day,
+                        linked_domains=linked,
+                        attempts=attempt + 1,
+                    )
+                )
+                return
+            if rename_result.code is not ResultCode.OBJECT_EXISTS:
+                outcome.errors.append(
+                    f"host:rename {host_name} -> {rename_result.code} "
+                    f"{rename_result.detail}"
+                )
+                return
+        outcome.errors.append(
+            f"host:rename {host_name}: exhausted {self._max_attempts} attempts"
+        )
+
+
+def ensure_sink_domains(
+    registrar: str,
+    idiom: RenamingIdiom,
+    registries: list[Registry],
+    *,
+    day: int,
+    period_years: int = 10,
+) -> list[str]:
+    """Register the idiom's sink domains wherever they are registerable.
+
+    A sink rename targeting a namespace *internal* to a repository is only
+    accepted if the sink domain object exists there under the acting
+    registrar, and the sink is only safe from hijacking if its public
+    registration is maintained. Sinks are registered **without
+    nameservers**: the registrar does not want its servers answering for
+    domains it is not authoritative for, so sacrificial names under the
+    sink stay lame-delegated (paper §3.1, property 2).
+
+    Returns the names actually registered (empty if already present or if
+    no simulated registry sells the sink's TLD — e.g. ``notaplaceto.be``).
+    """
+    registered: list[str] = []
+    for sink in idiom.sink_domains_needed():
+        tld = Name(sink).tld
+        for registry in registries:
+            if tld not in registry.tlds:
+                continue
+            if registry.repository.domain_exists(sink):
+                break
+            session = registry.session(registrar)
+            result = session.domain_create(
+                sink, day=day, period_years=period_years
+            )
+            if result.ok:
+                registered.append(Name(sink).text)
+            break
+    return registered

@@ -1,0 +1,218 @@
+"""Registrar agents: accreditation, provisioning, and idiom schedules.
+
+A :class:`Registrar` owns EPP sessions at the registries where it is
+accredited, registers and deletes domains on behalf of registrants, and
+carries an :class:`IdiomSchedule` describing which renaming idiom its
+deletion machinery uses at any point in time (registrars changed idioms
+over the years — e.g. GoDaddy's PLEASEDROPTHISHOST → DROPTHISHOST →
+EMPTY.AS112.ARPA progression).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.epp.commands import EppSession, Result
+from repro.epp.registry import Registry, RegistryRoster
+from repro.registrar.idioms import RenamingIdiom
+from repro.registrar.policy import (
+    DeletionMachinery,
+    DeletionOutcome,
+    ensure_sink_domains,
+)
+
+
+@dataclass
+class IdiomSchedule:
+    """A time-ordered sequence of (effective_day, idiom) entries."""
+
+    entries: list[tuple[int, RenamingIdiom]] = field(default_factory=list)
+
+    def add(self, day: int, idiom: RenamingIdiom) -> None:
+        """Adopt ``idiom`` effective on ``day`` (kept sorted)."""
+        self.entries.append((day, idiom))
+        self.entries.sort(key=lambda entry: entry[0])
+
+    def current(self, day: int) -> RenamingIdiom:
+        """The idiom in effect on ``day``.
+
+        Raises :class:`LookupError` if no idiom is effective yet.
+        """
+        chosen: RenamingIdiom | None = None
+        for effective, idiom in self.entries:
+            if effective <= day:
+                chosen = idiom
+            else:
+                break
+        if chosen is None:
+            raise LookupError(f"no renaming idiom effective on day {day}")
+        return chosen
+
+    def history(self) -> list[tuple[int, RenamingIdiom]]:
+        """All entries, oldest first."""
+        return list(self.entries)
+
+
+class Registrar:
+    """One registrar in the simulated ecosystem."""
+
+    def __init__(
+        self,
+        ident: str,
+        display_name: str,
+        *,
+        seed: int = 0,
+        schedule: IdiomSchedule | None = None,
+        default_ns_domain: str | None = None,
+        psl: PublicSuffixList | None = None,
+    ) -> None:
+        self.ident = ident
+        self.display_name = display_name
+        self.schedule = schedule or IdiomSchedule()
+        self.default_ns_domain = (
+            Name(default_ns_domain).text if default_ns_domain else None
+        )
+        self.rng = random.Random(seed)
+        self._psl = psl or default_psl()
+        self.machinery = DeletionMachinery(self.rng, psl=self._psl)
+        self._sessions: dict[str, EppSession] = {}
+        self._registries: list[Registry] = []
+
+    # -- accreditation and sessions ----------------------------------------
+
+    def accredit_at(self, registries: list[Registry]) -> None:
+        """Become accredited at each registry and cache it."""
+        for registry in registries:
+            registry.accredit(self.ident)
+            if registry not in self._registries:
+                self._registries.append(registry)
+
+    def session_for(self, registry: Registry) -> EppSession:
+        """A (cached) EPP session at ``registry``."""
+        session = self._sessions.get(registry.operator)
+        if session is None:
+            session = registry.session(self.ident)
+            self._sessions[registry.operator] = session
+        return session
+
+    # -- idioms ------------------------------------------------------------
+
+    def current_idiom(self, day: int) -> RenamingIdiom:
+        """The renaming idiom this registrar's machinery uses on ``day``."""
+        return self.schedule.current(day)
+
+    def adopt_idiom(self, day: int, idiom: RenamingIdiom) -> list[str]:
+        """Switch to a new idiom and provision any sink domains it needs."""
+        self.schedule.add(day, idiom)
+        return ensure_sink_domains(self.ident, idiom, self._registries, day=day)
+
+    def provision_sinks(self, day: int) -> list[str]:
+        """Ensure the sinks of the currently scheduled idioms exist."""
+        registered: list[str] = []
+        for _, idiom in self.schedule.history():
+            registered.extend(
+                ensure_sink_domains(self.ident, idiom, self._registries, day=day)
+            )
+        return registered
+
+    # -- provisioning -------------------------------------------------------
+
+    def register_domain(
+        self,
+        roster: RegistryRoster,
+        name: str,
+        *,
+        day: int,
+        nameservers: list[str] | None = None,
+        period_years: int = 1,
+        registrant: str = "",
+    ) -> Result:
+        """Register ``name``, creating missing external host objects.
+
+        Nameserver host objects internal to the target repository must
+        already exist (only their superordinate domain's sponsor can
+        create them); external ones are created on the fly, which is how
+        real registrars reference third-party nameservers.
+        """
+        registry = roster.registry_for(name)
+        session = self.session_for(registry)
+        ns_list = [Name(ns).text for ns in (nameservers or [])]
+        for ns in ns_list:
+            self.ensure_external_host(registry, ns, day=day)
+        return session.domain_create(
+            name,
+            day=day,
+            period_years=period_years,
+            nameservers=ns_list,
+            registrant=registrant,
+        )
+
+    def ensure_external_host(
+        self, registry: Registry, host: str, *, day: int
+    ) -> None:
+        """Create a host object for an out-of-repository nameserver name."""
+        repo = registry.repository
+        if repo.host_exists(host) or repo.is_internal(host):
+            return
+        self.session_for(registry).host_create(host, day=day)
+
+    def create_subordinate_hosts(
+        self,
+        roster: RegistryRoster,
+        domain: str,
+        hosts: dict[str, list[str]],
+        *,
+        day: int,
+    ) -> list[Result]:
+        """Create glue-carrying host objects under a domain we sponsor.
+
+        ``hosts`` maps host names (e.g. ``ns1.foo.com``) to address lists.
+        """
+        registry = roster.registry_for(domain)
+        session = self.session_for(registry)
+        return [
+            session.host_create(host, day=day, addresses=addresses)
+            for host, addresses in hosts.items()
+        ]
+
+    def update_nameservers(
+        self,
+        roster: RegistryRoster,
+        domain: str,
+        *,
+        day: int,
+        add: list[str] | None = None,
+        remove: list[str] | None = None,
+    ) -> Result:
+        """Change a sponsored domain's delegation."""
+        registry = roster.registry_for(domain)
+        session = self.session_for(registry)
+        for ns in add or []:
+            self.ensure_external_host(registry, ns, day=day)
+        return session.domain_update_ns(
+            domain, day=day, add=add or [], remove=remove or []
+        )
+
+    def renew_domain(
+        self, roster: RegistryRoster, domain: str, *, day: int, period_years: int = 1
+    ) -> Result:
+        """Renew a sponsored domain."""
+        registry = roster.registry_for(domain)
+        return self.session_for(registry).domain_renew(
+            domain, day=day, period_years=period_years
+        )
+
+    def delete_domain(
+        self, roster: RegistryRoster, domain: str, *, day: int
+    ) -> DeletionOutcome:
+        """Delete a sponsored domain via the rename-then-delete machinery."""
+        registry = roster.registry_for(domain)
+        session = self.session_for(registry)
+        idiom = self.current_idiom(day)
+        return self.machinery.delete_domain(session, domain, idiom, day=day)
+
+    def __repr__(self) -> str:
+        return f"Registrar(ident={self.ident!r}, display_name={self.display_name!r})"

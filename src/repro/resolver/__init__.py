@@ -1,0 +1,35 @@
+"""Iterative DNS resolution over the simulated ecosystem.
+
+Models enough of RFC 1034/1035 resolution semantics to demonstrate the
+paper's hijack mechanics end-to-end: root → TLD referral → nameserver
+address resolution (glue or recursion) → authoritative query, with
+nameserver *behaviours* (answering, silent, scoped) standing in for real
+server operation. Used by the §6.1 controlled-experiment reproduction
+and by resolution-level tests of lame delegation.
+"""
+
+from repro.resolver.server import (
+    AnsweringBehavior,
+    NameserverBehavior,
+    QueryRecord,
+    ScopedBehavior,
+    SilentBehavior,
+)
+from repro.resolver.resolver import (
+    IterativeResolver,
+    Resolution,
+    ResolutionStatus,
+    WireExchange,
+)
+
+__all__ = [
+    "AnsweringBehavior",
+    "NameserverBehavior",
+    "QueryRecord",
+    "ScopedBehavior",
+    "SilentBehavior",
+    "IterativeResolver",
+    "Resolution",
+    "ResolutionStatus",
+    "WireExchange",
+]

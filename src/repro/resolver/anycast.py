@@ -1,0 +1,77 @@
+"""Anycast nameserver behaviour (the AS112 model of §7.3).
+
+GoDaddy's post-remediation idiom renames hosts under
+``empty.as112.arpa``. AS112 is an *anycast* sink: many independently
+operated nodes announce the same prefix, and each resolver reaches
+whichever node is topologically closest. The paper's footnote 15 warns
+that this introduces a new risk: an attacker who controls (or stands
+up) one AS112 node can answer the delegated queries *in its catchment*
+— a regional hijack of every domain renamed under the label — unless
+the zone is DNSSEC-signed.
+
+:class:`AnycastBehavior` models that: queries route to a node by the
+source address's catchment, each node has its own behaviour, and an
+optional ``signed_zone`` flag models DNSSEC validation downstream
+(validating resolvers reject the rogue node's unsigned answers).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.dnscore.records import RRType
+from repro.resolver.server import NameserverBehavior
+
+
+@dataclass
+class AnycastNode:
+    """One AS112-style anycast instance."""
+
+    name: str
+    catchments: tuple[str, ...]
+    behavior: NameserverBehavior
+    honest: bool = True
+
+    def serves(self, source_ip: str) -> bool:
+        """True if ``source_ip`` falls inside this node's catchment."""
+        address = ipaddress.ip_address(source_ip)
+        return any(
+            address in ipaddress.ip_network(catchment)
+            for catchment in self.catchments
+        )
+
+
+@dataclass
+class AnycastBehavior(NameserverBehavior):
+    """Routes each query to the node covering the source address.
+
+    With ``signed_zone`` set, answers from dishonest nodes are discarded
+    (a validating resolver rejects them because the rogue node cannot
+    produce valid signatures for the empty zone).
+    """
+
+    nodes: list[AnycastNode] = field(default_factory=list)
+    signed_zone: bool = False
+
+    def add_node(self, node: AnycastNode) -> None:
+        """Install one anycast instance."""
+        self.nodes.append(node)
+
+    def node_for(self, source_ip: str) -> AnycastNode | None:
+        """The instance a query from ``source_ip`` reaches."""
+        for node in self.nodes:
+            if node.serves(source_ip):
+                return node
+        return None
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        node = self.node_for(source_ip)
+        if node is None:
+            return None
+        response = node.behavior.handle(day, qname, qtype, source_ip)
+        if response is not None and not node.honest and self.signed_zone:
+            return None  # validating resolvers reject the forged answer
+        return response

@@ -1,0 +1,219 @@
+"""The iterative resolver: root → TLD → authoritative, over zone history.
+
+Resolution consults the longitudinal zone database for delegations and
+glue *as of a given day*, then queries whatever behaviour is attached to
+each nameserver host name. This reproduces the operational consequences
+the paper cares about:
+
+* a domain delegated to a sacrificial name with no attached server is
+  **lame** — referral exists, nobody answers;
+* once a hijacker registers the sacrificial domain and attaches a
+  server, the same query path silently lands on hijacker infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.dnscore.names import Name
+from repro.dnscore.psl import PublicSuffixList, default_psl
+from repro.dnscore.records import ResourceRecord, RRType
+from repro.dnscore.wire import Message, Rcode, decode_message, encode_message
+from repro.resolver.server import NameserverBehavior
+from repro.zonedb.database import ZoneDatabase
+
+MAX_DEPTH = 8
+
+
+@dataclass(frozen=True, slots=True)
+class WireExchange:
+    """One captured query/response pair in RFC 1035 wire format."""
+
+    server: str
+    query: bytes
+    response: bytes | None
+
+    @property
+    def query_size(self) -> int:
+        """Bytes on the wire for the query."""
+        return len(self.query)
+
+    @property
+    def response_size(self) -> int:
+        """Bytes on the wire for the response (0 if none came back)."""
+        return len(self.response) if self.response else 0
+
+
+class ResolutionStatus(str, Enum):
+    """Outcome classes for one resolution attempt."""
+
+    ANSWERED = "answered"
+    NXDOMAIN = "nxdomain"      # no delegation in the TLD zone
+    LAME = "lame"              # referral exists but no server answered
+    UNRESOLVABLE_NS = "unresolvable-ns"  # could not find any NS address
+    ERROR = "error"            # depth/loop protection tripped
+
+
+@dataclass
+class Resolution:
+    """The result and trace of one query."""
+
+    qname: str
+    qtype: RRType
+    status: ResolutionStatus
+    answer: list[str] = field(default_factory=list)
+    answered_by: str | None = None
+    trace: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True if an authoritative answer was obtained."""
+        return self.status is ResolutionStatus.ANSWERED
+
+
+class IterativeResolver:
+    """Resolves names against zone history plus attached behaviours."""
+
+    def __init__(
+        self,
+        zonedb: ZoneDatabase,
+        *,
+        psl: PublicSuffixList | None = None,
+        capture_wire: bool = False,
+    ) -> None:
+        self.zonedb = zonedb
+        self.psl = psl or default_psl()
+        self._servers: dict[str, NameserverBehavior] = {}
+        #: When enabled, every simulated server exchange is round-tripped
+        #: through the RFC 1035 codec and recorded here.
+        self.capture_wire = capture_wire
+        self.wire_log: list[WireExchange] = []
+        self._next_message_id = 1
+
+    def attach_server(self, ns_host: str, behavior: NameserverBehavior) -> None:
+        """Stand up a server behind a nameserver host name."""
+        self._servers[Name(ns_host).text] = behavior
+
+    def detach_server(self, ns_host: str) -> None:
+        """Take the server down."""
+        self._servers.pop(Name(ns_host).text, None)
+
+    def server_for(self, ns_host: str) -> NameserverBehavior | None:
+        """The behaviour attached to a host, if any."""
+        return self._servers.get(Name(ns_host).text)
+
+    # -- resolution ----------------------------------------------------------
+
+    def resolve(
+        self,
+        qname: str,
+        *,
+        day: int,
+        qtype: RRType = RRType.A,
+        source_ip: str = "203.0.113.1",
+        _depth: int = 0,
+    ) -> Resolution:
+        """Iteratively resolve ``qname`` as of ``day``."""
+        name = Name(qname)
+        result = Resolution(qname=name.text, qtype=qtype, status=ResolutionStatus.ERROR)
+        if _depth > MAX_DEPTH:
+            result.trace.append("depth limit exceeded")
+            return result
+        registered = self.psl.registered_domain(name)
+        if registered is None:
+            result.status = ResolutionStatus.NXDOMAIN
+            result.trace.append(f"{name.text}: no registrable domain")
+            return result
+        ns_set = self.zonedb.nameservers_of(registered, day)
+        result.trace.append(
+            f"TLD referral for {registered}: {sorted(ns_set) or 'none'}"
+        )
+        if not ns_set:
+            result.status = ResolutionStatus.NXDOMAIN
+            return result
+        found_address = False
+        for ns in sorted(ns_set):
+            address = self._nameserver_address(
+                ns, day, result.trace, _depth, source_ip
+            )
+            if address is None:
+                continue
+            found_address = True
+            behavior = self._servers.get(ns)
+            if behavior is None:
+                result.trace.append(f"{ns} ({address}): no server listening")
+                continue
+            answer = behavior.handle(day, name.text, qtype, source_ip)
+            if self.capture_wire:
+                self._capture(ns, name.text, qtype, answer)
+            if answer is not None:
+                result.status = ResolutionStatus.ANSWERED
+                result.answer = list(answer)
+                result.answered_by = ns
+                result.trace.append(f"{ns} answered: {answer}")
+                return result
+            result.trace.append(f"{ns}: no response")
+        result.status = (
+            ResolutionStatus.LAME if found_address
+            else ResolutionStatus.UNRESOLVABLE_NS
+        )
+        return result
+
+    def _capture(
+        self, server: str, qname: str, qtype: RRType, answer: list[str] | None
+    ) -> None:
+        """Round-trip the exchange through the wire codec and log it."""
+        query = Message.query(qname, qtype, message_id=self._next_message_id)
+        self._next_message_id = (self._next_message_id + 1) % 65536 or 1
+        query_wire = encode_message(query)
+        assert decode_message(query_wire).questions == query.questions
+        response_wire: bytes | None = None
+        if answer is not None:
+            response = query.respond(
+                [ResourceRecord(qname, qtype, rdata) for rdata in answer],
+                rcode=Rcode.NOERROR,
+            )
+            response_wire = encode_message(response)
+            assert decode_message(response_wire).answers == response.answers
+        self.wire_log.append(
+            WireExchange(server=server, query=query_wire, response=response_wire)
+        )
+
+    def _nameserver_address(
+        self, ns: str, day: int, trace: list[str], depth: int, source_ip: str
+    ) -> str | None:
+        """Find an address for a nameserver host (glue or recursion)."""
+        if self.zonedb.glue_present(ns, day):
+            trace.append(f"{ns}: glue address available")
+            return f"glue:{ns}"
+        registered = self.psl.registered_domain(ns)
+        if registered is not None and self.zonedb.domain_present(registered, day):
+            # The nameserver's own domain is delegated: resolving the host
+            # requires recursing through that delegation.
+            sub = self.resolve(
+                ns, day=day, qtype=RRType.A, source_ip=source_ip, _depth=depth + 1
+            )
+            if sub.ok:
+                trace.append(f"{ns}: resolved via {sub.answered_by}")
+                return sub.answer[0]
+            trace.append(f"{ns}: address resolution failed ({sub.status.value})")
+            return None
+        if not self.zonedb.covers(ns):
+            # Outside the simulated namespace: reachable iff someone runs
+            # a server there (hijacker infrastructure under foreign TLDs).
+            if ns in self._servers:
+                trace.append(f"{ns}: external host with live server")
+                return f"external:{ns}"
+            trace.append(f"{ns}: external host, unreachable")
+            return None
+        trace.append(f"{ns}: no glue and no delegation for its domain")
+        return None
+
+    def is_lame(self, domain: str, *, day: int) -> bool:
+        """True if the domain is delegated but nobody answers for it."""
+        result = self.resolve(domain, day=day)
+        return result.status in (
+            ResolutionStatus.LAME,
+            ResolutionStatus.UNRESOLVABLE_NS,
+        )

@@ -1,0 +1,160 @@
+"""Authoritative nameserver behaviours.
+
+A behaviour decides how the server listening behind a nameserver host
+name reacts to a query: answer authoritatively, stay silent (the typical
+state of a sacrificial name — §3.1's unresolvability property), or
+answer only for selected sources (the ethics control of the paper's
+§6.1 experiment: respond if and only if the query originates from the
+researchers' own /24, during the test window).
+
+Every behaviour records the queries it receives; the query log is what
+"we observed incoming queries for the domains" (§6.1) maps onto.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+
+from repro.dnscore.names import Name
+from repro.dnscore.records import RRType
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRecord:
+    """One query received by a server."""
+
+    day: int
+    qname: str
+    qtype: RRType
+    source_ip: str
+
+
+@dataclass
+class NameserverBehavior:
+    """Base behaviour: never answers, but logs every query."""
+
+    query_log: list[QueryRecord] = field(default_factory=list)
+
+    def handle(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        """Process one query; returns rdata list or None for no response."""
+        self.query_log.append(QueryRecord(day, Name(qname).text, qtype, source_ip))
+        return self.answer(day, Name(qname).text, qtype, source_ip)
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        """Behaviour-specific answer; None means no response."""
+        return None
+
+    def queries_for(self, qname: str) -> list[QueryRecord]:
+        """Logged queries for one name."""
+        text = Name(qname).text
+        return [q for q in self.query_log if q.qname == text]
+
+    def purge_logs(self) -> int:
+        """Delete all logged queries (the §8 ethics requirement).
+
+        Returns how many records were destroyed.
+        """
+        count = len(self.query_log)
+        self.query_log.clear()
+        return count
+
+
+@dataclass
+class SilentBehavior(NameserverBehavior):
+    """Never responds — a freshly created sacrificial name."""
+
+
+@dataclass
+class AnsweringBehavior(NameserverBehavior):
+    """Answers authoritatively from a static record table.
+
+    ``records`` maps (owner name, type) to rdata lists. Unknown names get
+    no response (None) rather than NXDOMAIN, which is how parked/lame
+    servers typically fail.
+    """
+
+    records: dict[tuple[str, RRType], list[str]] = field(default_factory=dict)
+
+    def add_record(self, owner: str, rtype: RRType, rdata: str) -> None:
+        """Install one record."""
+        key = (Name(owner).text, rtype)
+        self.records.setdefault(key, []).append(rdata)
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        return self.records.get((qname, qtype))
+
+
+@dataclass
+class ParkingBehavior(NameserverBehavior):
+    """Answers *every* name with the parking farm's address.
+
+    The dominant monetization the paper observed (§6.2): hijacked
+    domains resolve to a parking page with topic links. One address per
+    operator; every hijacked domain under the operator's nameservers
+    lands there.
+    """
+
+    parking_address: str = "203.0.113.10"
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        if qtype is RRType.A:
+            return [self.parking_address]
+        return None
+
+
+@dataclass
+class RedirectBehavior(NameserverBehavior):
+    """Answers every name with the operator's own site address.
+
+    The phonesear.ch model (§6.2): hijacked domains redirect to the
+    operator's destination site, feeding an SEO strategy — so every
+    victim resolves to exactly the address the operator's apex resolves
+    to.
+    """
+
+    destination_address: str = "203.0.113.80"
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        if qtype is RRType.A:
+            return [self.destination_address]
+        return None
+
+
+@dataclass
+class ScopedBehavior(NameserverBehavior):
+    """Answers only for sources inside a network, during a window.
+
+    Wraps an inner behaviour; queries from outside the scope (or outside
+    the day window) are logged but receive no response — exactly the
+    §6.1 control: "return an A record if and only if the request
+    originated from our client IP address during a short testing
+    window".
+    """
+
+    inner: AnsweringBehavior = field(default_factory=AnsweringBehavior)
+    allowed_network: str = "198.51.100.0/24"
+    window_start: int = 0
+    window_end: int | None = None
+
+    def answer(
+        self, day: int, qname: str, qtype: RRType, source_ip: str
+    ) -> list[str] | None:
+        if day < self.window_start:
+            return None
+        if self.window_end is not None and day >= self.window_end:
+            return None
+        network = ipaddress.ip_network(self.allowed_network)
+        if ipaddress.ip_address(source_ip) not in network:
+            return None
+        return self.inner.answer(day, qname, qtype, source_ip)

@@ -1,0 +1,146 @@
+"""Day-granularity simulation time.
+
+The study's data source is *daily* zone-file snapshots, so the whole
+library operates on integer day indices. Day 0 is :data:`EPOCH`
+(2011-04-01, the first day of the paper's measurement window). Helpers
+convert between day indices, :class:`datetime.date`, and calendar months,
+and provide the month bucketing used by the longitudinal figures.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Day 0 of the simulation: start of the paper's measurement window.
+EPOCH = _dt.date(2011, 4, 1)
+
+#: End of the paper's primary measurement window (Figures 3-7, Tables 1-4).
+STUDY_END = _dt.date(2020, 9, 30)
+
+#: Notification outreach start (Section 7).
+NOTIFICATION_DATE = _dt.date(2020, 9, 15)
+
+#: End of the remediation measurement (Table 5).
+REMEDIATION_END = _dt.date(2021, 2, 15)
+
+#: End of the extended window (Table 6, "as of September 2021").
+EXTENDED_END = _dt.date(2021, 9, 15)
+
+
+def to_day(date: _dt.date) -> int:
+    """Day index of a calendar date (may be negative before EPOCH)."""
+    return (date - EPOCH).days
+
+
+def to_date(day: int) -> _dt.date:
+    """Calendar date of a day index."""
+    return EPOCH + _dt.timedelta(days=day)
+
+
+def month_of(day: int) -> str:
+    """Month bucket of a day index as ``YYYY-MM``."""
+    date = to_date(day)
+    return f"{date.year:04d}-{date.month:02d}"
+
+
+def month_index(day: int) -> int:
+    """Months elapsed since the EPOCH month (0 for April 2011)."""
+    date = to_date(day)
+    return (date.year - EPOCH.year) * 12 + (date.month - EPOCH.month)
+
+
+def month_label(index: int) -> str:
+    """Inverse of :func:`month_index`: ``YYYY-MM`` label for a month index."""
+    total = EPOCH.year * 12 + (EPOCH.month - 1) + index
+    year, month0 = divmod(total, 12)
+    return f"{year:04d}-{month0 + 1:02d}"
+
+
+def months_between(start_day: int, end_day: int) -> Iterator[str]:
+    """Yield every month label from start_day's month through end_day's."""
+    for idx in range(month_index(start_day), month_index(end_day) + 1):
+        yield month_label(idx)
+
+
+DAYS_PER_YEAR = 365
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open day interval ``[start, end)``.
+
+    ``end`` may be ``None`` to mean "still open at the end of the data".
+    Interval arithmetic here backs all first-seen/last-seen reasoning in
+    the zone database and the duration analyses.
+    """
+
+    start: int
+    end: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.end is not None and self.end < self.start:
+            raise ValueError(f"interval end {self.end} before start {self.start}")
+
+    def contains(self, day: int) -> bool:
+        """True if ``day`` falls inside the interval."""
+        if day < self.start:
+            return False
+        return self.end is None or day < self.end
+
+    def closed(self, horizon: int) -> "Interval":
+        """This interval with an open end clamped to ``horizon``."""
+        if self.end is not None:
+            return self
+        return Interval(self.start, max(self.start, horizon))
+
+    def duration(self, horizon: int | None = None) -> int:
+        """Length in days; open intervals require a ``horizon``."""
+        if self.end is not None:
+            return self.end - self.start
+        if horizon is None:
+            raise ValueError("open interval needs a horizon to measure duration")
+        return max(0, horizon - self.start)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one day."""
+        if other.end is not None and other.end <= self.start:
+            return False
+        if self.end is not None and self.end <= other.start:
+            return False
+        return True
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The overlap of two intervals, or None if disjoint."""
+        if not self.overlaps(other):
+            return None
+        start = max(self.start, other.start)
+        ends = [e for e in (self.end, other.end) if e is not None]
+        end = min(ends) if ends else None
+        return Interval(start, end)
+
+
+def merge_intervals(intervals: list[Interval]) -> list[Interval]:
+    """Coalesce overlapping or adjacent intervals into a minimal list."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals, key=lambda iv: iv.start)
+    merged = [ordered[0]]
+    for iv in ordered[1:]:
+        last = merged[-1]
+        if last.end is None:
+            break  # an open interval absorbs everything after it
+        if iv.start <= last.end:
+            if iv.end is None:
+                merged[-1] = Interval(last.start, None)
+            else:
+                merged[-1] = Interval(last.start, max(last.end, iv.end))
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_days(intervals: list[Interval], horizon: int) -> int:
+    """Total covered days across intervals, clamping open ends at horizon."""
+    return sum(iv.closed(horizon).duration() for iv in merge_intervals(intervals))

@@ -1,0 +1,5 @@
+"""WHOIS history archive (the DomainTools substitute)."""
+
+from repro.whois.archive import WhoisArchive, WhoisRecord
+
+__all__ = ["WhoisArchive", "WhoisRecord"]

@@ -1,0 +1,22 @@
+"""A DZDB-style longitudinal zone database.
+
+The paper's primary data set is CAIDA-DZDB: nine years of daily TLD zone
+file snapshots reduced to first-seen/last-seen interval histories of
+delegations and glue. :class:`~repro.zonedb.database.ZoneDatabase`
+reproduces that view. It can be populated either from full daily
+:class:`~repro.zonedb.snapshot.ZoneSnapshot` objects (diffed on ingest,
+exactly as DZDB processes zone files) or through the change-level API the
+simulated world drives directly.
+"""
+
+from repro.zonedb.database import DelegationRecord, ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+from repro.zonedb.archive import read_archive, write_archive
+
+__all__ = [
+    "DelegationRecord",
+    "ZoneDatabase",
+    "ZoneSnapshot",
+    "read_archive",
+    "write_archive",
+]

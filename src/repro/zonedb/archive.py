@@ -1,0 +1,77 @@
+"""On-disk zone archive: directories of daily master-file snapshots.
+
+Mirrors how raw zone file collections are laid out (one file per TLD per
+day) so the ingestion pipeline can be exercised end-to-end from text
+files, exactly as DZDB ingests CZDS drops:
+
+    archive_root/
+        com/
+            0000120.zone      # day index, zero padded
+        biz/
+            0000120.zone
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterator
+
+from repro.dnscore.zone import Zone
+from repro.zonedb.database import ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+
+_DAY_WIDTH = 7
+
+
+def snapshot_path(root: str | Path, tld: str, day: int) -> Path:
+    """The archive path for one TLD/day snapshot."""
+    return Path(root) / tld / f"{day:0{_DAY_WIDTH}d}.zone"
+
+
+def write_archive(root: str | Path, snapshots: list[ZoneSnapshot]) -> list[Path]:
+    """Write snapshots as master-file text; returns the paths written."""
+    paths = []
+    for snapshot in snapshots:
+        path = snapshot_path(root, snapshot.tld, snapshot.day)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        zone = snapshot.to_zone()
+        path.write_text(zone.to_text(), encoding="ascii")
+        paths.append(path)
+    return paths
+
+
+def iter_archive(root: str | Path) -> Iterator[ZoneSnapshot]:
+    """Stream snapshots from an archive in (day, tld) order."""
+    root_path = Path(root)
+    entries: list[tuple[int, str, Path]] = []
+    if not root_path.exists():
+        return
+    for tld_dir in sorted(root_path.iterdir()):
+        if not tld_dir.is_dir():
+            continue
+        for zone_file in sorted(tld_dir.glob("*.zone")):
+            day = int(zone_file.stem)
+            entries.append((day, tld_dir.name, zone_file))
+    entries.sort()
+    for day, _tld, path in entries:
+        zone = Zone.from_text(path.read_text(encoding="ascii"))
+        yield ZoneSnapshot.from_zone(day, zone)
+
+
+def read_archive(root: str | Path) -> ZoneDatabase:
+    """Build a :class:`ZoneDatabase` by ingesting a whole archive."""
+    database = ZoneDatabase()
+    for snapshot in iter_archive(root):
+        database.ingest_snapshot(snapshot)
+    return database
+
+
+def archive_size_bytes(root: str | Path) -> int:
+    """Total bytes of zone text in an archive (for reporting)."""
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if filename.endswith(".zone"):
+                total += (Path(dirpath) / filename).stat().st_size
+    return total

@@ -1,0 +1,58 @@
+"""Point-in-time zone snapshots.
+
+A :class:`ZoneSnapshot` is what one day's zone file for one TLD reduces
+to: the delegation map and the set of glue-carrying hosts. Snapshots are
+the ingestion unit for :class:`~repro.zonedb.database.ZoneDatabase` when
+operating in file-diff mode, and the output unit of the archive reader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dnscore.names import Name
+from repro.dnscore.zone import Zone
+
+
+@dataclass(frozen=True)
+class ZoneSnapshot:
+    """One TLD's zone contents on one simulation day."""
+
+    day: int
+    tld: str
+    delegations: dict[str, frozenset[str]] = field(default_factory=dict)
+    glue: dict[str, frozenset[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tld", Name(self.tld).text)
+
+    @classmethod
+    def from_zone(cls, day: int, zone: Zone) -> "ZoneSnapshot":
+        """Snapshot a :class:`~repro.dnscore.zone.Zone` object."""
+        delegations = {
+            delegation.domain: delegation.nameservers
+            for delegation in zone.delegations()
+        }
+        glue = {host: zone.glue_of(host) for host in zone.glue_hosts()}
+        return cls(day=day, tld=zone.origin, delegations=delegations, glue=glue)
+
+    def to_zone(self, *, serial: int | None = None) -> Zone:
+        """Materialize back into a :class:`~repro.dnscore.zone.Zone`."""
+        zone = Zone(self.tld, serial=serial if serial is not None else self.day + 1)
+        for domain, ns_set in self.delegations.items():
+            zone.set_delegation(domain, ns_set)
+        for host, addresses in self.glue.items():
+            if addresses:
+                zone.set_glue(host, addresses)
+        return zone
+
+    def domain_count(self) -> int:
+        """Number of delegated domains in the snapshot."""
+        return len(self.delegations)
+
+    def nameserver_set(self) -> frozenset[str]:
+        """Every distinct NS target referenced by the snapshot."""
+        names: set[str] = set()
+        for ns_set in self.delegations.values():
+            names |= ns_set
+        return frozenset(names)

@@ -1,0 +1,41 @@
+"""Shared fixtures: reproduction bundles at several scales.
+
+The world simulation is the expensive part, so bundles are session-scoped
+and shared. ``tiny_bundle`` is for fast logic checks, ``small_bundle``
+for integration behaviour, ``default_bundle`` for the statistical shape
+assertions that need the full-scale world's sample sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ReproBundle, reproduce
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle() -> ReproBundle:
+    """A ~1:1000-scale world: fast, enough structure for logic tests."""
+    return reproduce(scale=0.1)
+
+
+@pytest.fixture(scope="session")
+def small_bundle() -> ReproBundle:
+    """A ~1:400-scale world for integration tests."""
+    return reproduce(scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def default_bundle() -> ReproBundle:
+    """The canonical full-scale world (shape/calibration assertions)."""
+    return reproduce(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def experiment_bundle() -> ReproBundle:
+    """A private world for the controlled experiment.
+
+    The §6.1 protocol *mutates* registry state (defensive registration,
+    new host objects), so it must never run against the shared bundles.
+    """
+    return reproduce(seed=1759, scale=0.25, use_cache=False)

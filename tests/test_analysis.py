@@ -1,0 +1,401 @@
+"""Tests for the shared analysis core and per-artifact modules."""
+
+import pytest
+
+from repro import simtime
+from repro.analysis import actors, desirability, duration, exposure, hijacks, timing
+from repro.analysis.remediation import population_snapshot, table5, table6
+from repro.analysis.study import StudyAnalysis, StudyConfig
+from repro.analysis.tables import (
+    HijackSummary,
+    collision_count,
+    display_registrar,
+    partial_exposure_summary,
+    table1,
+    table2,
+    table3,
+)
+
+
+@pytest.fixture(scope="module")
+def study(tiny_bundle):
+    return tiny_bundle.study
+
+
+@pytest.fixture(scope="module")
+def world(tiny_bundle):
+    return tiny_bundle.world
+
+
+class TestStudyCore:
+    def test_views_built_for_all_sacrificial(self, study, tiny_bundle):
+        non_excluded = [
+            s for s in tiny_bundle.pipeline.sacrificial
+            if s.original_domain != "registrar-servers.com"
+        ]
+        assert len(study.nameservers) == len(non_excluded)
+
+    def test_namecheap_excluded(self, study, world):
+        accidental = {r.new_name for r in world.log.renames if r.accidental}
+        assert accidental
+        for name in accidental:
+            assert name not in study.nameservers
+        assert len(study.excluded) == len(accidental)
+
+    def test_groups_share_registered_domain(self, study):
+        for registered, group in study.groups.items():
+            assert group.registered_domain == registered
+            for view in group.nameservers:
+                assert view.info.registered_domain == registered
+
+    def test_hijack_epochs_match_ground_truth(self, study, world):
+        # A sacrificial domain may be hijacked more than once (registered,
+        # dropped, re-registered) — compare against the earliest event.
+        first_by_domain: dict[str, int] = {}
+        for hijack in world.log.hijacks:
+            first_by_domain.setdefault(hijack.domain, hijack.day)
+        for registered, group in study.groups.items():
+            truth_day = first_by_domain.get(registered)
+            if truth_day is not None and truth_day < study.config.study_end:
+                if group.hijackable:
+                    assert group.hijacked, registered
+                    assert group.first_hijack_day == truth_day
+
+    def test_no_phantom_hijacks(self, study, world):
+        truth_domains = set(world.log.hijacks_by_domain())
+        for registered, group in study.groups.items():
+            if group.hijacked:
+                assert registered in truth_domains
+
+    def test_exposures_only_for_hijackable(self, study):
+        for domain, exp in study.exposures.items():
+            assert exp.exposure_intervals
+            for view, _interval in exp.delegations:
+                assert view.info.hijackable
+
+    def test_hijacked_intervals_subset_of_exposure(self, study):
+        horizon = study.config.study_end
+        for exp in study.exposures.values():
+            assert exp.hijacked_days(horizon) <= exp.exposure_days(horizon)
+
+    def test_hijacked_domains_subset(self, study):
+        assert study.hijacked_domains() <= study.hijackable_domains()
+
+    def test_study_window_filter(self, tiny_bundle):
+        narrow = StudyAnalysis(
+            tiny_bundle.pipeline,
+            tiny_bundle.world.zonedb,
+            tiny_bundle.world.whois,
+            StudyConfig(study_end=365),
+        )
+        wide = tiny_bundle.study
+        assert len(narrow.study_nameservers()) < len(wide.study_nameservers())
+
+
+class TestTables(object):
+    def test_table1_rows_are_sinks(self, study):
+        rows, total = table1(study)
+        assert total.nameservers == sum(r.nameservers for r in rows)
+        for row in rows:
+            assert row.idiom not in (
+                "PLEASEDROPTHISHOST", "DROPTHISHOST", "XXXXX.{BIZ, COM}"
+            )
+
+    def test_table2_rows_are_hijackable(self, study):
+        rows, _total = table2(study)
+        idioms = {r.idiom for r in rows}
+        assert "PLEASEDROPTHISHOST" in idioms or "DROPTHISHOST" in idioms
+        assert "DUMMYNS.COM" not in idioms
+
+    def test_tables_exclude_post_remediation(self, study):
+        rows1, _t1 = table1(study)
+        rows2, _t2 = table2(study)
+        for row in rows1 + rows2:
+            assert "AS112" not in row.idiom
+            assert row.idiom != "DELETE-REGISTRATION.COM"
+
+    def test_table3_fractions(self, study):
+        summary = table3(study)
+        assert 0 < summary.hijacked_ns <= summary.hijackable_ns
+        assert 0 < summary.hijacked_domains <= summary.hijackable_domains
+        assert summary.ns_fraction == pytest.approx(
+            summary.hijacked_ns / summary.hijackable_ns
+        )
+
+    def test_table3_empty_safe(self):
+        empty = HijackSummary(0, 0, 0, 0)
+        assert empty.ns_fraction == 0.0
+        assert empty.domain_fraction == 0.0
+
+    def test_display_registrar(self):
+        assert display_registrar("godaddy") == "GoDaddy"
+        assert display_registrar(None) == "(unattributed)"
+        assert display_registrar("unknown-x") == "unknown-x"
+
+    def test_collision_count_zero_for_tiny_or_more(self, study):
+        assert collision_count(study) >= 0
+
+    def test_partial_exposure_counts(self, default_bundle):
+        day = default_bundle.study.config.study_end - 1
+        partial, hijacked = partial_exposure_summary(default_bundle.study, day)
+        assert partial > 0
+        assert 0 <= hijacked <= partial
+
+
+class TestSeries:
+    def test_fig3_counts_domains_once(self, study):
+        series = exposure.new_hijackable_per_month(study)
+        assert sum(series.values()) == len(
+            [e for e in study.exposures.values()
+             if e.first_exposed < study.config.study_end]
+        )
+
+    def test_fig3_spans_study_window(self, study):
+        series = exposure.new_hijackable_per_month(study)
+        assert list(series)[0] == "2011-04"
+        assert list(series)[-1].startswith("2020")
+
+    def test_fig4_total_matches_hijacked_domains(self, study):
+        series = hijacks.new_hijacked_per_month(study)
+        assert sum(series.values()) == len(study.hijacked_domains())
+
+    def test_trend_slope_sign(self):
+        declining = {f"m{i}": 100 - i for i in range(50)}
+        rising = {f"m{i}": i for i in range(50)}
+        assert exposure.trend_slope(declining) < 0
+        assert exposure.trend_slope(rising) > 0
+
+    def test_halves_ratio(self):
+        flat = {f"m{i}": 10 for i in range(10)}
+        assert exposure.halves_ratio(flat) == pytest.approx(1.0)
+
+    def test_burstiness_of_constant_is_zero(self):
+        assert hijacks.burstiness({"a": 5, "b": 5}) == 0.0
+
+    def test_burstiness_of_spike(self):
+        spiky = {f"m{i}": (100 if i == 3 else 0) for i in range(20)}
+        assert hijacks.burstiness(spiky) > 2.0
+
+    def test_active_months_fraction(self):
+        series = {"a": 1, "b": 0, "c": 2, "d": 0}
+        assert hijacks.active_months_fraction(series) == 0.5
+
+
+class TestDesirability:
+    def test_points_cover_hijackable(self, study):
+        points = desirability.value_points(study)
+        assert len(points) == len(study.hijackable_nameservers())
+
+    def test_points_sorted_by_value(self, study):
+        points = desirability.value_points(study)
+        values = [p.hijack_value_days for p in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_cap(self):
+        point = desirability.ValuePoint("x", 10, 5000, False)
+        assert point.capped_domains() == 1000
+
+    def test_selectivity_top_decile_dominates(self, default_bundle):
+        points = desirability.value_points(default_bundle.study)
+        summary = desirability.selectivity_summary(points)
+        assert summary["top_decile_hijacked_fraction"] > \
+            summary["overall_hijacked_fraction"] * 2
+        assert summary["mean_value_hijacked"] > summary["mean_value_not_hijacked"]
+
+    def test_selectivity_empty(self):
+        summary = desirability.selectivity_summary([])
+        assert summary["overall_hijacked_fraction"] == 0.0
+
+
+class TestTiming:
+    def test_cdf_helpers(self):
+        samples = [1, 2, 2, 10]
+        assert timing.cdf_fraction_at(samples, 2) == 0.75
+        assert timing.cdf_fraction_at(samples, 0) == 0.0
+        assert timing.cdf_fraction_at([], 5) == 0.0
+        assert timing.percentile(samples, 0.5) == 2
+
+    def test_delays_nonnegative_sorted(self, study):
+        for delays in (timing.nameserver_delays(study), timing.domain_delays(study)):
+            assert all(d >= 0 for d in delays)
+            assert delays == sorted(delays)
+
+    def test_delay_counts_match(self, study):
+        assert len(timing.nameserver_delays(study)) == len(
+            study.hijacked_nameservers()
+        )
+        assert len(timing.domain_delays(study)) == len(study.hijacked_domains())
+
+    def test_summary_keys(self, study):
+        summary = timing.timing_summary(study)
+        assert set(summary) >= {
+            "ns_within_7_days", "domains_within_5_days", "domains_within_30_days"
+        }
+
+
+class TestDuration:
+    def test_partition_is_complete(self, study):
+        never, hijacked = duration.hijackable_durations(study)
+        horizon = study.config.study_end
+        in_window = [
+            e for e in study.exposures.values()
+            if e.first_exposed < horizon and e.exposure_days(horizon) > 0
+        ]
+        assert len(never) + len(hijacked) == len(in_window)
+
+    def test_hijacked_durations_positive(self, study):
+        assert all(d > 0 for d in duration.hijacked_durations(study))
+
+    def test_summary_fractions_in_range(self, study):
+        summary = duration.duration_summary(study)
+        for value in summary.values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestActors:
+    def test_rows_ranked_by_domains(self, study):
+        rows = actors.hijacker_rows(study, top=None)
+        domains = [r.domain_count for r in rows]
+        assert domains == sorted(domains, reverse=True)
+
+    def test_top_limits(self, study):
+        assert len(actors.hijacker_rows(study, top=3)) <= 3
+
+    def test_known_actor_domains_surface(self, default_bundle):
+        rows = actors.hijacker_rows(default_bundle.study, top=5)
+        names = {r.controlling_domain for r in rows}
+        assert "mpower.nl" in names
+
+
+class TestRemediation:
+    def test_snapshot_consistency(self, study):
+        snap = population_snapshot(study, simtime.to_day(simtime.NOTIFICATION_DATE))
+        assert snap.hijacked_ns <= snap.vulnerable_ns
+        assert snap.hijacked_domains <= snap.vulnerable_domains
+
+    def test_table5_baseline_windows(self, study):
+        delta = table5(study)
+        assert delta.before.day - delta.baseline_before.day == simtime.DAYS_PER_YEAR
+        assert delta.before.label == "Sep 2020"
+        assert delta.after.label == "Feb 2021"
+
+    def test_table5_population_declines(self, default_bundle):
+        delta = table5(default_bundle.study)
+        assert delta.ns_delta < 0
+        assert delta.domain_delta < 0
+
+    def test_table6_rows_post_remediation_only(self, study):
+        rows, total = table6(study)
+        assert total.nameservers == sum(r.nameservers for r in rows)
+        for row in rows:
+            assert row.idiom in (
+                "EMPTY.AS112.ARPA", "NOTAPLACETO.BE", "DELETE-REGISTRATION.COM"
+            )
+
+    def test_table6_nonzero_on_default(self, default_bundle):
+        rows, total = table6(default_bundle.study)
+        assert total.nameservers > 0
+        assert total.domains > 0
+        registrars = {r.registrar for r in rows}
+        assert "GoDaddy" in registrars
+
+
+class TestNature:
+    def test_classification_partitions(self, default_bundle):
+        from repro.analysis.nature import classify_exposure
+        study = default_bundle.study
+        day = study.config.study_end - 1
+        nature = classify_exposure(study, day)
+        assert nature.total_exposed == \
+            nature.fully_exposed + nature.partially_exposed
+        assert nature.partially_exposed_hijacked <= nature.partially_exposed
+
+    def test_partial_matches_tables_helper(self, default_bundle):
+        from repro.analysis.nature import classify_exposure
+        from repro.analysis.tables import partial_exposure_summary
+        study = default_bundle.study
+        day = study.config.study_end - 1
+        nature = classify_exposure(study, day)
+        partial, hijacked = partial_exposure_summary(study, day)
+        assert nature.partially_exposed == partial
+        assert nature.partially_exposed_hijacked == hijacked
+
+    def test_authority_tlds_present(self, default_bundle):
+        from repro.analysis.nature import classify_exposure
+        study = default_bundle.study
+        day = study.config.study_end - 1
+        nature = classify_exposure(study, day)
+        assert nature.authority_tld_exposed > 0
+
+    def test_nature_rows_render(self, default_bundle):
+        from repro.analysis.nature import classify_exposure, nature_rows
+        study = default_bundle.study
+        rows = nature_rows(classify_exposure(study, study.config.study_end - 1))
+        assert len(rows) == 6
+
+
+class TestPopularity:
+    @pytest.fixture(scope="class")
+    def top_list(self, default_bundle):
+        from repro.ecosystem.popularity import build_top_list
+        from repro.ecosystem.population import SAFE_PROVIDERS
+        safe = {
+            f"ns{i}.{provider}" for provider, _o in SAFE_PROVIDERS for i in (1, 2)
+        }
+        study = default_bundle.study
+        return build_top_list(
+            default_bundle.world.zonedb, safe,
+            day=study.config.study_end - 1, size=1000, seed=3,
+        )
+
+    def test_list_size(self, top_list):
+        assert 900 <= len(top_list) <= 1000
+
+    def test_rank_lookup(self, top_list):
+        first = top_list.ranked[0]
+        assert top_list.rank_of(first) == 1
+        assert top_list.rank_of("never-listed.example") is None
+
+    def test_exposed_domains_are_rare_on_list(self, default_bundle, top_list):
+        """The paper's finding: ~500 of 1M listed domains hijackable."""
+        from repro.ecosystem.popularity import hijackable_on_list
+        overlap = hijackable_on_list(
+            top_list, default_bundle.study.hijackable_domains()
+        )
+        # Rarity is the claim; whether the handful of non-professional
+        # slots hit ever-hijackable domains is sampling luck at this scale.
+        assert len(overlap) < len(top_list) * 0.02
+
+    def test_non_professional_slice_is_bounded(self, default_bundle, top_list):
+        from repro.ecosystem.population import SAFE_PROVIDERS
+        safe = {
+            f"ns{i}.{p}" for p, _o in SAFE_PROVIDERS for i in (1, 2)
+        }
+        zonedb = default_bundle.world.zonedb
+        non_professional = [
+            domain for domain in top_list.ranked
+            if {r.ns for r in zonedb.domain_records(domain)} - safe
+        ]
+        assert len(non_professional) <= max(2, int(len(top_list) * 0.005))
+
+
+class TestRemediationAttribution:
+    def test_rerename_dominates(self, default_bundle):
+        """§7.1: the bulk of NS remediation is GoDaddy's re-renames."""
+        from repro.analysis.remediation import remediation_attribution
+        attribution = remediation_attribution(default_bundle.study)
+        assert attribution.remediated_ns > 0
+        # Paper: ~70% of remediated NS were GoDaddy re-renames; the
+        # simulated organic churn is relatively thicker, so the band is
+        # wider — but re-renames must be a major cause and GoDaddy the
+        # dominant attributed registrar.
+        assert attribution.rerename_fraction() > 0.25
+        by_registrar = attribution.rerename_ns_by_registrar
+        assert max(by_registrar, key=by_registrar.get) == "godaddy"
+
+    def test_counts_partition(self, default_bundle):
+        from repro.analysis.remediation import remediation_attribution
+        attribution = remediation_attribution(default_bundle.study)
+        total = sum(attribution.rerename_ns_by_registrar.values()) \
+            + attribution.organic_ns
+        assert total == attribution.remediated_ns

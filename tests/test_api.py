@@ -1,0 +1,39 @@
+"""Tests for the top-level convenience API."""
+
+import pytest
+
+from repro.api import ReproBundle, reproduce
+
+
+class TestReproduce:
+    def test_bundle_shape(self, tiny_bundle):
+        assert isinstance(tiny_bundle, ReproBundle)
+        assert tiny_bundle.zonedb is tiny_bundle.world.zonedb
+        assert tiny_bundle.whois is tiny_bundle.world.whois
+        assert tiny_bundle.pipeline.sacrificial
+        assert tiny_bundle.study.groups
+
+    def test_cache_returns_same_object(self):
+        first = reproduce(scale=0.1)
+        second = reproduce(scale=0.1)
+        assert first is second
+
+    def test_cache_keyed_by_seed_and_scale(self):
+        a = reproduce(scale=0.1)
+        b = reproduce(scale=0.1, seed=2022)
+        assert a is not b
+
+    def test_no_cache_builds_fresh(self):
+        cached = reproduce(scale=0.1)
+        fresh = reproduce(scale=0.1, use_cache=False)
+        assert cached is not fresh
+        assert len(fresh.pipeline.sacrificial) == len(cached.pipeline.sacrificial)
+
+    def test_mine_patterns_bypasses_cache_and_mines(self):
+        bundle = reproduce(scale=0.1, mine_patterns=True)
+        assert bundle.pipeline.mined_patterns
+
+    def test_package_reexports(self):
+        import repro
+        assert repro.reproduce is reproduce
+        assert repro.__version__

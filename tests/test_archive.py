@@ -1,0 +1,105 @@
+"""Tests for the on-disk zone archive (text round-trips)."""
+
+import pytest
+
+from repro.zonedb.archive import (
+    archive_size_bytes,
+    iter_archive,
+    read_archive,
+    snapshot_path,
+    write_archive,
+)
+from repro.zonedb.snapshot import ZoneSnapshot
+from repro.dnscore.zone import Zone
+
+
+def make_snapshot(day: int, tld: str = "com") -> ZoneSnapshot:
+    return ZoneSnapshot(
+        day=day,
+        tld=tld,
+        delegations={
+            f"alpha.{tld}": frozenset({"ns1.x.net"}),
+            f"beta.{tld}": frozenset({"ns1.x.net", "ns2.x.net"}),
+        },
+        glue={f"ns1.alpha.{tld}": frozenset({"192.0.2.5"})},
+    )
+
+
+class TestPaths:
+    def test_snapshot_path_layout(self, tmp_path):
+        path = snapshot_path(tmp_path, "com", 120)
+        assert path == tmp_path / "com" / "0000120.zone"
+
+
+class TestWriteRead:
+    def test_write_creates_files(self, tmp_path):
+        paths = write_archive(tmp_path, [make_snapshot(0), make_snapshot(1)])
+        assert all(p.exists() for p in paths)
+
+    def test_iter_in_day_order(self, tmp_path):
+        write_archive(tmp_path, [make_snapshot(5), make_snapshot(1), make_snapshot(3)])
+        days = [snap.day for snap in iter_archive(tmp_path)]
+        assert days == [1, 3, 5]
+
+    def test_round_trip_content(self, tmp_path):
+        original = make_snapshot(2)
+        write_archive(tmp_path, [original])
+        restored = next(iter_archive(tmp_path))
+        assert restored.delegations == original.delegations
+        assert restored.glue == original.glue
+
+    def test_read_archive_builds_database(self, tmp_path):
+        write_archive(tmp_path, [make_snapshot(0), make_snapshot(1)])
+        db = read_archive(tmp_path)
+        assert db.nameservers_of("alpha.com", 0) == {"ns1.x.net"}
+        assert db.glue_present("ns1.alpha.com", 1)
+
+    def test_missing_archive_is_empty(self, tmp_path):
+        assert list(iter_archive(tmp_path / "nothing")) == []
+
+    def test_archive_size(self, tmp_path):
+        write_archive(tmp_path, [make_snapshot(0)])
+        assert archive_size_bytes(tmp_path) > 0
+
+    def test_multi_tld_interleaved(self, tmp_path):
+        write_archive(
+            tmp_path,
+            [make_snapshot(0, "com"), make_snapshot(0, "biz"), make_snapshot(1, "com")],
+        )
+        db = read_archive(tmp_path)
+        assert db.covers("x.com") and db.covers("x.biz")
+        assert db.nameservers_of("alpha.biz", 0) == {"ns1.x.net"}
+
+
+class TestSnapshotConversion:
+    def test_from_zone(self):
+        zone = Zone("com", serial=3)
+        zone.set_delegation("a.com", ["ns1.x.net"])
+        zone.set_glue("ns1.a.com", ["192.0.2.1"])
+        snap = ZoneSnapshot.from_zone(4, zone)
+        assert snap.day == 4
+        assert snap.delegations["a.com"] == frozenset({"ns1.x.net"})
+        assert snap.glue["ns1.a.com"] == frozenset({"192.0.2.1"})
+
+    def test_to_zone_round_trip(self):
+        snap = make_snapshot(9)
+        zone = snap.to_zone()
+        assert ZoneSnapshot.from_zone(9, zone).delegations == snap.delegations
+
+    def test_counts(self):
+        snap = make_snapshot(0)
+        assert snap.domain_count() == 2
+        assert snap.nameserver_set() == frozenset({"ns1.x.net", "ns2.x.net"})
+
+
+class TestWorldArchiveRoundTrip:
+    def test_world_zone_state_survives_archive(self, tiny_bundle, tmp_path):
+        """Registry state → text archive → database reproduces the zone."""
+        registry = tiny_bundle.world.roster.registry_for("x.com")
+        zone = registry.publish_zone("com")
+        day = tiny_bundle.world.config.end_day
+        snapshot = ZoneSnapshot.from_zone(day, zone)
+        write_archive(tmp_path, [snapshot])
+        db = read_archive(tmp_path)
+        for delegation in zone.delegations():
+            assert db.nameservers_of(delegation.domain, day) == delegation.nameservers

@@ -1,0 +1,73 @@
+"""Tests for the AS112 anycast model and the §7.3 residual-risk experiment."""
+
+import pytest
+
+from repro.dnscore.records import RRType
+from repro.resolver.anycast import AnycastBehavior, AnycastNode
+from repro.resolver.server import AnsweringBehavior, SilentBehavior
+
+
+class TestAnycastRouting:
+    @pytest.fixture()
+    def behavior(self):
+        anycast = AnycastBehavior()
+        rogue = AnsweringBehavior()
+        rogue.add_record("victim.com", RRType.A, "198.18.66.66")
+        anycast.add_node(
+            AnycastNode("rogue", ("198.18.0.0/15",), rogue, honest=False)
+        )
+        anycast.add_node(
+            AnycastNode("honest", ("0.0.0.0/0",), SilentBehavior(), honest=True)
+        )
+        return anycast
+
+    def test_catchment_routing(self, behavior):
+        assert behavior.node_for("198.18.0.1").name == "rogue"
+        assert behavior.node_for("9.9.9.9").name == "honest"
+
+    def test_rogue_answers_in_catchment(self, behavior):
+        answer = behavior.handle(0, "victim.com", RRType.A, "198.18.0.1")
+        assert answer == ["198.18.66.66"]
+
+    def test_honest_node_silent_outside(self, behavior):
+        assert behavior.handle(0, "victim.com", RRType.A, "9.9.9.9") is None
+
+    def test_dnssec_rejects_rogue_answers(self, behavior):
+        behavior.signed_zone = True
+        assert behavior.handle(0, "victim.com", RRType.A, "198.18.0.1") is None
+
+    def test_dnssec_does_not_affect_honest_nodes(self):
+        anycast = AnycastBehavior(signed_zone=True)
+        honest = AnsweringBehavior()
+        honest.add_record("x.com", RRType.A, "192.0.2.1")
+        anycast.add_node(AnycastNode("h", ("0.0.0.0/0",), honest, honest=True))
+        assert anycast.handle(0, "x.com", RRType.A, "1.2.3.4") == ["192.0.2.1"]
+
+    def test_no_covering_node(self):
+        anycast = AnycastBehavior()
+        anycast.add_node(
+            AnycastNode("narrow", ("10.0.0.0/8",), SilentBehavior())
+        )
+        assert anycast.node_for("9.9.9.9") is None
+        assert anycast.handle(0, "x.com", RRType.A, "9.9.9.9") is None
+
+
+class TestAs112Experiment:
+    @pytest.fixture(scope="class")
+    def report(self, default_bundle):
+        from repro.experiment.as112 import run_as112_experiment
+        return run_as112_experiment(default_bundle.world, default_bundle.study)
+
+    def test_protected_domains_exist(self, report):
+        """GoDaddy's remediation left domains on empty.as112.arpa names."""
+        assert report.protected_domains
+
+    def test_regional_hijack_without_dnssec(self, report):
+        assert report.regional_hijack_works
+        assert len(report.hijacked_in_catchment) == len(report.protected_domains)
+
+    def test_outside_catchment_unaffected(self, report):
+        assert report.unaffected_outside == []
+
+    def test_dnssec_mitigation(self, report):
+        assert report.dnssec_mitigates

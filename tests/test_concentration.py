@@ -1,0 +1,99 @@
+"""Tests for the dependency-concentration analysis."""
+
+import pytest
+
+from repro.analysis.concentration import (
+    concentration_report,
+    dependency_graph,
+    single_registration_blast_radius,
+    _gini,
+)
+from repro.zonedb.database import ZoneDatabase
+
+
+@pytest.fixture()
+def db():
+    database = ZoneDatabase(["com", "org"])
+    # Ten clients on one provider, one client on another, one self-hosted.
+    for index in range(10):
+        database.set_delegation(0, f"c{index}.com", ["ns1.bigsink.com"])
+    database.set_delegation(0, "solo.com", ["ns1.tiny.org"])
+    database.set_delegation(0, "selfy.com", ["ns1.selfy.com"])
+    return database
+
+
+class TestGraph:
+    def test_edges_point_to_providers(self, db):
+        graph = dependency_graph(db, day=1)
+        assert graph.has_edge("c0.com", "bigsink.com")
+        assert graph.has_edge("solo.com", "tiny.org")
+
+    def test_self_hosting_excluded(self, db):
+        graph = dependency_graph(db, day=1)
+        assert "selfy.com" not in graph
+
+    def test_edge_carries_nameservers(self, db):
+        graph = dependency_graph(db, day=1)
+        assert graph.edges["c0.com", "bigsink.com"]["nameservers"] == {
+            "ns1.bigsink.com"
+        }
+
+    def test_day_scoped(self, db):
+        db.remove_delegation(5, "c0.com")
+        graph = dependency_graph(db, day=6)
+        assert "c0.com" not in graph
+
+
+class TestReport:
+    def test_rows_ranked(self, db):
+        report = concentration_report(db, day=1)
+        assert report.rows[0].provider_domain == "bigsink.com"
+        assert report.rows[0].dependent_domains == 10
+        assert report.rows[1].dependent_domains == 1
+
+    def test_top10_share(self, db):
+        report = concentration_report(db, day=1)
+        assert report.top10_share == 1.0
+
+    def test_gini_concentrated(self, db):
+        # Two providers with loads (10, 1): Gini = 0.409...
+        report = concentration_report(db, day=1)
+        assert report.gini == pytest.approx(0.409, abs=0.01)
+
+    def test_gini_bounds(self):
+        assert _gini([]) == 0.0
+        assert _gini([5, 5, 5]) == pytest.approx(0.0)
+        assert 0.0 < _gini([0, 0, 0, 100]) <= 1.0
+
+    def test_largest_component(self, db):
+        report = concentration_report(db, day=1)
+        assert report.largest_component == 11  # bigsink + its 10 clients
+
+
+class TestBlastRadius:
+    def test_counts_dependents(self, db):
+        assert single_registration_blast_radius(db, "bigsink.com", day=1) == 10
+        assert single_registration_blast_radius(db, "tiny.org", day=1) == 1
+        assert single_registration_blast_radius(db, "unknown.net", day=1) == 0
+
+    def test_sink_concentration_in_world(self, default_bundle):
+        """dummyns.com concentrated risk before its seizure (§7.3/§4)."""
+        world = default_bundle.world
+        seizure = next(
+            e.day for e in world.log.sink_events
+            if e.domain == "dummyns.com" and e.action == "seized"
+        )
+        radius = single_registration_blast_radius(
+            world.zonedb, "dummyns.com", day=seizure - 1
+        )
+        assert radius > 0
+
+    def test_world_concentration_report(self, tiny_bundle):
+        zonedb = tiny_bundle.world.zonedb
+        report = concentration_report(zonedb, day=1800)
+        assert report.rows
+        assert 0.0 <= report.gini <= 1.0
+        # Professional providers dominate the top of the ranking.
+        top_names = {row.provider_domain for row in report.top(5)}
+        from repro.ecosystem.population import SAFE_PROVIDERS
+        assert top_names & {provider for provider, _o in SAFE_PROVIDERS}

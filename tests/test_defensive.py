@@ -1,0 +1,94 @@
+"""Tests for the defensive registration sweep (footnote 11)."""
+
+import pytest
+
+from repro.api import reproduce
+from repro.dnscore.names import Name
+from repro.experiment.defensive import DefensiveSweep, REGISTRATION_FEE_USD
+
+
+@pytest.fixture(scope="module")
+def sweep_bundle():
+    # Private world: the sweep mutates registry state.
+    return reproduce(seed=911, scale=0.25, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def sweep(sweep_bundle):
+    return DefensiveSweep(sweep_bundle.world, sweep_bundle.study)
+
+
+class TestEnumeration:
+    def test_targets_exist(self, sweep):
+        assert sweep.enumerate_targets()
+
+    def test_targets_are_unregistered(self, sweep, sweep_bundle):
+        for target in sweep.enumerate_targets():
+            registry = sweep_bundle.world.roster.registry_for(
+                target.registered_domain
+            )
+            assert not registry.repository.domain_exists(target.registered_domain)
+
+    def test_ranking_restricted_first_then_size(self, sweep):
+        targets = sweep.enumerate_targets()
+        saw_unrestricted = False
+        for target in targets:
+            if not target.reaches_restricted_tld:
+                saw_unrestricted = True
+            elif saw_unrestricted:
+                pytest.fail("restricted-TLD targets must rank first")
+        counts = [t.protection_count for t in targets if not t.reaches_restricted_tld]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_restricted_flag_consistent(self, sweep):
+        for target in sweep.enumerate_targets():
+            expected = any(
+                Name(d).tld in ("edu", "gov") for d in target.protected_domains
+            )
+            assert target.reaches_restricted_tld == expected
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def report(self, sweep):
+        return sweep.execute(budget=10)
+
+    def test_budget_respected(self, report):
+        assert len(report.registered) <= 10
+
+    def test_registrations_took_effect(self, report, sweep_bundle):
+        for target in report.registered:
+            registry = sweep_bundle.world.roster.registry_for(
+                target.registered_domain
+            )
+            assert registry.repository.domain_exists(target.registered_domain)
+            assert sweep_bundle.world.whois.ever_registered(
+                target.registered_domain
+            )
+
+    def test_defensive_registrations_have_no_ns(self, report, sweep_bundle):
+        """Protected domains stay lame, never resolve to the defender."""
+        for target in report.registered:
+            registry = sweep_bundle.world.roster.registry_for(
+                target.registered_domain
+            )
+            obj = registry.repository.domain(target.registered_domain)
+            assert obj.nameservers == []
+
+    def test_cost_accounting(self, report):
+        assert report.cost_usd == len(report.registered) * REGISTRATION_FEE_USD
+        if report.protected_domains:
+            assert report.cost_per_protected_domain() > 0
+
+    def test_highest_value_first_means_cheap_protection(self, sweep_bundle):
+        """The top-10 sweep protects far more domains per dollar than the
+        long tail would — the ROI asymmetry hijackers also exploit."""
+        sweep = DefensiveSweep(sweep_bundle.world, sweep_bundle.study)
+        remaining = sweep.enumerate_targets()
+        if len(remaining) < 20:
+            pytest.skip("not enough targets left at this scale")
+        top = remaining[:10]
+        tail = remaining[-10:]
+        top_protected = len({d for t in top for d in t.protected_domains})
+        tail_protected = len({d for t in tail for d in t.protected_domains})
+        assert top_protected > tail_protected

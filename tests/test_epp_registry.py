@@ -1,0 +1,94 @@
+"""Tests for registry operators, accreditation, and the default roster."""
+
+import pytest
+
+from repro.epp.errors import EppError
+from repro.epp.registry import Registry, RegistryRoster, TldPolicy, default_roster
+
+
+@pytest.fixture()
+def registry():
+    reg = Registry(
+        "sim-verisign",
+        [TldPolicy("com"), TldPolicy("edu", restricted=True)],
+    )
+    reg.accredit("godaddy")
+    return reg
+
+
+class TestAccreditation:
+    def test_accredited_can_open_session(self, registry):
+        assert registry.session("godaddy").registrar == "godaddy"
+
+    def test_unaccredited_rejected(self, registry):
+        with pytest.raises(EppError):
+            registry.session("stranger")
+
+    def test_operator_always_allowed(self, registry):
+        assert registry.session("sim-verisign").registrar == "sim-verisign"
+
+    def test_is_accredited(self, registry):
+        assert registry.is_accredited("godaddy")
+        assert not registry.is_accredited("stranger")
+
+
+class TestPolicies:
+    def test_restricted_flag(self, registry):
+        assert registry.is_restricted("edu")
+        assert not registry.is_restricted("com")
+
+    def test_can_register_open_tld(self, registry):
+        assert registry.can_register("godaddy", "com")
+
+    def test_cannot_register_restricted_tld(self, registry):
+        assert not registry.can_register("godaddy", "edu")
+
+    def test_operator_can_register_restricted(self, registry):
+        assert registry.can_register("sim-verisign", "edu")
+
+    def test_unknown_tld(self, registry):
+        assert not registry.can_register("godaddy", "org")
+
+
+class TestZonePublication:
+    def test_serials_increase(self, registry):
+        first = registry.publish_zone("com")
+        second = registry.publish_zone("com")
+        assert second.serial > first.serial
+
+    def test_publish_all_covers_tlds(self, registry):
+        zones = registry.publish_all()
+        assert set(zones) == {"com", "edu"}
+
+
+class TestRoster:
+    def test_default_topology(self):
+        roster = default_roster()
+        assert roster.registry_for("example.com").operator == "sim-verisign"
+        assert roster.registry_for("example.gov").operator == "sim-verisign"
+        assert roster.registry_for("example.org").operator == "sim-afilias"
+        assert roster.registry_for("example.biz").operator == "sim-neustar"
+
+    def test_same_repository_com_gov(self):
+        """The shared-repository scoping that surprised §6.1."""
+        roster = default_roster()
+        assert roster.same_repository("a.com", "b.gov")
+        assert roster.same_repository("a.com", "b.edu")
+        assert not roster.same_repository("a.com", "b.org")
+        assert not roster.same_repository("a.com", "b.biz")
+
+    def test_unknown_tld(self):
+        roster = default_roster()
+        with pytest.raises(KeyError):
+            roster.registry_for("example.nl")
+        assert not roster.operates("example.nl")
+        assert not roster.same_repository("a.com", "b.nl")
+
+    def test_all_tlds(self):
+        assert "biz" in default_roster().all_tlds()
+
+    def test_overlapping_tlds_rejected(self):
+        roster = RegistryRoster()
+        roster.add(Registry("one", [TldPolicy("com")]))
+        with pytest.raises(ValueError):
+            roster.add(Registry("two", [TldPolicy("com")]))

@@ -1,0 +1,187 @@
+"""Stateful property testing of the EPP repository.
+
+Hypothesis drives random sequences of provisioning operations (creates,
+deletes, renames, delegation updates) through a repository and checks
+after every step that the referential-integrity invariants the paper's
+mechanism depends on can never be violated:
+
+* link symmetry — a host's ``linked_domains`` matches exactly the
+  domains whose NS lists name it;
+* subordinate tracking — a domain's subordinate set matches exactly the
+  internal hosts whose superordinate it is;
+* no dangling internal superordinates — every non-external host's
+  superordinate domain object exists;
+* zone consistency — the published zone contains precisely the domains
+  with nameservers, with their current NS sets.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.epp.errors import EppError
+from repro.epp.repository import EppRepository
+
+REGISTRARS = ("regA", "regB")
+SLDS = ("alpha", "bravo", "carol", "delta")
+HOST_LABELS = ("ns1", "ns2")
+EXTERNAL_HOSTS = ("ns1.outside.biz", "ns2.outside.org")
+RENAME_TARGETS = (
+    "x1.sacrificial.biz", "x2.sacrificial.org",
+    "ns1.alpha.com", "ns9.bravo.com",
+)
+
+domains_strategy = st.sampled_from([f"{sld}.com" for sld in SLDS])
+hosts_strategy = st.sampled_from(
+    [f"{label}.{sld}.com" for sld in SLDS for label in HOST_LABELS]
+    + list(EXTERNAL_HOSTS)
+)
+registrar_strategy = st.sampled_from(REGISTRARS)
+
+
+class EppMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.repo = EppRepository("sim-verisign", ["com"])
+        self.day = 0
+
+    def _tick(self) -> int:
+        self.day += 1
+        return self.day
+
+    # -- operations (failures are legal; invariants must hold regardless) --
+
+    @rule(registrar=registrar_strategy, domain=domains_strategy)
+    def create_domain(self, registrar, domain):
+        try:
+            self.repo.create_domain(registrar, domain, day=self._tick())
+        except EppError:
+            pass
+
+    @rule(registrar=registrar_strategy, domain=domains_strategy)
+    def delete_domain(self, registrar, domain):
+        try:
+            self.repo.delete_domain(registrar, domain, day=self._tick())
+        except EppError:
+            pass
+
+    @rule(registrar=registrar_strategy, host=hosts_strategy)
+    def create_host(self, registrar, host):
+        addresses = [] if host in EXTERNAL_HOSTS else ["192.0.2.7"]
+        try:
+            self.repo.create_host(
+                registrar, host, day=self._tick(), addresses=addresses
+            )
+        except EppError:
+            pass
+
+    @rule(registrar=registrar_strategy, host=hosts_strategy)
+    def delete_host(self, registrar, host):
+        try:
+            self.repo.delete_host(registrar, host, day=self._tick())
+        except EppError:
+            pass
+
+    @rule(
+        registrar=registrar_strategy,
+        domain=domains_strategy,
+        host=hosts_strategy,
+    )
+    def add_ns(self, registrar, domain, host):
+        try:
+            self.repo.update_domain_ns(
+                registrar, domain, day=self._tick(), add=[host]
+            )
+        except EppError:
+            pass
+
+    @rule(
+        registrar=registrar_strategy,
+        domain=domains_strategy,
+        host=hosts_strategy,
+    )
+    def remove_ns(self, registrar, domain, host):
+        try:
+            self.repo.update_domain_ns(
+                registrar, domain, day=self._tick(), remove=[host]
+            )
+        except EppError:
+            pass
+
+    @rule(
+        registrar=registrar_strategy,
+        host=hosts_strategy,
+        new_name=st.sampled_from(RENAME_TARGETS),
+    )
+    def rename_host(self, registrar, host, new_name):
+        try:
+            self.repo.rename_host(registrar, host, new_name, day=self._tick())
+        except EppError:
+            pass
+
+    @rule(domain=domains_strategy)
+    def purge_domain(self, domain):
+        try:
+            self.repo.purge_domain(domain, day=self._tick())
+        except EppError:
+            pass
+
+    # -- invariants -----------------------------------------------------------
+
+    @invariant()
+    def link_symmetry(self):
+        referencing: dict[str, set[str]] = {}
+        for domain in self.repo.all_domains():
+            for ns in domain.nameservers:
+                referencing.setdefault(ns, set()).add(domain.name)
+        for host in self.repo.all_hosts():
+            assert host.linked_domains == referencing.get(host.name, set()), (
+                f"link asymmetry at {host.name}"
+            )
+        # No domain references a host object that does not exist.
+        for ns in referencing:
+            assert self.repo.host_exists(ns), f"dangling NS reference {ns}"
+
+    @invariant()
+    def subordinate_tracking(self):
+        expected: dict[str, set[str]] = {}
+        for host in self.repo.all_hosts():
+            if host.superordinate is not None:
+                expected.setdefault(host.superordinate, set()).add(host.name)
+        for domain in self.repo.all_domains():
+            assert self.repo.subordinate_hosts(domain.name) == expected.get(
+                domain.name, set()
+            )
+        # Tracking never references domains that are gone (purge excepted,
+        # which orphans hosts by clearing their superordinate).
+        for superordinate in expected:
+            assert self.repo.domain_exists(superordinate), (
+                f"host subordinate to missing domain {superordinate}"
+            )
+
+    @invariant()
+    def external_hosts_have_no_superordinate_or_glue(self):
+        for host in self.repo.all_hosts():
+            if host.external:
+                assert host.superordinate is None
+                assert not host.addresses
+
+    @invariant()
+    def zone_matches_object_state(self):
+        zone = self.repo.zone_for("com")
+        expected = {
+            domain.name: frozenset(domain.nameservers)
+            for domain in self.repo.all_domains()
+            if domain.nameservers
+        }
+        assert zone.domains() == frozenset(expected)
+        for name, ns_set in expected.items():
+            assert zone.nameservers_of(name) == ns_set
+
+
+EppMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)
+TestEppStateMachine = EppMachine.TestCase

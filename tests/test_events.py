@@ -1,0 +1,101 @@
+"""Tests for the event queue and ground-truth log containers."""
+
+import pytest
+
+from repro.ecosystem.events import (
+    Event,
+    EventLog,
+    EventQueue,
+    HijackRecord,
+    RenameRecord,
+)
+
+
+class TestEventQueue:
+    def test_day_ordering(self):
+        queue = EventQueue()
+        queue.push_new(5, "b")
+        queue.push_new(1, "a")
+        queue.push_new(9, "c")
+        assert [queue.pop().day for _ in range(3)] == [1, 5, 9]
+
+    def test_fifo_within_a_day(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push_new(7, f"k{index}")
+        assert [queue.pop().kind for _ in range(5)] == [
+            "k0", "k1", "k2", "k3", "k4"
+        ]
+
+    def test_peek_day(self):
+        queue = EventQueue()
+        assert queue.peek_day() is None
+        queue.push_new(3, "x")
+        assert queue.peek_day() == 3
+        assert len(queue) == 1
+
+    def test_payload_carried(self):
+        queue = EventQueue()
+        queue.push_new(1, "x", value=42)
+        assert queue.pop().payload == {"value": 42}
+
+    def test_push_event_object(self):
+        queue = EventQueue()
+        queue.push(Event(day=2, kind="y", payload={}))
+        assert queue.pop().kind == "y"
+
+    def test_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push_new(1, "x")
+        assert queue
+
+
+def rename(day, new, *, hijackable=True, accidental=False):
+    return RenameRecord(
+        day=day, old_name="ns1.old.com", new_name=new,
+        registrar="r", repository="sim-verisign",
+        idiom_id="DROPTHISHOST", hijackable=hijackable,
+        linked_domains=("v.com",), accidental=accidental,
+    )
+
+
+class TestEventLog:
+    def test_renames_by_new_name(self):
+        log = EventLog(renames=[rename(1, "a.biz"), rename(2, "b.biz")])
+        index = log.renames_by_new_name()
+        assert index["a.biz"].day == 1
+
+    def test_hijacks_by_domain(self):
+        log = EventLog(hijacks=[
+            HijackRecord(5, "a.biz", "actor", ("ns1.x.nl",), 3),
+        ])
+        assert log.hijacks_by_domain()["a.biz"].hijacker == "actor"
+
+    def test_renames_in_window(self):
+        log = EventLog(renames=[rename(1, "a.biz"), rename(5, "b.biz"),
+                                rename(9, "c.biz")])
+        window = log.renames_in(2, 9)
+        assert [r.new_name for r in window] == ["b.biz"]
+
+    def test_summary_counts(self):
+        log = EventLog(renames=[rename(1, "a.biz", hijackable=False),
+                                rename(2, "b.biz")])
+        summary = log.summary()
+        assert summary["renames"] == 2
+        assert summary["hijackable_renames"] == 1
+
+
+class TestWorldGroupsIntegrity:
+    def test_group_members_are_logged_renames(self, tiny_bundle):
+        world = tiny_bundle.world
+        rename_names = {r.new_name for r in world.log.renames}
+        for group in world.groups.values():
+            assert group.ns_names <= rename_names
+
+    def test_groups_keyed_by_registered_domain(self, tiny_bundle):
+        from repro.dnscore.psl import default_psl
+        psl = default_psl()
+        for registered, group in tiny_bundle.world.groups.items():
+            for ns in group.ns_names:
+                assert psl.registered_domain(ns) == registered

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts must run and produce their story.
+
+Only the fast examples run under pytest (the heavier ones exercise the
+exact same APIs the integration tests already cover).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+class TestExamples:
+    def test_renaming_walkthrough(self):
+        out = run_example("renaming_walkthrough.py")
+        assert "2305" in out                      # blocked deletion
+        assert "host renamed" in out
+        assert "qux.gov" in out                   # cross-TLD rewrite
+        assert "can no longer be modified" in out  # irreversibility
+
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Detection pipeline funnel" in out
+        assert "Ground truth parity" in out
+        assert "0 false positives" in out
+
+    def test_all_examples_exist_and_have_docstrings(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            text = script.read_text(encoding="utf-8")
+            assert text.lstrip().startswith(("#!", '"""')), script.name
+            assert '"""' in text, script.name
+            assert "__main__" in text, script.name

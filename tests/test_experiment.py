@@ -1,0 +1,70 @@
+"""Tests for the §6.1 controlled-experiment reproduction."""
+
+import pytest
+
+from repro.dnscore.names import Name
+from repro.experiment.controlled import (
+    ControlledExperiment,
+    OUTSIDE_IP,
+    PROOF_ADDRESS,
+    run_controlled_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment_report(experiment_bundle):
+    # The experiment mutates registry state (defensive registration), so
+    # it runs on its own private world, never the shared bundles.
+    return run_controlled_experiment(
+        experiment_bundle.world, experiment_bundle.study
+    )
+
+
+class TestTargetSelection:
+    def test_pick_prefers_restricted_reach(self, experiment_report):
+        # The chosen group had .edu/.gov victims if any group did.
+        if experiment_report.restricted_tld_domains:
+            assert any(
+                Name(d).tld in ("edu", "gov")
+                for d in experiment_report.restricted_tld_domains
+            )
+
+    def test_target_is_hijackable_group(self, experiment_bundle, experiment_report):
+        group = experiment_bundle.study.groups[experiment_report.sacrificial_domain]
+        assert group.hijackable
+
+
+class TestProtocol:
+    def test_victims_lame_before_registration(self, experiment_report):
+        assert experiment_report.pre_registration_status in (
+            "lame", "unresolvable-ns"
+        )
+
+    def test_queries_observed(self, experiment_report):
+        assert experiment_report.queries_observed >= len(
+            experiment_report.delegated_domains
+        )
+
+    def test_cross_tld_queries_reach_us(self, experiment_report):
+        """The shared-EPP-repository surprise of §6.1."""
+        if experiment_report.restricted_tld_domains:
+            assert experiment_report.cross_tld_effect_observed
+
+    def test_scoped_hijack_works_inside(self, experiment_report):
+        assert experiment_report.scoped_answer == [PROOF_ADDRESS]
+
+    def test_no_answer_outside_scope(self, experiment_report):
+        assert experiment_report.outside_answer_status != "answered"
+        assert experiment_report.hijack_demonstrated
+
+    def test_ethics_logs_purged(self, experiment_report):
+        assert experiment_report.logs_purged > 0
+
+
+class TestErrorHandling:
+    def test_explicit_unknown_target_rejected(self, experiment_bundle):
+        experiment = ControlledExperiment(
+            experiment_bundle.world, experiment_bundle.study
+        )
+        with pytest.raises(KeyError):
+            experiment.run("never-a-sacrificial-name.biz")

@@ -1,0 +1,128 @@
+"""Tests for the registry expiration pipeline."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.epp.expiry import (
+    ExpiryEngine,
+    ExpiryPhase,
+    ExpiryPolicy,
+    PHASE_ORDER,
+)
+
+
+@pytest.fixture()
+def engine():
+    return ExpiryEngine(ExpiryPolicy(
+        auto_renew_days=45, redemption_days=30, pending_delete_days=5,
+    ))
+
+
+class TestPolicy:
+    def test_phase_starts(self):
+        policy = ExpiryPolicy(10, 20, 5)
+        starts = policy.phase_starts(100)
+        assert starts[ExpiryPhase.AUTO_RENEW] == 100
+        assert starts[ExpiryPhase.REDEMPTION] == 110
+        assert starts[ExpiryPhase.PENDING_DELETE] == 130
+        assert starts[ExpiryPhase.PURGED] == 135
+
+
+class TestPipeline:
+    def test_active_before_expiry(self, engine):
+        engine.schedule("foo.com", 100)
+        assert engine.advance(99) == []
+        assert engine.phase_of("foo.com") is ExpiryPhase.ACTIVE
+
+    def test_full_progression(self, engine):
+        engine.schedule("foo.com", 100)
+        transitions = engine.advance(200)
+        assert [t.phase for t in transitions] == list(PHASE_ORDER)
+        assert [t.day for t in transitions] == [100, 145, 175, 180]
+        assert engine.phase_of("foo.com") is ExpiryPhase.ACTIVE  # untracked
+        assert engine.tracked_count() == 0
+
+    def test_incremental_advance(self, engine):
+        engine.schedule("foo.com", 100)
+        assert [t.phase for t in engine.advance(100)] == [ExpiryPhase.AUTO_RENEW]
+        assert engine.advance(100) == []  # idempotent
+        assert [t.phase for t in engine.advance(146)] == [ExpiryPhase.REDEMPTION]
+        assert engine.is_recoverable("foo.com")
+        rest = engine.advance(500)
+        assert [t.phase for t in rest] == [
+            ExpiryPhase.PENDING_DELETE, ExpiryPhase.PURGED,
+        ]
+
+    def test_recoverability_window(self, engine):
+        engine.schedule("foo.com", 100)
+        engine.advance(146)
+        assert engine.is_recoverable("foo.com")
+        engine.advance(176)
+        assert not engine.is_recoverable("foo.com")
+
+    def test_multiple_domains_ordered(self, engine):
+        engine.schedule("a.com", 100)
+        engine.schedule("b.com", 50)
+        days = [t.day for t in engine.advance(300)]
+        assert days == sorted(days)
+
+
+class TestRenewAndCancel:
+    def test_renew_resets_pipeline(self, engine):
+        engine.schedule("foo.com", 100)
+        engine.advance(120)  # in auto-renew grace
+        engine.renew("foo.com", 465)
+        assert engine.phase_of("foo.com") is ExpiryPhase.ACTIVE
+        assert engine.advance(200) == []  # old events are stale
+        transitions = engine.advance(600)
+        assert transitions[0].day == 465
+
+    def test_restore_from_redemption(self, engine):
+        """RFC 3915's whole point: redemption is recoverable."""
+        engine.schedule("foo.com", 100)
+        engine.advance(150)
+        assert engine.phase_of("foo.com") is ExpiryPhase.REDEMPTION
+        engine.renew("foo.com", 510)
+        assert engine.phase_of("foo.com") is ExpiryPhase.ACTIVE
+        assert engine.advance(400) == []
+
+    def test_cancel_stops_everything(self, engine):
+        engine.schedule("foo.com", 100)
+        engine.cancel("foo.com")
+        assert engine.advance(500) == []
+        assert engine.tracked_count() == 0
+
+    def test_next_transition_day_skips_stale(self, engine):
+        engine.schedule("foo.com", 100)
+        engine.renew("foo.com", 465)
+        assert engine.next_transition_day() == 465
+
+    def test_empty_engine(self, engine):
+        assert engine.next_transition_day() is None
+        assert engine.advance(10 ** 6) == []
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=10),
+    )
+    def test_phases_always_in_order(self, expiry, auto, redemption, pending):
+        engine = ExpiryEngine(ExpiryPolicy(auto, redemption, pending))
+        engine.schedule("x.com", expiry)
+        transitions = engine.advance(expiry + auto + redemption + pending + 1)
+        assert [t.phase for t in transitions] == list(PHASE_ORDER)
+        days = [t.day for t in transitions]
+        assert days == sorted(days)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=10))
+    def test_renew_chain_only_last_counts(self, expiries):
+        engine = ExpiryEngine()
+        for expiry in expiries:
+            engine.schedule("x.com", expiry)
+        transitions = engine.advance(2000)
+        purges = [t for t in transitions if t.phase is ExpiryPhase.PURGED]
+        assert len(purges) == 1
+        assert purges[0].day == expiries[-1] + 80  # 45 + 30 + 5

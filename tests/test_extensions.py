@@ -1,0 +1,208 @@
+"""Tests for the §7.3 EPP fixes and counterfactual scenarios."""
+
+import pytest
+
+from repro.epp.errors import EppError, ResultCode
+from repro.epp.extensions import (
+    DeletionNotificationBus,
+    RESERVED_TLDS,
+    ReservedTldPolicy,
+    cascade_delete_domain,
+    cascade_delete_everywhere,
+    invalid_tld_idiom,
+)
+from repro.epp.repository import EppRepository
+
+
+@pytest.fixture()
+def repo():
+    repository = EppRepository("sim-verisign", ["com", "net"])
+    repository.create_domain("regA", "foo.com", day=0)
+    repository.create_host("regA", "ns1.foo.com", day=0, addresses=["192.0.2.1"])
+    repository.create_host("regA", "ns2.foo.com", day=0, addresses=["192.0.2.2"])
+    repository.update_domain_ns(
+        "regA", "foo.com", day=0, add=["ns1.foo.com", "ns2.foo.com"]
+    )
+    repository.create_domain("regB", "bar.com", day=1, nameservers=["ns2.foo.com"])
+    repository.create_domain(
+        "regB", "baz.com", day=1, nameservers=["ns2.foo.com", "ns1.foo.com"]
+    )
+    return repository
+
+
+class TestInvalidTldIdiom:
+    def test_targets_are_under_invalid(self):
+        import random
+        idiom = invalid_tld_idiom()
+        name = idiom.rename("ns1.foo.com", random.Random(1))
+        assert name.endswith(".invalid")
+
+    def test_not_hijackable(self):
+        assert not invalid_tld_idiom().hijackable
+
+    def test_reserved_set_matches_rfc2606(self):
+        assert {"invalid", "test", "example", "localhost"} <= RESERVED_TLDS
+
+
+class TestReservedTldPolicy:
+    def test_allows_reserved_target(self, repo):
+        policy = ReservedTldPolicy(repo)
+        host = policy.rename_host("regA", "ns2.foo.com", "x-1.invalid", day=5)
+        assert host.name == "x-1.invalid"
+
+    def test_rejects_biz_target(self, repo):
+        policy = ReservedTldPolicy(repo)
+        with pytest.raises(EppError) as err:
+            policy.rename_host("regA", "ns2.foo.com", "dropthishost-1.biz", day=5)
+        assert err.value.code is ResultCode.PARAMETER_VALUE_POLICY_ERROR
+
+    def test_internal_sink_allowed_by_default(self, repo):
+        repo.create_domain("regA", "sink.com", day=0)
+        policy = ReservedTldPolicy(repo)
+        host = policy.rename_host("regA", "ns2.foo.com", "x.sink.com", day=5)
+        assert host.superordinate == "sink.com"
+
+    def test_strict_mode_rejects_internal_sink(self, repo):
+        repo.create_domain("regA", "sink.com", day=0)
+        policy = ReservedTldPolicy(repo, allow_internal_sinks=False)
+        with pytest.raises(EppError):
+            policy.rename_host("regA", "ns2.foo.com", "x.sink.com", day=5)
+
+
+class TestCascadeDelete:
+    def test_domain_and_hosts_gone(self, repo):
+        cascade_delete_domain(repo, "regA", "foo.com", day=10)
+        assert not repo.domain_exists("foo.com")
+        assert not repo.host_exists("ns1.foo.com")
+        assert not repo.host_exists("ns2.foo.com")
+
+    def test_references_removed_not_renamed(self, repo):
+        """No sacrificial name is ever created."""
+        trimmed = cascade_delete_domain(repo, "regA", "foo.com", day=10)
+        assert set(trimmed["ns2.foo.com"]) == {"bar.com", "baz.com"}
+        assert repo.domain("bar.com").nameservers == []
+        assert repo.domain("baz.com").nameservers == []
+
+    def test_availability_cost_visible_in_zone(self, repo):
+        cascade_delete_domain(repo, "regA", "foo.com", day=10)
+        zone = repo.zone_for("com")
+        assert "bar.com" not in zone  # lost its only nameserver
+
+    def test_sponsor_check(self, repo):
+        with pytest.raises(EppError) as err:
+            cascade_delete_domain(repo, "regB", "foo.com", day=10)
+        assert err.value.code is ResultCode.AUTHORIZATION_ERROR
+
+    def test_returns_empty_for_leaf_domain(self, repo):
+        repo.create_domain("regA", "leaf.com", day=0)
+        assert cascade_delete_domain(repo, "regA", "leaf.com", day=10) == {}
+
+
+class TestNotificationBus:
+    def test_cross_repository_cleanup(self, repo):
+        other = EppRepository("sim-afilias", ["org"])
+        other.create_host("regC", "ns2.foo.com", day=0)  # external reference
+        other.create_domain("regC", "client.org", day=0, nameservers=["ns2.foo.com"])
+        bus = DeletionNotificationBus()
+        bus.subscribe(repo)
+        bus.subscribe(other)
+        cascade_delete_everywhere(
+            [repo, other], "regA", "foo.com", day=10, bus=bus
+        )
+        assert other.repository if False else True
+        assert other.domain("client.org").nameservers == []
+        assert not other.host_exists("ns2.foo.com")
+        assert bus.announcements() == [(10, "sim-afilias", "client.org")]
+
+    def test_internal_homonyms_untouched(self, repo):
+        other = EppRepository("sim-afilias", ["org"])
+        other.create_domain("regC", "foo.org", day=0)
+        other.create_host("regC", "ns2.foo.org", day=0, addresses=["192.0.2.9"])
+        bus = DeletionNotificationBus()
+        bus.subscribe(other)
+        bus.publish(repo, "ns2.foo.org", day=10)
+        # An *internal* host with a colliding name is not external cleanup.
+        assert other.host_exists("ns2.foo.org")
+
+    def test_publish_counts_removals(self, repo):
+        other = EppRepository("sim-afilias", ["org"])
+        other.create_host("regC", "ns2.foo.com", day=0)
+        for index in range(3):
+            other.create_domain(
+                "regC", f"client{index}.org", day=0, nameservers=["ns2.foo.com"]
+            )
+        bus = DeletionNotificationBus()
+        bus.subscribe(other)
+        assert bus.publish(repo, "ns2.foo.com", day=10) == 3
+
+    def test_observer_hook(self, repo):
+        other = EppRepository("sim-afilias", ["org"])
+        other.create_host("regC", "ns2.foo.com", day=0)
+        other.create_domain("regC", "client.org", day=0, nameservers=["ns2.foo.com"])
+        seen = []
+        bus = DeletionNotificationBus(
+            on_reference_removed=lambda d, op, dom: seen.append((d, op, dom))
+        )
+        bus.subscribe(other)
+        bus.publish(repo, "ns2.foo.com", day=10)
+        assert seen == [(10, "sim-afilias", "client.org")]
+
+    def test_unknown_home_repository(self):
+        with pytest.raises(EppError):
+            cascade_delete_everywhere(
+                [EppRepository("x", ["com"])], "regA", "foo.org", day=0
+            )
+
+
+class TestCounterfactualWorlds:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        from repro.analysis.study import StudyAnalysis
+        from repro.analysis.tables import table3
+        from repro.detection.pipeline import DetectionPipeline
+        from repro.ecosystem.counterfactual import (
+            all_sinks_scenario,
+            greedy_hijackers_scenario,
+            invalid_fix_scenario,
+        )
+        from repro.ecosystem.world import World
+
+        results = {}
+        for name, config in (
+            ("invalid", invalid_fix_scenario(scale=0.1)),
+            ("sinks", all_sinks_scenario(scale=0.1)),
+            ("greedy", greedy_hijackers_scenario(scale=0.1)),
+        ):
+            world = World(config).run()
+            pipeline = DetectionPipeline(
+                world.zonedb, world.whois, mine_patterns=False
+            ).run()
+            study = StudyAnalysis(pipeline, world.zonedb, world.whois)
+            results[name] = (world, table3(study))
+        return results
+
+    def test_invalid_fix_eliminates_hijackability(self, outcomes):
+        world, summary = outcomes["invalid"]
+        assert all(not r.hijackable for r in world.log.renames)
+        assert summary.hijackable_ns == 0
+        assert not world.log.hijacks
+
+    def test_invalid_fix_still_renames(self, outcomes):
+        """The deletion workflow still works — only the target changed."""
+        world, _summary = outcomes["invalid"]
+        assert world.log.renames
+        assert all(r.new_name.endswith(".invalid") for r in world.log.renames)
+
+    def test_sinks_eliminate_hijackability_while_held(self, outcomes):
+        world, summary = outcomes["sinks"]
+        assert summary.hijackable_ns == 0
+        assert not world.log.hijacks
+
+    def test_greedy_hijackers_collapse_selectivity(self, outcomes, tiny_bundle):
+        from repro.analysis.tables import table3
+        _world, greedy = outcomes["greedy"]
+        baseline = table3(tiny_bundle.study)
+        assert greedy.ns_fraction > 3 * baseline.ns_fraction
+        greedy_amp = greedy.domain_fraction / max(greedy.ns_fraction, 1e-9)
+        base_amp = baseline.domain_fraction / max(baseline.ns_fraction, 1e-9)
+        assert greedy_amp < base_amp / 2

@@ -1,0 +1,123 @@
+"""Unit tests for the hijacker actor's decision policy."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro import simtime
+from repro.ecosystem.config import HijackerSpec
+from repro.ecosystem.hijacker import HijackerActor
+
+
+def make_actor(seed=1, **overrides):
+    spec = HijackerSpec(
+        ident="test-actor",
+        ns_domain="actor.example",
+        active_from=dt.date(2012, 1, 1),
+        active_until=dt.date(2019, 1, 1),
+        min_value=overrides.pop("min_value", 5),
+        interest=overrides.pop("interest", 0.5),
+        speed=overrides.pop("speed", 1.0),
+        renew_probs=overrides.pop("renew_probs", (0.5, 0.3)),
+        monthly_capacity=overrides.pop("monthly_capacity", 3),
+    )
+    return HijackerActor(spec, random.Random(seed))
+
+
+class TestActivityWindow:
+    def test_inactive_before_start(self):
+        actor = make_actor()
+        day = simtime.to_day(dt.date(2011, 6, 1))
+        assert not actor.is_active(day)
+        assert actor.consider(day, value=100) is None
+
+    def test_active_inside_window(self):
+        actor = make_actor()
+        assert actor.is_active(simtime.to_day(dt.date(2015, 6, 1)))
+
+    def test_inactive_after_end(self):
+        actor = make_actor()
+        assert not actor.is_active(simtime.to_day(dt.date(2020, 1, 1)))
+
+
+class TestInterest:
+    def test_below_threshold_never_considered(self):
+        actor = make_actor(min_value=10)
+        day = simtime.to_day(dt.date(2015, 1, 1))
+        assert all(actor.consider(day, value=9) is None for _ in range(50))
+
+    def test_high_value_usually_considered(self):
+        actor = make_actor(min_value=5, interest=0.9)
+        day = simtime.to_day(dt.date(2015, 1, 1))
+        taken = sum(actor.consider(day, value=500) is not None for _ in range(200))
+        assert taken > 100
+
+    def test_marginal_value_rarely_considered(self):
+        high = make_actor(seed=3, min_value=5, interest=0.9)
+        low = make_actor(seed=3, min_value=5, interest=0.9)
+        day = simtime.to_day(dt.date(2015, 1, 1))
+        marginal = sum(low.consider(day, value=5) is not None for _ in range(200))
+        juicy = sum(high.consider(day, value=500) is not None for _ in range(200))
+        assert juicy > marginal
+
+
+class TestDelay:
+    def test_delay_bounds(self):
+        actor = make_actor()
+        for value in (1, 10, 100, 1000):
+            for _ in range(50):
+                delay = actor.registration_delay(value)
+                assert 1 <= delay <= 500
+
+    def test_higher_value_faster_on_average(self):
+        actor = make_actor(seed=7)
+        slow = sum(actor.registration_delay(2) for _ in range(300)) / 300
+        fast = sum(actor.registration_delay(300) for _ in range(300)) / 300
+        assert fast < slow
+
+    def test_speed_scales_delay(self):
+        sluggish = make_actor(seed=9, speed=0.5)
+        quick = make_actor(seed=9, speed=4.0)
+        avg_sluggish = sum(sluggish.registration_delay(20) for _ in range(300)) / 300
+        avg_quick = sum(quick.registration_delay(20) for _ in range(300)) / 300
+        assert avg_quick < avg_sluggish
+
+
+class TestCapacity:
+    def test_capacity_consumed_by_registrations(self):
+        actor = make_actor(monthly_capacity=2)
+        day = simtime.to_day(dt.date(2015, 1, 5))
+        assert actor.has_capacity(day)
+        actor.record_registration(day, "a.biz")
+        actor.record_registration(day, "b.biz")
+        assert not actor.has_capacity(day)
+
+    def test_capacity_resets_next_month(self):
+        actor = make_actor(monthly_capacity=1)
+        day = simtime.to_day(dt.date(2015, 1, 5))
+        actor.record_registration(day, "a.biz")
+        assert not actor.has_capacity(day)
+        assert actor.has_capacity(day + 31)
+
+    def test_registrations_remembered(self):
+        actor = make_actor()
+        actor.record_registration(100, "a.biz")
+        assert "a.biz" in actor.registered_domains
+
+
+class TestRenewal:
+    def test_dead_asset_rarely_renewed(self):
+        actor = make_actor(seed=11)
+        renewals = sum(actor.decide_renewal(1, current_value=0) for _ in range(300))
+        assert renewals < 45  # ~5% rate
+
+    def test_live_asset_uses_schedule(self):
+        actor = make_actor(seed=13, renew_probs=(1.0, 0.0))
+        assert actor.decide_renewal(1, current_value=10)
+        assert not actor.decide_renewal(2, current_value=10)
+
+    def test_probabilities_clamp_to_last(self):
+        actor = make_actor(seed=15, renew_probs=(0.5,))
+        # anniversary 5 uses the last entry without raising
+        actor.decide_renewal(5, current_value=10)

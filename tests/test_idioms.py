@@ -1,0 +1,199 @@
+"""Tests for registrar renaming idioms (paper Tables 1, 2, 6)."""
+
+import random
+import re
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore.names import Name
+from repro.registrar.idioms import (
+    DeletedDropIdiom,
+    DropThisHostIdiom,
+    Enom123BizIdiom,
+    PleaseDropThisHostIdiom,
+    ReservedLabelIdiom,
+    SinkDomainIdiom,
+    SldRandomSuffixIdiom,
+    idiom_catalog,
+    random_alnum,
+    random_uuid,
+)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(42)
+
+
+class TestRandomHelpers:
+    def test_alnum_length(self, rng):
+        assert len(random_alnum(rng, 8)) == 8
+
+    def test_alnum_charset(self, rng):
+        assert re.fullmatch(r"[a-z0-9]{20}", random_alnum(rng, 20))
+
+    def test_uuid_shape(self, rng):
+        assert re.fullmatch(
+            r"[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}",
+            random_uuid(rng),
+        )
+
+    def test_deterministic_given_seed(self):
+        a = random_alnum(random.Random(7), 10)
+        b = random_alnum(random.Random(7), 10)
+        assert a == b
+
+
+class TestPleaseDropThisHost:
+    def test_shape(self, rng):
+        name = PleaseDropThisHostIdiom().rename("ns2.example.com", rng)
+        assert re.fullmatch(r"pleasedropthishost[a-z0-9]+\.example\.biz", name)
+
+    def test_preserves_sld(self, rng):
+        name = PleaseDropThisHostIdiom().rename("ns1.foo.com", rng)
+        assert ".foo.biz" in name
+
+    def test_biz_source_goes_to_com(self, rng):
+        name = PleaseDropThisHostIdiom().rename("ns1.foo.biz", rng)
+        assert name.endswith(".foo.com")
+
+    def test_hijackable(self):
+        assert PleaseDropThisHostIdiom().hijackable
+
+    def test_attempt_varies_name(self, rng):
+        idiom = PleaseDropThisHostIdiom()
+        a = idiom.rename("ns1.foo.com", random.Random(1), attempt=0)
+        b = idiom.rename("ns1.foo.com", random.Random(1), attempt=1)
+        assert a != b
+
+
+class TestDropThisHost:
+    def test_shape(self, rng):
+        name = DropThisHostIdiom().rename("ns2.example.com", rng)
+        assert re.fullmatch(r"dropthishost-[0-9a-f-]+\.biz", name)
+
+    def test_does_not_preserve_original(self, rng):
+        name = DropThisHostIdiom().rename("ns2.example.com", rng)
+        assert "example" not in name
+
+    def test_always_biz(self, rng):
+        assert DropThisHostIdiom().rename("ns1.foo.net", rng).endswith(".biz")
+
+
+class TestDeletedDrop:
+    def test_shape(self, rng):
+        name = DeletedDropIdiom().rename("ns1.foo.com", rng)
+        assert re.fullmatch(r"deleted-[a-z0-9]+\.drop-[a-z0-9]+\.biz", name)
+
+
+class TestEnom123:
+    def test_shape(self, rng):
+        assert Enom123BizIdiom().rename("ns1.foo.com", rng) == "ns1.foo123.biz"
+
+    def test_preserves_host_label(self, rng):
+        assert Enom123BizIdiom().rename("ns7.bar.net", rng) == "ns7.bar123.biz"
+
+    def test_attempt_appends_digits(self, rng):
+        assert Enom123BizIdiom().rename("ns1.foo.com", rng, attempt=2) == "ns1.foo1232.biz"
+
+
+class TestSldRandomSuffix:
+    def test_shape(self, rng):
+        name = SldRandomSuffixIdiom(rand_length=6).rename("ns1.foo.com", rng)
+        assert re.fullmatch(r"ns1\.foo[a-z0-9]{6}\.biz", name)
+
+    def test_biz_source_goes_to_com(self, rng):
+        name = SldRandomSuffixIdiom().rename("ns1.foo.biz", rng)
+        assert name.endswith(".com")
+
+    def test_custom_length(self, rng):
+        name = SldRandomSuffixIdiom(rand_length=9).rename("ns1.foo.com", rng)
+        sld = name.split(".")[1]
+        assert len(sld) == len("foo") + 9
+
+
+class TestSinkDomain:
+    def test_shape(self, rng):
+        idiom = SinkDomainIdiom("dummyns.com")
+        name = idiom.rename("ns2.foo.com", rng)
+        assert name.endswith(".dummyns.com")
+        assert "ns2-foo-com" in name
+
+    def test_not_hijackable(self):
+        assert not SinkDomainIdiom("dummyns.com").hijackable
+
+    def test_declares_sink_requirement(self):
+        assert SinkDomainIdiom("dummyns.com").sink_domains_needed() == ("dummyns.com",)
+
+    def test_idiom_id_is_upper_sink(self):
+        assert SinkDomainIdiom("dummyns.com").idiom_id == "DUMMYNS.COM"
+
+
+class TestReservedLabel:
+    def test_shape(self, rng):
+        name = ReservedLabelIdiom().rename("ns1.foo.com", rng)
+        assert name.endswith(".empty.as112.arpa")
+
+    def test_no_sink_registration_needed(self):
+        assert ReservedLabelIdiom().sink_domains_needed() == ()
+
+    def test_not_hijackable(self):
+        assert not ReservedLabelIdiom().hijackable
+
+
+class TestCatalog:
+    def test_contains_all_paper_idioms(self):
+        catalog = idiom_catalog()
+        for idiom_id in (
+            "DUMMYNS.COM", "LAMEDELEGATION.ORG", "NSHOLDFIX.COM",
+            "DELETE-HOST.COM", "DELETEDNS.COM",
+            "PLEASEDROPTHISHOST", "DROPTHISHOST", "DELETED-DROP",
+            "123.BIZ", "XXXXX.BIZ",
+            "EMPTY.AS112.ARPA", "NOTAPLACETO.BE", "DELETE-REGISTRATION.COM",
+        ):
+            assert idiom_id in catalog, idiom_id
+
+    def test_hijackable_split_matches_paper(self):
+        catalog = idiom_catalog()
+        hijackable = {i for i, idiom in catalog.items() if idiom.hijackable}
+        assert hijackable == {
+            "PLEASEDROPTHISHOST", "DROPTHISHOST", "DELETED-DROP",
+            "123.BIZ", "XXXXX.BIZ",
+        }
+
+
+host_labels = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=2, max_size=12)
+
+
+class TestIdiomProperties:
+    @given(host_labels, host_labels, st.integers(min_value=0, max_value=5))
+    def test_all_idioms_produce_valid_names(self, sub, sld, attempt):
+        host = f"{sub}.{sld}.com"
+        rng = random.Random(13)
+        for idiom in idiom_catalog().values():
+            produced = idiom.rename(host, rng, attempt=attempt)
+            assert Name(produced)  # parses/validates
+
+    @given(host_labels, host_labels)
+    def test_hijackable_idioms_change_registered_domain(self, sub, sld):
+        from repro.dnscore.psl import default_psl
+        psl = default_psl()
+        host = f"{sub}.{sld}.com"
+        rng = random.Random(5)
+        for idiom in idiom_catalog().values():
+            if not idiom.hijackable:
+                continue
+            produced = idiom.rename(host, rng)
+            assert psl.registered_domain(produced) != psl.registered_domain(host)
+
+    @given(host_labels, host_labels)
+    def test_rename_target_is_external_tld(self, sub, sld):
+        """Hijackable renames always leave the source TLD."""
+        host = f"{sub}.{sld}.com"
+        rng = random.Random(5)
+        for idiom in idiom_catalog().values():
+            if not idiom.hijackable:
+                continue
+            produced = idiom.rename(host, rng)
+            assert Name(produced).tld != "com"

@@ -1,0 +1,154 @@
+"""Tests for the zone mirror: audit events → zone-database history.
+
+Includes the equivalence check that matters most: driving a repository
+through a provisioning sequence and mirroring it must produce the same
+database as ingesting full daily snapshots of the published zone.
+"""
+
+import pytest
+
+from repro.dnscore.zone import Zone
+from repro.ecosystem.mirror import ZoneMirror
+from repro.epp.objects import DomainStatus
+from repro.epp.repository import EppRepository
+from repro.zonedb.database import ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+
+
+@pytest.fixture()
+def mirrored():
+    repo = EppRepository("sim-verisign", ["com", "net"])
+    db = ZoneDatabase()
+    mirror = ZoneMirror(repo, db)
+    repo.set_audit_hook(mirror)
+    return repo, db
+
+
+class TestDomainMirroring:
+    def test_create_with_ns(self, mirrored):
+        repo, db = mirrored
+        repo.create_host("regA", "ns1.ext.org", day=0)
+        repo.create_domain("regA", "a.com", day=0, nameservers=["ns1.ext.org"])
+        assert db.nameservers_of("a.com", 0) == {"ns1.ext.org"}
+
+    def test_create_without_ns_absent(self, mirrored):
+        repo, db = mirrored
+        repo.create_domain("regA", "a.com", day=0)
+        assert not db.domain_present("a.com", 0)
+
+    def test_update_reflected(self, mirrored):
+        repo, db = mirrored
+        repo.create_host("regA", "ns1.ext.org", day=0)
+        repo.create_host("regA", "ns2.ext.org", day=0)
+        repo.create_domain("regA", "a.com", day=0, nameservers=["ns1.ext.org"])
+        repo.update_domain_ns(
+            "regA", "a.com", day=3, add=["ns2.ext.org"], remove=["ns1.ext.org"]
+        )
+        assert db.nameservers_of("a.com", 3) == {"ns2.ext.org"}
+
+    def test_delete_removes(self, mirrored):
+        repo, db = mirrored
+        repo.create_host("regA", "ns1.ext.org", day=0)
+        repo.create_domain("regA", "a.com", day=0, nameservers=["ns1.ext.org"])
+        repo.delete_domain("regA", "a.com", day=4)
+        assert not db.domain_present("a.com", 4)
+
+    def test_hold_status_hides(self, mirrored):
+        repo, db = mirrored
+        repo.create_host("regA", "ns1.ext.org", day=0)
+        repo.create_domain("regA", "a.com", day=0, nameservers=["ns1.ext.org"])
+        repo.set_domain_status(
+            "regA", "a.com", day=2, add=[DomainStatus.SERVER_HOLD]
+        )
+        assert not db.domain_present("a.com", 2)
+        repo.set_domain_status(
+            "regA", "a.com", day=5, remove=[DomainStatus.SERVER_HOLD]
+        )
+        assert db.domain_present("a.com", 5)
+
+    def test_coverage_declared(self, mirrored):
+        _repo, db = mirrored
+        assert db.covers("x.com") and db.covers("x.net")
+
+
+class TestHostMirroring:
+    def test_glue_tracked(self, mirrored):
+        repo, db = mirrored
+        repo.create_domain("regA", "a.com", day=0)
+        repo.create_host("regA", "ns1.a.com", day=1, addresses=["192.0.2.1"])
+        assert db.glue_present("ns1.a.com", 1)
+
+    def test_external_host_no_glue(self, mirrored):
+        repo, db = mirrored
+        repo.create_host("regA", "ns1.ext.org", day=1)
+        assert not db.glue_present("ns1.ext.org", 1)
+
+    def test_address_clear_removes_glue(self, mirrored):
+        repo, db = mirrored
+        repo.create_domain("regA", "a.com", day=0)
+        repo.create_host("regA", "ns1.a.com", day=1, addresses=["192.0.2.1"])
+        repo.set_host_addresses("regA", "ns1.a.com", [], day=5)
+        assert not db.glue_present("ns1.a.com", 5)
+
+    def test_host_delete_removes_glue(self, mirrored):
+        repo, db = mirrored
+        repo.create_domain("regA", "a.com", day=0)
+        repo.create_host("regA", "ns1.a.com", day=1, addresses=["192.0.2.1"])
+        repo.delete_host("regA", "ns1.a.com", day=6)
+        assert not db.glue_present("ns1.a.com", 6)
+
+    def test_rename_rewrites_delegations_and_glue(self, mirrored):
+        repo, db = mirrored
+        repo.create_domain("regA", "foo.com", day=0)
+        repo.create_host("regA", "ns1.foo.com", day=0, addresses=["192.0.2.1"])
+        repo.create_domain("regB", "bar.com", day=1, nameservers=["ns1.foo.com"])
+        repo.rename_host("regA", "ns1.foo.com", "dropthishost-1.biz", day=9)
+        assert db.nameservers_of("bar.com", 9) == {"dropthishost-1.biz"}
+        assert not db.glue_present("ns1.foo.com", 9)
+        assert db.first_seen("dropthishost-1.biz") == 9
+
+
+class TestSnapshotEquivalence:
+    def test_mirror_equals_daily_snapshot_diffing(self):
+        """The central fidelity property of the event-driven database."""
+        repo = EppRepository("sim-verisign", ["com"])
+        mirror_db = ZoneDatabase()
+        repo.set_audit_hook(ZoneMirror(repo, mirror_db))
+        snapshot_db = ZoneDatabase(["com"])
+
+        def snap(day):
+            snapshot_db.ingest_snapshot(
+                ZoneSnapshot.from_zone(day, repo.zone_for("com"))
+            )
+
+        # Day 0: hoster with glue and a client.
+        repo.create_domain("regA", "foo.com", day=0)
+        repo.create_host("regA", "ns1.foo.com", day=0, addresses=["192.0.2.1"])
+        repo.update_domain_ns("regA", "foo.com", day=0, add=["ns1.foo.com"])
+        repo.create_domain("regB", "bar.com", day=0, nameservers=["ns1.foo.com"])
+        snap(0)
+        # Day 3: another client.
+        repo.create_domain("regB", "baz.com", day=3, nameservers=["ns1.foo.com"])
+        snap(3)
+        # Day 7: the rename-then-delete sequence.
+        repo.update_domain_ns("regA", "foo.com", day=7, remove=["ns1.foo.com"])
+        repo.rename_host("regA", "ns1.foo.com", "x9k2.biz", day=7)
+        repo.delete_domain("regA", "foo.com", day=7)
+        snap(7)
+        # Day 9: one client fixes its delegation.
+        repo.create_host("regB", "ns1.safe.org", day=9)
+        repo.update_domain_ns(
+            "regB", "bar.com", day=9, add=["ns1.safe.org"], remove=["x9k2.biz"]
+        )
+        snap(9)
+
+        for day in (0, 3, 7, 9):
+            for domain in ("foo.com", "bar.com", "baz.com"):
+                assert mirror_db.nameservers_of(domain, day) == \
+                    snapshot_db.nameservers_of(domain, day), (day, domain)
+        for ns in ("ns1.foo.com", "x9k2.biz", "ns1.safe.org"):
+            assert mirror_db.first_seen(ns) == snapshot_db.first_seen(ns), ns
+        assert mirror_db.glue_present("ns1.foo.com", 0) == \
+            snapshot_db.glue_present("ns1.foo.com", 0)
+        assert mirror_db.glue_present("ns1.foo.com", 7) == \
+            snapshot_db.glue_present("ns1.foo.com", 7)

@@ -1,0 +1,87 @@
+"""Tests for the §6.2 monetization probe."""
+
+import pytest
+
+from repro.api import reproduce
+from repro.dnscore.records import RRType
+from repro.experiment.monetization import (
+    MonetizationProbe,
+    REDIRECT_OPERATORS,
+    run_monetization_probe,
+)
+from repro.resolver.server import ParkingBehavior, RedirectBehavior
+
+
+class TestBehaviors:
+    def test_parking_answers_anything(self):
+        behavior = ParkingBehavior(parking_address="203.0.113.99")
+        assert behavior.handle(0, "whatever.com", RRType.A, "1.1.1.1") == [
+            "203.0.113.99"
+        ]
+        assert behavior.handle(0, "another.org", RRType.A, "1.1.1.1") == [
+            "203.0.113.99"
+        ]
+
+    def test_parking_only_answers_a(self):
+        behavior = ParkingBehavior()
+        assert behavior.handle(0, "x.com", RRType.TXT, "1.1.1.1") is None
+
+    def test_redirect_answers_with_destination(self):
+        behavior = RedirectBehavior(destination_address="203.0.113.80")
+        assert behavior.handle(0, "victim.com", RRType.A, "1.1.1.1") == [
+            "203.0.113.80"
+        ]
+
+
+@pytest.fixture(scope="module")
+def probe_bundle():
+    return reproduce(seed=321, scale=0.25, use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def report(probe_bundle):
+    return run_monetization_probe(
+        probe_bundle.world, probe_bundle.study, sample=80, seed=4
+    )
+
+
+class TestProbe:
+    def test_sample_probed(self, report):
+        assert report.sampled > 0
+        assert sum(report.classes.values()) == report.sampled
+
+    def test_parking_dominates(self, report):
+        """§6.2: 'parking sites dominating the sample'."""
+        assert report.parking_fraction > 0.5
+
+    def test_redirect_operator_detected(self, report):
+        if "phonesear.ch" in report.by_operator:
+            assert report.by_operator["phonesear.ch"].get("redirect", 0) > 0
+            assert report.by_operator["phonesear.ch"].get("parking", 0) == 0
+
+    def test_parking_operators_never_redirect(self, report):
+        for operator, classes in report.by_operator.items():
+            if operator not in REDIRECT_OPERATORS:
+                assert classes.get("redirect", 0) == 0
+
+    def test_retrospective_stability(self, report):
+        """§6.2: usage 'has not changed significantly over time'."""
+        assert report.retrospective
+        assert report.retrospective_stable()
+
+    def test_unhijacked_domains_stay_unreachable(self, probe_bundle):
+        probe = MonetizationProbe(probe_bundle.world, probe_bundle.study)
+        day = probe_bundle.study.config.study_end - 1
+        for group in probe_bundle.study.groups.values():
+            if not group.hijackable or group.hijacked:
+                continue
+            victims = set()
+            for view in group.nameservers:
+                victims |= view.domains_on(day)
+            for domain in sorted(victims)[:1]:
+                all_ns = probe_bundle.world.zonedb.nameservers_of(domain, day)
+                if len(all_ns) > 1:
+                    continue  # partial domains resolve via their good NS
+                verdict, _op = probe.classify(domain, day)
+                assert verdict == "unreachable"
+                return

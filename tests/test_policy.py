@@ -1,0 +1,169 @@
+"""Tests for the deletion machinery (rename-then-delete)."""
+
+import random
+
+import pytest
+
+from repro.epp.registry import Registry, TldPolicy
+from repro.registrar.idioms import (
+    DropThisHostIdiom,
+    Enom123BizIdiom,
+    SinkDomainIdiom,
+)
+from repro.registrar.policy import DeletionMachinery, ensure_sink_domains
+
+
+@pytest.fixture()
+def registry():
+    reg = Registry("sim-verisign", [TldPolicy("com"), TldPolicy("net")])
+    reg.accredit("regA")
+    reg.accredit("regB")
+    return reg
+
+
+@pytest.fixture()
+def machinery():
+    return DeletionMachinery(random.Random(99))
+
+
+def build_hoster(registry, *, clients=("bar.com",)):
+    """foo.com with ns1/ns2 subordinates; clients delegate to ns2."""
+    a = registry.session("regA")
+    b = registry.session("regB")
+    a.domain_create("foo.com", day=0)
+    a.host_create("ns1.foo.com", day=0, addresses=["192.0.2.1"])
+    a.host_create("ns2.foo.com", day=0, addresses=["192.0.2.2"])
+    a.domain_update_ns("foo.com", day=0, add=["ns1.foo.com", "ns2.foo.com"])
+    for client in clients:
+        b.domain_create(client, day=1, nameservers=["ns2.foo.com"])
+    return a
+
+
+class TestSimpleDeletion:
+    def test_domain_without_hosts_deleted_directly(self, registry, machinery):
+        session = registry.session("regA")
+        session.domain_create("plain.com", day=0)
+        outcome = machinery.delete_domain(
+            session, "plain.com", DropThisHostIdiom(), day=5
+        )
+        assert outcome.deleted
+        assert not outcome.created_sacrificial
+        assert outcome.errors == []
+
+    def test_unlinked_hosts_are_deleted_not_renamed(self, registry, machinery):
+        session = build_hoster(registry, clients=())
+        outcome = machinery.delete_domain(
+            session, "foo.com", DropThisHostIdiom(), day=5
+        )
+        assert outcome.deleted
+        assert outcome.renames == []
+        assert set(outcome.deleted_hosts) == {"ns1.foo.com", "ns2.foo.com"}
+
+    def test_missing_domain_fails_cleanly(self, registry, machinery):
+        session = registry.session("regA")
+        outcome = machinery.delete_domain(
+            session, "ghost.com", DropThisHostIdiom(), day=5
+        )
+        assert not outcome.deleted
+        assert outcome.errors
+
+
+class TestRenameThenDelete:
+    def test_linked_host_renamed(self, registry, machinery):
+        session = build_hoster(registry)
+        outcome = machinery.delete_domain(
+            session, "foo.com", DropThisHostIdiom(), day=5
+        )
+        assert outcome.deleted
+        assert len(outcome.renames) == 1
+        rename = outcome.renames[0]
+        assert rename.old_name == "ns2.foo.com"
+        assert rename.new_name.startswith("dropthishost-")
+        assert rename.linked_domains == ("bar.com",)
+
+    def test_client_delegation_rewritten(self, registry, machinery):
+        session = build_hoster(registry)
+        outcome = machinery.delete_domain(
+            session, "foo.com", DropThisHostIdiom(), day=5
+        )
+        new_name = outcome.renames[0].new_name
+        assert registry.repository.domain("bar.com").nameservers == [new_name]
+
+    def test_own_delegation_does_not_cause_rename(self, registry, machinery):
+        """ns1 is only linked by foo.com itself, so it is deleted."""
+        session = build_hoster(registry)
+        outcome = machinery.delete_domain(
+            session, "foo.com", DropThisHostIdiom(), day=5
+        )
+        assert "ns1.foo.com" in outcome.deleted_hosts
+        assert all(r.old_name != "ns1.foo.com" for r in outcome.renames)
+
+    def test_multiple_clients_one_rename(self, registry, machinery):
+        session = build_hoster(registry, clients=("bar.com", "baz.com", "qux.com"))
+        outcome = machinery.delete_domain(
+            session, "foo.com", DropThisHostIdiom(), day=5
+        )
+        assert len(outcome.renames) == 1
+        assert set(outcome.renames[0].linked_domains) == {
+            "bar.com", "baz.com", "qux.com"
+        }
+
+    def test_rename_collision_retries(self, registry, machinery):
+        """A host-object collision on the first attempt must be retried."""
+        session = build_hoster(registry)
+        # Pre-create the exact name attempt 0 would produce.
+        predicted = Enom123BizIdiom().rename("ns2.foo.com", random.Random(0))
+        session.host_create(predicted, day=2)
+        outcome = machinery.delete_domain(
+            session, "foo.com", Enom123BizIdiom(), day=5
+        )
+        assert outcome.deleted
+        assert outcome.renames[0].attempts > 1
+        assert outcome.renames[0].new_name != predicted
+
+    def test_internal_sink_rename_clears_glue(self, registry, machinery):
+        session = build_hoster(registry)
+        session.domain_create("sinkhole.com", day=0)
+        idiom = SinkDomainIdiom("sinkhole.com")
+        outcome = machinery.delete_domain(session, "foo.com", idiom, day=5)
+        assert outcome.deleted
+        new_name = outcome.renames[0].new_name
+        host = registry.repository.host(new_name)
+        assert host.addresses == set()
+
+    def test_sink_rename_without_registration_fails(self, registry, machinery):
+        """An internal sink target needs the sink domain to exist."""
+        session = build_hoster(registry)
+        idiom = SinkDomainIdiom("neverregistered.com")
+        outcome = machinery.delete_domain(session, "foo.com", idiom, day=5)
+        assert not outcome.deleted
+        assert outcome.errors
+
+
+class TestEnsureSinkDomains:
+    def test_registers_in_home_registry(self, registry):
+        idiom = SinkDomainIdiom("sinkhole.com")
+        registered = ensure_sink_domains("regA", idiom, [registry], day=3)
+        assert registered == ["sinkhole.com"]
+        assert registry.repository.domain_exists("sinkhole.com")
+
+    def test_idempotent(self, registry):
+        idiom = SinkDomainIdiom("sinkhole.com")
+        ensure_sink_domains("regA", idiom, [registry], day=3)
+        assert ensure_sink_domains("regA", idiom, [registry], day=4) == []
+
+    def test_sink_registered_without_delegation(self, registry):
+        """Sinks carry no NS so sacrificial names stay lame (§3.1)."""
+        idiom = SinkDomainIdiom("sinkhole.com")
+        ensure_sink_domains("regA", idiom, [registry], day=3)
+        assert registry.repository.domain("sinkhole.com").nameservers == []
+        assert "sinkhole.com" not in registry.publish_zone("com")
+
+    def test_unoperated_tld_skipped(self, registry):
+        idiom = SinkDomainIdiom("notaplaceto.be")
+        assert ensure_sink_domains("regA", idiom, [registry], day=3) == []
+
+    def test_random_idiom_needs_no_sink(self, registry):
+        assert ensure_sink_domains(
+            "regA", DropThisHostIdiom(), [registry], day=3
+        ) == []

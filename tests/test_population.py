@@ -1,0 +1,192 @@
+"""Tests for scenario configuration and population planning."""
+
+import pytest
+
+from repro import simtime
+from repro.dnscore.names import Name
+from repro.ecosystem.config import (
+    default_scenario,
+    paper_hijackers,
+    paper_registrars,
+    tiny_scenario,
+)
+from repro.ecosystem.population import NameForge, Plan, PopulationPlanner
+import random
+
+
+@pytest.fixture(scope="module")
+def plan() -> Plan:
+    return PopulationPlanner(tiny_scenario()).build()
+
+
+class TestConfig:
+    def test_default_timeline_bounds(self):
+        config = default_scenario()
+        assert config.start_day == 0
+        assert config.end_day == simtime.to_day(simtime.EXTENDED_END)
+        assert config.study_end_day < config.end_day
+
+    def test_scaled_counts(self):
+        config = default_scenario().scaled(0.1)
+        assert config.hoster_count == round(default_scenario().hoster_count * 0.1)
+        assert config.namecheap.client_count == round(1600 * 0.1)
+
+    def test_scaled_preserves_behavioural_params(self):
+        config = default_scenario().scaled(0.1)
+        assert config.partial_exposure_fraction == \
+            default_scenario().partial_exposure_fraction
+
+    def test_registrar_roster_matches_paper(self):
+        idents = {spec.ident for spec in paper_registrars()}
+        for expected in (
+            "godaddy", "enom", "internetbs", "netsol", "tldrs", "gmo",
+            "xinnet", "srsplus", "domainpeople", "fabulous", "registercom",
+            "markmonitor", "namecheap",
+        ):
+            assert expected in idents
+
+    def test_godaddy_idiom_history(self):
+        godaddy = next(s for s in paper_registrars() if s.ident == "godaddy")
+        idiom_ids = [idiom.idiom_id for _date, idiom in godaddy.idiom_schedule]
+        assert idiom_ids == [
+            "PLEASEDROPTHISHOST", "DROPTHISHOST", "EMPTY.AS112.ARPA"
+        ]
+
+    def test_hijacker_roster_matches_table4(self):
+        ns_domains = {spec.ns_domain for spec in paper_hijackers()}
+        for expected in (
+            "mpower.nl", "protectdelegation.com", "yandex.net",
+            "phonesear.ch", "dnspanel.com",
+        ):
+            assert expected in ns_domains
+
+    def test_internetbs_abandons_dummyns(self):
+        ibs = next(s for s in paper_registrars() if s.ident == "internetbs")
+        assert ibs.sink_abandonments[0][1] == "dummyns.com"
+
+
+class TestNameForge:
+    def test_unique_labels(self):
+        forge = NameForge(random.Random(1))
+        labels = {forge.label() for _ in range(500)}
+        assert len(labels) == 500
+
+    def test_deterministic(self):
+        a = NameForge(random.Random(9)).label()
+        b = NameForge(random.Random(9)).label()
+        assert a == b
+
+
+class TestPlanStructure:
+    def test_entity_counts_scale(self, plan):
+        config = tiny_scenario()
+        assert len(plan.hosters) == config.hoster_count
+        assert len(plan.typo_domains) == config.typo_domain_count
+        assert len(plan.test_ns) == config.test_ns_count
+
+    def test_hoster_death_after_birth(self, plan):
+        for hoster in plan.hosters:
+            assert hoster.birth_day < hoster.death_day
+
+    def test_hoster_tlds_avoid_neustar_and_restricted(self, plan):
+        for hoster in plan.hosters:
+            assert Name(hoster.domain).tld in ("com", "net", "org", "info")
+
+    def test_clients_born_before_hoster_death(self, plan):
+        for hoster in plan.hosters:
+            for client in hoster.clients:
+                assert client.birth_day < hoster.death_day
+
+    def test_clients_delegate_to_hoster(self, plan):
+        for hoster in plan.hosters:
+            for client in hoster.clients:
+                assert any(ns in hoster.ns_hosts for ns in client.ns_refs)
+
+    def test_partial_clients_have_alternate(self, plan):
+        partials = [
+            c for h in plan.hosters for c in h.clients if c.partial
+        ]
+        for client in partials:
+            assert len(client.ns_refs) > 1
+            assert any(ns not in client.ns_refs[0] for ns in client.ns_refs)
+
+    def test_fix_xor_expiry_consistency(self, plan):
+        for hoster in plan.hosters:
+            for client in hoster.clients:
+                if client.fix_day is not None:
+                    assert client.fix_day > hoster.death_day
+                if client.expiry_day is not None:
+                    assert client.expiry_day > hoster.death_day
+
+    def test_restricted_clients_use_registry(self, plan):
+        for hoster in plan.hosters:
+            for client in hoster.clients:
+                if Name(client.domain).tld in ("edu", "gov"):
+                    assert client.registrar == "sim-verisign"
+
+    def test_cross_repo_clients_in_other_repository(self, plan):
+        from repro.ecosystem.population import _TLD_REPO
+        for hoster in plan.hosters:
+            hoster_repo = _TLD_REPO[Name(hoster.domain).tld]
+            for client in hoster.clients:
+                client_repo = _TLD_REPO[Name(client.domain).tld]
+                if client.cross_repo:
+                    assert client_repo != hoster_repo
+                else:
+                    assert client_repo == hoster_repo
+
+    def test_brand_clients_assigned(self, plan):
+        brands = [c for h in plan.hosters for c in h.clients if c.brand]
+        assert len(brands) <= tiny_scenario().brand_client_count
+        for client in brands:
+            assert client.registrar == "markmonitor"
+            assert client.fix_day is None and client.expiry_day is None
+
+    def test_death_rate_declines(self):
+        """First-half deaths outnumber second-half (Figure 3's driver)."""
+        config = default_scenario()
+        planner = PopulationPlanner(config)
+        deaths = [planner._death_day() for _ in range(4000)]
+        study = [d for d in deaths if d < config.study_end_day]
+        midpoint = config.study_end_day // 2
+        first = sum(1 for d in study if d < midpoint)
+        second = len(study) - first
+        assert first > second * 1.3
+
+    def test_namecheap_plan_shape(self, plan):
+        nc = plan.namecheap
+        assert nc is not None
+        assert nc.sponsor == "enom"
+        never = [c for c in nc.clients if c.fix_day is None]
+        assert len(never) == tiny_scenario().namecheap.never_fixed
+        within_3 = sum(
+            1 for c in nc.clients
+            if c.fix_day is not None and c.fix_day <= nc.day + 3
+        )
+        assert within_3 / len(nc.clients) > 0.85
+
+    def test_test_ns_match_emt_pattern(self, plan):
+        for test in plan.test_ns:
+            assert test.domain.startswith("emt-d-")
+            for ns in test.ns_names:
+                assert ns.startswith("emt-ns")
+                assert "-u.com" in ns
+
+    def test_typo_ns_not_provider_names(self, plan):
+        from repro.ecosystem.population import SAFE_PROVIDERS
+        providers = {p for p, _o in SAFE_PROVIDERS}
+        for typo in plan.typo_domains:
+            for ns in typo.typo_ns:
+                registered = ".".join(Name(ns).labels[-2:])
+                assert registered not in providers
+
+    def test_deterministic_given_seed(self):
+        plan_a = PopulationPlanner(tiny_scenario()).build()
+        plan_b = PopulationPlanner(tiny_scenario()).build()
+        assert [h.domain for h in plan_a.hosters] == [h.domain for h in plan_b.hosters]
+        assert plan_a.client_count() == plan_b.client_count()
+
+    def test_different_seeds_differ(self):
+        plan_a = PopulationPlanner(tiny_scenario(seed=1)).build()
+        plan_b = PopulationPlanner(tiny_scenario(seed=2)).build()
+        assert [h.domain for h in plan_a.hosters] != [h.domain for h in plan_b.hosters]

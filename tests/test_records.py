@@ -1,0 +1,103 @@
+"""Tests for DNS resource records."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore.errors import DnsError
+from repro.dnscore.records import (
+    ResourceRecord,
+    RRSet,
+    RRType,
+    a_record,
+    ns_record,
+    soa_record,
+)
+
+
+class TestConstruction:
+    def test_ns_rdata_normalized(self):
+        record = ResourceRecord("Example.COM", RRType.NS, "NS1.Foo.COM.")
+        assert record.name == "example.com"
+        assert record.rdata == "ns1.foo.com"
+
+    def test_a_record_valid(self):
+        record = a_record("ns1.foo.com", "192.0.2.1")
+        assert record.rdata == "192.0.2.1"
+
+    def test_a_record_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            a_record("ns1.foo.com", "not-an-ip")
+
+    def test_a_record_rejects_ipv6(self):
+        with pytest.raises(DnsError):
+            a_record("ns1.foo.com", "2001:db8::1")
+
+    def test_aaaa_record_rejects_ipv4(self):
+        with pytest.raises(DnsError):
+            ResourceRecord("h.foo.com", RRType.AAAA, "192.0.2.1")
+
+    def test_aaaa_record_valid(self):
+        record = ResourceRecord("h.foo.com", RRType.AAAA, "2001:db8::1")
+        assert record.rdata == "2001:db8::1"
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(DnsError):
+            ResourceRecord("foo.com", RRType.NS, "ns1.bar.com", ttl=-1)
+
+    def test_soa_helper(self):
+        record = soa_record("com", "a.nic.com", "hostmaster.nic.com", 42)
+        assert record.rtype is RRType.SOA
+        assert "42" in record.rdata
+
+
+class TestSerialization:
+    def test_to_line_format(self):
+        record = ns_record("example.com", "ns1.foo.com", ttl=3600)
+        assert record.to_line() == "example.com. 3600 IN NS ns1.foo.com"
+
+    def test_round_trip_ns(self):
+        record = ns_record("example.com", "ns1.foo.com")
+        assert ResourceRecord.from_line(record.to_line()) == record
+
+    def test_round_trip_a(self):
+        record = a_record("ns1.foo.com", "192.0.2.7", ttl=60)
+        assert ResourceRecord.from_line(record.to_line()) == record
+
+    def test_from_line_rejects_malformed(self):
+        with pytest.raises(DnsError):
+            ResourceRecord.from_line("too few fields")
+
+    def test_from_line_rejects_bad_class(self):
+        with pytest.raises(DnsError):
+            ResourceRecord.from_line("a.com 60 CH NS ns1.b.com")
+
+    def test_from_line_rejects_bad_ttl(self):
+        with pytest.raises(DnsError):
+            ResourceRecord.from_line("a.com soon IN NS ns1.b.com")
+
+    def test_from_line_rejects_unknown_type(self):
+        with pytest.raises(DnsError):
+            ResourceRecord.from_line("a.com 60 IN MX 10 mail.b.com")
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=8),
+            min_size=2,
+            max_size=4,
+        ),
+        st.integers(min_value=0, max_value=86400),
+    )
+    def test_round_trip_property(self, labels, ttl):
+        record = ns_record(".".join(labels), "ns1.example.com", ttl=ttl)
+        assert ResourceRecord.from_line(record.to_line()) == record
+
+
+class TestRRSet:
+    def test_rdatas_in_order(self):
+        records = (
+            ns_record("a.com", "ns1.x.com"),
+            ns_record("a.com", "ns2.x.com"),
+        )
+        rrset = RRSet("a.com", RRType.NS, records)
+        assert rrset.rdatas() == ("ns1.x.com", "ns2.x.com")
+        assert len(rrset) == 2

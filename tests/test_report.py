@@ -1,0 +1,78 @@
+"""Tests for the text report renderers."""
+
+import pytest
+
+from repro.analysis import report
+
+
+@pytest.fixture(scope="module")
+def rendered(tiny_bundle):
+    return report.render_full_report(tiny_bundle.pipeline, tiny_bundle.study)
+
+
+class TestPrimitives:
+    def test_format_table_alignment(self):
+        text = report.format_table(
+            ["name", "count"], [("a", 1), ("longer", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_format_monthly_series_buckets(self):
+        series = {f"2011-{m:02d}": m for m in range(1, 13)}
+        text = report.format_monthly_series(series, every=6)
+        assert text.count("\n") == 1  # two buckets
+
+    def test_format_monthly_series_bars_scale(self):
+        series = {"a": 10, "b": 0}
+        text = report.format_monthly_series(series, width=10, every=1)
+        first, second = text.splitlines()
+        assert first.count("#") == 10
+        assert second.count("#") == 0
+
+    def test_format_cdf_includes_points(self):
+        text = report.format_cdf([1, 5, 30], points=(1, 30), title="x")
+        assert "<=     1 days" in text
+        assert "<=    30 days" in text
+        assert "n=3" in text
+
+
+class TestSectionRenderers:
+    def test_all_sections_present(self, rendered):
+        for marker in (
+            "Detection pipeline funnel",
+            "Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Table 6",
+            "Figure 3", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+        ):
+            assert marker in rendered, marker
+
+    def test_table2_contains_known_idioms(self, rendered):
+        assert "PLEASEDROPTHISHOST" in rendered
+        assert "GoDaddy" in rendered
+
+    def test_table5_contains_baseline(self, rendered):
+        assert "Organic baseline" in rendered
+
+    def test_figure3_has_trend_line(self, rendered):
+        assert "trend slope" in rendered
+
+    def test_figure4_has_burstiness(self, rendered):
+        assert "burstiness" in rendered
+
+    def test_renders_are_plain_printable_text(self, rendered):
+        assert isinstance(rendered, str)
+        assert all(ch == "\n" or ch.isprintable() for ch in rendered)
+
+
+class TestExtraSections:
+    def test_dataset_section_present(self, rendered):
+        assert "Data set overview" in rendered
+
+    def test_nature_section_present(self, rendered):
+        assert "Nature of currently-hijackable domains" in rendered
+
+    def test_table5_attribution_line(self, rendered):
+        assert "attribution of the" in rendered

@@ -1,0 +1,221 @@
+"""Tests for server behaviours and the iterative resolver."""
+
+import pytest
+
+from repro.dnscore.records import RRType
+from repro.resolver.resolver import IterativeResolver, ResolutionStatus
+from repro.resolver.server import (
+    AnsweringBehavior,
+    NameserverBehavior,
+    QueryRecord,
+    ScopedBehavior,
+    SilentBehavior,
+)
+from repro.zonedb.database import ZoneDatabase
+
+
+@pytest.fixture()
+def db():
+    database = ZoneDatabase(["com", "biz"])
+    # foo.com self-hosts with glue; bar.com uses foo.com's nameserver.
+    database.set_delegation(0, "foo.com", ["ns1.foo.com"])
+    database.set_glue(0, "ns1.foo.com")
+    database.set_delegation(0, "bar.com", ["ns1.foo.com"])
+    return database
+
+
+@pytest.fixture()
+def resolver(db):
+    r = IterativeResolver(db)
+    server = AnsweringBehavior()
+    server.add_record("bar.com", RRType.A, "192.0.2.80")
+    server.add_record("ns1.foo.com", RRType.A, "192.0.2.53")
+    r.attach_server("ns1.foo.com", server)
+    return r
+
+
+class TestBehaviors:
+    def test_silent_logs_but_never_answers(self):
+        behavior = SilentBehavior()
+        assert behavior.handle(0, "x.com", RRType.A, "192.0.2.1") is None
+        assert behavior.query_log == [QueryRecord(0, "x.com", RRType.A, "192.0.2.1")]
+
+    def test_answering_returns_records(self):
+        behavior = AnsweringBehavior()
+        behavior.add_record("x.com", RRType.A, "192.0.2.9")
+        assert behavior.handle(0, "x.com", RRType.A, "1.2.3.4") == ["192.0.2.9"]
+
+    def test_answering_unknown_name_silent(self):
+        assert AnsweringBehavior().handle(0, "x.com", RRType.A, "1.2.3.4") is None
+
+    def test_scoped_inside_network(self):
+        scoped = ScopedBehavior(allowed_network="10.0.0.0/24")
+        scoped.inner.add_record("x.com", RRType.A, "192.0.2.9")
+        assert scoped.handle(5, "x.com", RRType.A, "10.0.0.7") == ["192.0.2.9"]
+
+    def test_scoped_outside_network(self):
+        scoped = ScopedBehavior(allowed_network="10.0.0.0/24")
+        scoped.inner.add_record("x.com", RRType.A, "192.0.2.9")
+        assert scoped.handle(5, "x.com", RRType.A, "203.0.113.9") is None
+
+    def test_scoped_outside_window(self):
+        scoped = ScopedBehavior(
+            allowed_network="10.0.0.0/24", window_start=10, window_end=20
+        )
+        scoped.inner.add_record("x.com", RRType.A, "192.0.2.9")
+        assert scoped.handle(9, "x.com", RRType.A, "10.0.0.7") is None
+        assert scoped.handle(20, "x.com", RRType.A, "10.0.0.7") is None
+        assert scoped.handle(15, "x.com", RRType.A, "10.0.0.7") == ["192.0.2.9"]
+
+    def test_queries_for_filter(self):
+        behavior = SilentBehavior()
+        behavior.handle(0, "a.com", RRType.A, "1.1.1.1")
+        behavior.handle(0, "b.com", RRType.A, "1.1.1.1")
+        assert len(behavior.queries_for("a.com")) == 1
+
+    def test_purge_logs(self):
+        behavior = SilentBehavior()
+        behavior.handle(0, "a.com", RRType.A, "1.1.1.1")
+        assert behavior.purge_logs() == 1
+        assert behavior.query_log == []
+
+
+class TestResolution:
+    def test_answers_via_glue(self, resolver):
+        result = resolver.resolve("bar.com", day=1)
+        assert result.ok
+        assert result.answer == ["192.0.2.80"]
+        assert result.answered_by == "ns1.foo.com"
+
+    def test_nxdomain_when_not_delegated(self, resolver):
+        result = resolver.resolve("ghost.com", day=1)
+        assert result.status is ResolutionStatus.NXDOMAIN
+
+    def test_lame_when_server_silent(self, db):
+        resolver = IterativeResolver(db)
+        resolver.attach_server("ns1.foo.com", SilentBehavior())
+        result = resolver.resolve("bar.com", day=1)
+        assert result.status is ResolutionStatus.LAME
+        assert resolver.is_lame("bar.com", day=1)
+
+    def test_unresolvable_ns_when_no_server(self, db):
+        resolver = IterativeResolver(db)
+        result = resolver.resolve("bar.com", day=1)
+        assert result.status is ResolutionStatus.LAME  # glue exists, no one home
+
+    def test_sacrificial_delegation_is_unresolvable(self, db, resolver):
+        """A rename to an unregistered .biz name breaks resolution."""
+        db.set_delegation(5, "bar.com", ["ns2.fooxxxx.biz"])
+        result = resolver.resolve("bar.com", day=6)
+        assert result.status is ResolutionStatus.UNRESOLVABLE_NS
+
+    def test_hijack_restores_resolution_to_attacker(self, db, resolver):
+        db.set_delegation(5, "bar.com", ["ns2.fooxxxx.biz"])
+        # Hijacker registers fooxxxx.biz with glue for the sacrificial name.
+        db.set_delegation(10, "fooxxxx.biz", ["ns2.fooxxxx.biz"])
+        db.set_glue(10, "ns2.fooxxxx.biz")
+        hijacker = AnsweringBehavior()
+        hijacker.add_record("bar.com", RRType.A, "198.51.100.66")
+        resolver.attach_server("ns2.fooxxxx.biz", hijacker)
+        result = resolver.resolve("bar.com", day=11)
+        assert result.ok
+        assert result.answer == ["198.51.100.66"]
+        assert result.answered_by == "ns2.fooxxxx.biz"
+
+    def test_recursive_ns_address_resolution(self, db):
+        """NS without glue resolves through its own domain's delegation."""
+        db.set_delegation(0, "provider.com", ["ns1.foo.com"])
+        db.set_delegation(0, "client.com", ["dns.provider.com"])
+        provider_server = AnsweringBehavior()
+        provider_server.add_record("dns.provider.com", RRType.A, "192.0.2.44")
+        client_server = AnsweringBehavior()
+        client_server.add_record("client.com", RRType.A, "192.0.2.99")
+        resolver = IterativeResolver(db)
+        resolver.attach_server("ns1.foo.com", provider_server)
+        resolver.attach_server("dns.provider.com", client_server)
+        result = resolver.resolve("client.com", day=1)
+        assert result.ok
+        assert result.answer == ["192.0.2.99"]
+
+    def test_source_ip_propagates_through_recursion(self, db):
+        db.set_delegation(0, "provider.com", ["ns1.foo.com"])
+        db.set_delegation(0, "client.com", ["dns.provider.com"])
+        observer = SilentBehavior()
+        resolver = IterativeResolver(db)
+        resolver.attach_server("ns1.foo.com", observer)
+        resolver.resolve("client.com", day=1, source_ip="10.9.8.7")
+        assert observer.query_log[0].source_ip == "10.9.8.7"
+
+    def test_external_ns_reachable_only_with_server(self, db):
+        db.set_delegation(0, "client.com", ["ns1.hijacker.nl"])
+        resolver = IterativeResolver(db)
+        assert resolver.resolve("client.com", day=1).status is \
+            ResolutionStatus.UNRESOLVABLE_NS
+        server = AnsweringBehavior()
+        server.add_record("client.com", RRType.A, "198.51.100.1")
+        resolver.attach_server("ns1.hijacker.nl", server)
+        assert resolver.resolve("client.com", day=1).ok
+
+    def test_loop_protection(self, db):
+        """Self-referential glueless delegation terminates."""
+        db.set_delegation(0, "loop.com", ["ns1.loop.com"])
+        resolver = IterativeResolver(db)
+        result = resolver.resolve("loop.com", day=1)
+        assert result.status in (
+            ResolutionStatus.UNRESOLVABLE_NS, ResolutionStatus.ERROR
+        )
+
+    def test_trace_is_informative(self, resolver):
+        result = resolver.resolve("bar.com", day=1)
+        assert any("TLD referral" in line for line in result.trace)
+
+    def test_detach_server(self, db, resolver):
+        resolver.detach_server("ns1.foo.com")
+        assert resolver.server_for("ns1.foo.com") is None
+        assert resolver.resolve("bar.com", day=1).status is ResolutionStatus.LAME
+
+
+class TestWireCapture:
+    @pytest.fixture()
+    def capturing_resolver(self, db):
+        from repro.dnscore.records import RRType
+        resolver = IterativeResolver(db, capture_wire=True)
+        server = AnsweringBehavior()
+        server.add_record("bar.com", RRType.A, "192.0.2.80")
+        resolver.attach_server("ns1.foo.com", server)
+        return resolver
+
+    def test_exchanges_recorded(self, capturing_resolver):
+        capturing_resolver.resolve("bar.com", day=1)
+        assert len(capturing_resolver.wire_log) == 1
+        exchange = capturing_resolver.wire_log[0]
+        assert exchange.server == "ns1.foo.com"
+        assert exchange.query_size > 12
+        assert exchange.response_size > exchange.query_size
+
+    def test_no_response_recorded_as_none(self, db):
+        resolver = IterativeResolver(db, capture_wire=True)
+        resolver.attach_server("ns1.foo.com", SilentBehavior())
+        resolver.resolve("bar.com", day=1)
+        assert resolver.wire_log[0].response is None
+        assert resolver.wire_log[0].response_size == 0
+
+    def test_wire_decodes_to_original_question(self, capturing_resolver):
+        from repro.dnscore.wire import decode_message
+        capturing_resolver.resolve("bar.com", day=1)
+        decoded = decode_message(capturing_resolver.wire_log[0].query)
+        assert decoded.questions[0].qname == "bar.com"
+
+    def test_message_ids_increment(self, capturing_resolver):
+        capturing_resolver.resolve("bar.com", day=1)
+        capturing_resolver.resolve("bar.com", day=1)
+        from repro.dnscore.wire import decode_message
+        ids = [
+            decode_message(e.query).message_id
+            for e in capturing_resolver.wire_log
+        ]
+        assert ids == sorted(set(ids))
+
+    def test_capture_off_by_default(self, resolver):
+        resolver.resolve("bar.com", day=1)
+        assert resolver.wire_log == []

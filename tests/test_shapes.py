@@ -1,0 +1,236 @@
+"""Statistical shape assertions against the paper's findings.
+
+These are the reproduction's acceptance tests: on the full-scale default
+world, every qualitative claim of the paper's evaluation must hold. The
+bands are deliberately generous — the simulated substrate cannot match
+absolute numbers, but who wins, by what rough factor, and where the
+crossovers fall must agree (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import simtime
+from repro.analysis import desirability, duration, exposure, hijacks, timing
+from repro.analysis.actors import hijacker_rows
+from repro.analysis.remediation import table5, table6
+from repro.analysis.tables import collision_count, table1, table2, table3
+
+
+@pytest.fixture(scope="module")
+def study(default_bundle):
+    return default_bundle.study
+
+
+class TestTable12Shapes:
+    def test_godaddy_dominates_hijackable(self, study):
+        """Table 2: GoDaddy's two idioms are the largest hijackable rows."""
+        rows, _ = table2(study)
+        godaddy_ns = sum(r.nameservers for r in rows if r.registrar == "GoDaddy")
+        total_ns = sum(r.nameservers for r in rows)
+        assert godaddy_ns / total_ns > 0.45
+
+    def test_enom_second(self, study):
+        rows, _ = table2(study)
+        by_registrar: dict[str, int] = {}
+        for row in rows:
+            by_registrar[row.registrar] = by_registrar.get(row.registrar, 0) + row.nameservers
+        ranked = sorted(by_registrar, key=by_registrar.get, reverse=True)
+        assert ranked[:2] == ["GoDaddy", "Enom"]
+
+    def test_hijackable_outnumber_sinks(self, study):
+        """Paper: 180,842 hijackable vs 21,782 sink nameservers (~8:1)."""
+        _rows1, sink_total = table1(study)
+        _rows2, hij_total = table2(study)
+        ratio = hij_total.nameservers / max(1, sink_total.nameservers)
+        assert 3 < ratio < 25
+
+    def test_sink_rows_have_higher_domain_ratio(self, study):
+        """Sink registrars (NetSol/GMO/XinNet) carry more domains per NS."""
+        rows1, t1 = table1(study)
+        _rows2, t2 = table2(study)
+        sink_ratio = t1.affected_domains / max(1, t1.nameservers)
+        hij_ratio = t2.affected_domains / max(1, t2.nameservers)
+        assert sink_ratio > hij_ratio
+
+    def test_pdth_collisions_occur(self, study):
+        """§4: some PLEASEDROPTHISHOST names landed on registered domains."""
+        assert collision_count(study) > 0
+
+
+class TestTable3Shape:
+    def test_ns_fraction_small(self, study):
+        """Paper: 5.07% of hijackable NS were hijacked."""
+        summary = table3(study)
+        assert 0.02 < summary.ns_fraction < 0.12
+
+    def test_domain_fraction_much_larger(self, study):
+        """Paper: 31.95% of domains — selectivity amplifies ~6x."""
+        summary = table3(study)
+        assert 0.2 < summary.domain_fraction < 0.6
+        assert summary.domain_fraction / summary.ns_fraction > 3.5
+
+
+class TestFigure3Shape:
+    def test_downward_trend(self, study):
+        series = exposure.new_hijackable_per_month(study)
+        assert exposure.trend_slope(series) < 0
+        assert exposure.halves_ratio(series) < 0.85
+
+    def test_exposure_continues_throughout(self, study):
+        """Thousands of domains are still newly exposed late in the data."""
+        series = exposure.new_hijackable_per_month(study)
+        values = list(series.values())
+        assert sum(values[-24:]) > 0
+
+
+class TestFigure4Shape:
+    def test_hijacking_is_bursty(self, study):
+        hijack_series = hijacks.new_hijacked_per_month(study)
+        exposure_series = exposure.new_hijackable_per_month(study)
+        assert hijacks.burstiness(hijack_series) > \
+            hijacks.burstiness(exposure_series)
+
+    def test_hijacking_spans_the_decade(self, study):
+        series = hijacks.new_hijacked_per_month(study)
+        values = list(series.values())
+        third = len(values) // 3
+        assert sum(values[:third]) > 0
+        assert sum(values[third:2 * third]) > 0
+        assert sum(values[2 * third:]) > 0
+
+
+class TestFigure5Shape:
+    def test_hijackers_take_the_top(self, study):
+        points = desirability.value_points(study)
+        summary = desirability.selectivity_summary(points)
+        assert summary["top_decile_hijacked_fraction"] > 0.3
+        assert summary["top_decile_hijacked_fraction"] > \
+            3 * summary["overall_hijacked_fraction"]
+
+    def test_hijacked_mean_value_higher(self, study):
+        points = desirability.value_points(study)
+        summary = desirability.selectivity_summary(points)
+        assert summary["mean_value_hijacked"] > \
+            5 * summary["mean_value_not_hijacked"]
+
+
+class TestFigure6Shape:
+    def test_domains_hijacked_fast(self, study):
+        """Paper: ~50% of domains within ~5 days, >70% within a month."""
+        summary = timing.timing_summary(study)
+        assert summary["domains_within_5_days"] > 0.25
+        assert summary["domains_within_30_days"] > 0.55
+
+    def test_domain_cdf_above_ns_cdf(self, study):
+        """Selectivity: big nameservers go first."""
+        summary = timing.timing_summary(study)
+        assert summary["domains_within_7_days"] > summary["ns_within_7_days"]
+        assert summary["domains_within_30_days"] > summary["ns_within_30_days"]
+
+    def test_ns_cdf_has_long_tail(self, study):
+        ns_delays = timing.nameserver_delays(study)
+        assert timing.cdf_fraction_at(ns_delays, 7) < 0.6
+
+
+class TestFigure7Shape:
+    def test_hijacked_selected_for_long_exposure(self, study):
+        """Green CDF above red: never-hijacked skew to short exposure."""
+        summary = duration.duration_summary(study)
+        assert summary["never_week_fraction"] > summary["hijacked_week_fraction"]
+
+    def test_renewal_cliffs(self, study):
+        """Steps near one and two years in the hijacked-days CDF."""
+        summary = duration.duration_summary(study)
+        assert summary["one_year_step_fraction"] > 0.03
+        assert summary["one_year_step_fraction"] > \
+            summary["two_year_step_fraction"]
+
+
+class TestTable4Shape:
+    def test_top_actor_has_thousands_scaled(self, study):
+        rows = hijacker_rows(study, top=5)
+        assert rows[0].domain_count > 100
+
+    def test_known_bulk_actors_in_top5(self, study):
+        names = {r.controlling_domain for r in hijacker_rows(study, top=5)}
+        expected = {
+            "mpower.nl", "protectdelegation.com", "yandex.net",
+            "phonesear.ch", "dnspanel.com",
+        }
+        assert len(names & expected) >= 3
+
+    def test_top5_cover_most_hijacked_domains(self, study):
+        rows = hijacker_rows(study, top=5)
+        covered = sum(r.domain_count for r in rows)
+        assert covered > 0.6 * len(study.hijacked_domains())
+
+
+class TestTable5Shape:
+    def test_remediation_beats_organic_for_ns(self, study):
+        """Paper: −9,757 NS vs −4K organic (~2.4x)."""
+        delta = table5(study)
+        assert delta.ns_delta < delta.baseline_ns_delta  # more negative
+        assert abs(delta.ns_delta) > 1.5 * abs(delta.baseline_ns_delta)
+
+    def test_domain_gain_smaller_than_ns_gain(self, study):
+        """Paper: NS remediation gained ~2.4x over organic while domains
+        gained only ~1.2x — the long tail of small nameservers limits the
+        domain-level impact of registrar action."""
+        delta = table5(study)
+        ns_gain = abs(delta.ns_delta) / max(1, abs(delta.baseline_ns_delta))
+        domain_gain = (
+            abs(delta.domain_delta) / max(1, abs(delta.baseline_domain_delta))
+        )
+        assert domain_gain < ns_gain
+        assert domain_gain < 5
+
+    def test_population_shrinks_over_window(self, study):
+        delta = table5(study)
+        assert delta.after.vulnerable_ns < delta.before.vulnerable_ns
+        assert delta.after.vulnerable_domains < delta.before.vulnerable_domains
+
+
+class TestTable6Shape:
+    def test_new_idioms_protect_domains(self, study):
+        rows, total = table6(study)
+        assert total.nameservers > 50
+        assert total.domains > 100
+
+    def test_godaddy_largest_adopter(self, study):
+        rows, _total = table6(study)
+        assert rows[0].registrar == "GoDaddy"
+        assert rows[0].idiom == "EMPTY.AS112.ARPA"
+
+    def test_no_hijackable_renames_after_adoption(self, default_bundle):
+        """§7.2: very few sacrificial NS still being created (none here)."""
+        world = default_bundle.world
+        cutoff = world.config.notification_day + 120
+        late_hijackable = [
+            r for r in world.log.renames
+            if r.day > cutoff and r.hijackable and not r.remediation
+        ]
+        # Registrars that never used hijackable idioms aside, the big
+        # three switched; only the small XXXXX.BIZ users may linger.
+        offenders = {r.registrar for r in late_hijackable}
+        assert "godaddy" not in offenders
+        assert "internetbs" not in offenders
+
+
+class TestMethodologyFunnel:
+    def test_candidates_are_small_fraction_of_all_ns(self, default_bundle):
+        """Paper: 20M nameservers → 312K candidates (~1.5%). Our synthetic
+        world is far denser in anomalies, but candidates must still be a
+        strict minority."""
+        funnel = default_bundle.pipeline.funnel
+        assert funnel.candidates < 0.7 * funnel.total_nameservers
+
+    def test_most_candidates_confirmed_sacrificial(self, default_bundle):
+        """Paper: ~200K of 312K candidates end up sacrificial."""
+        funnel = default_bundle.pipeline.funnel
+        confirmed_fraction = funnel.sacrificial_total / funnel.candidates
+        assert confirmed_fraction > 0.5
+
+    def test_namecheap_excluded_from_study(self, default_bundle):
+        study = default_bundle.study
+        assert len(study.excluded) == \
+            default_bundle.world.config.namecheap.host_count

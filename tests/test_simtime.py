@@ -1,0 +1,189 @@
+"""Unit and property tests for day-granularity simulation time."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import simtime
+from repro.simtime import Interval, merge_intervals, total_days
+
+
+class TestDayConversion:
+    def test_epoch_is_day_zero(self):
+        assert simtime.to_day(simtime.EPOCH) == 0
+
+    def test_to_date_round_trip(self):
+        assert simtime.to_date(0) == simtime.EPOCH
+
+    def test_day_after_epoch(self):
+        assert simtime.to_day(dt.date(2011, 4, 2)) == 1
+
+    def test_negative_days_before_epoch(self):
+        assert simtime.to_day(dt.date(2011, 3, 31)) == -1
+
+    def test_study_end_is_late_2020(self):
+        day = simtime.to_day(simtime.STUDY_END)
+        assert simtime.to_date(day).year == 2020
+
+    @given(st.integers(min_value=-5000, max_value=10000))
+    def test_round_trip_property(self, day):
+        assert simtime.to_day(simtime.to_date(day)) == day
+
+
+class TestMonths:
+    def test_month_of_epoch(self):
+        assert simtime.month_of(0) == "2011-04"
+
+    def test_month_index_of_epoch(self):
+        assert simtime.month_index(0) == 0
+
+    def test_month_index_next_year(self):
+        assert simtime.month_index(simtime.to_day(dt.date(2012, 4, 1))) == 12
+
+    def test_month_label_inverse(self):
+        assert simtime.month_label(0) == "2011-04"
+        assert simtime.month_label(12) == "2012-04"
+        assert simtime.month_label(9) == "2012-01"
+
+    @given(st.integers(min_value=0, max_value=3800))
+    def test_label_matches_index(self, day):
+        assert simtime.month_label(simtime.month_index(day)) == simtime.month_of(day)
+
+    def test_months_between_spans_inclusive(self):
+        months = list(simtime.months_between(0, 60))
+        assert months[0] == "2011-04"
+        assert months[-1] == "2011-05"
+
+    def test_months_between_single_month(self):
+        assert list(simtime.months_between(3, 10)) == ["2011-04"]
+
+
+class TestInterval:
+    def test_contains_start(self):
+        assert Interval(5, 10).contains(5)
+
+    def test_excludes_end(self):
+        assert not Interval(5, 10).contains(10)
+
+    def test_open_interval_contains_far_future(self):
+        assert Interval(5).contains(100000)
+
+    def test_open_interval_excludes_before_start(self):
+        assert not Interval(5).contains(4)
+
+    def test_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(10, 5)
+
+    def test_zero_length_is_allowed_but_empty(self):
+        interval = Interval(5, 5)
+        assert not interval.contains(5)
+        assert interval.duration() == 0
+
+    def test_duration_closed(self):
+        assert Interval(5, 10).duration() == 5
+
+    def test_duration_open_needs_horizon(self):
+        with pytest.raises(ValueError):
+            Interval(5).duration()
+
+    def test_duration_open_with_horizon(self):
+        assert Interval(5).duration(12) == 7
+
+    def test_closed_clamps_open_end(self):
+        assert Interval(5).closed(8) == Interval(5, 8)
+
+    def test_closed_noop_for_closed(self):
+        assert Interval(5, 7).closed(100) == Interval(5, 7)
+
+    def test_overlaps_adjacent_is_false(self):
+        assert not Interval(0, 5).overlaps(Interval(5, 10))
+
+    def test_overlaps_one_day(self):
+        assert Interval(0, 6).overlaps(Interval(5, 10))
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(0, 5).intersect(Interval(6, 10)) is None
+
+    def test_intersect_partial(self):
+        assert Interval(0, 6).intersect(Interval(4, 10)) == Interval(4, 6)
+
+    def test_intersect_open_ends(self):
+        assert Interval(3).intersect(Interval(5)) == Interval(5)
+
+    def test_intersect_open_with_closed(self):
+        assert Interval(3).intersect(Interval(1, 7)) == Interval(3, 7)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_preserved(self):
+        result = merge_intervals([Interval(0, 2), Interval(5, 7)])
+        assert result == [Interval(0, 2), Interval(5, 7)]
+
+    def test_overlapping_coalesce(self):
+        result = merge_intervals([Interval(0, 5), Interval(3, 9)])
+        assert result == [Interval(0, 9)]
+
+    def test_adjacent_coalesce(self):
+        result = merge_intervals([Interval(0, 5), Interval(5, 9)])
+        assert result == [Interval(0, 9)]
+
+    def test_unsorted_input(self):
+        result = merge_intervals([Interval(5, 7), Interval(0, 6)])
+        assert result == [Interval(0, 7)]
+
+    def test_open_interval_absorbs(self):
+        result = merge_intervals([Interval(0, 5), Interval(3, None)])
+        assert result == [Interval(0, None)]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=20,
+        )
+    )
+    def test_merged_cover_same_days(self, raw):
+        intervals = [Interval(start, start + length) for start, length in raw]
+        merged = merge_intervals(intervals)
+        days_before = set()
+        for interval in intervals:
+            days_before.update(range(interval.start, interval.end))
+        days_after = set()
+        for interval in merged:
+            days_after.update(range(interval.start, interval.end))
+        assert days_before == days_after
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=1, max_value=50),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_merged_are_disjoint_and_sorted(self, raw):
+        intervals = [Interval(start, start + length) for start, length in raw]
+        merged = merge_intervals(intervals)
+        for left, right in zip(merged, merged[1:]):
+            assert left.end is not None
+            assert left.end < right.start  # adjacent ranges were coalesced
+
+
+class TestTotalDays:
+    def test_simple(self):
+        assert total_days([Interval(0, 5)], horizon=100) == 5
+
+    def test_overlap_counted_once(self):
+        assert total_days([Interval(0, 5), Interval(3, 8)], horizon=100) == 8
+
+    def test_open_clamped(self):
+        assert total_days([Interval(95)], horizon=100) == 5

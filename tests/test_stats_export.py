@@ -1,0 +1,103 @@
+"""Tests for data-set statistics and CSV exports."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import export_all
+from repro.zonedb.database import ZoneDatabase
+from repro.zonedb.stats import dataset_stats
+
+
+class TestDatasetStats:
+    @pytest.fixture()
+    def db(self):
+        database = ZoneDatabase(["com", "org"])
+        database.set_delegation(0, "a.com", ["ns1.x.net", "ns2.x.net"])
+        database.set_delegation(5, "b.com", ["ns1.x.net"])
+        database.set_delegation(5, "c.org", ["ns1.y.net"])
+        database.advance(100)
+        return database
+
+    def test_counts(self, db):
+        stats = dataset_stats(db)
+        assert stats.total_domains == 3
+        assert stats.total_nameservers == 3
+        assert stats.domains_per_tld == {"com": 2, "org": 1}
+        assert stats.observation_days == 100
+        assert stats.delegation_records == 4
+
+    def test_ns_load_distribution(self, db):
+        stats = dataset_stats(db)
+        assert stats.max_domains_per_ns == 2  # ns1.x.net serves a+b
+        assert stats.median_domains_per_ns >= 1
+
+    def test_multi_ns_fraction(self, db):
+        stats = dataset_stats(db)
+        assert stats.multi_ns_domain_fraction == pytest.approx(1 / 3)
+
+    def test_rows_render(self, db):
+        rows = dataset_stats(db).rows()
+        labels = [label for label, _v in rows]
+        assert "distinct domains" in labels
+        assert "  .com domains" in labels
+
+    def test_empty_database(self):
+        stats = dataset_stats(ZoneDatabase())
+        assert stats.total_domains == 0
+        assert stats.median_domains_per_ns == 0.0
+
+    def test_world_scale_sanity(self, tiny_bundle):
+        stats = dataset_stats(tiny_bundle.world.zonedb)
+        assert stats.total_domains > 500
+        assert stats.domains_per_tld.get("com", 0) > stats.domains_per_tld.get("us", 0)
+
+
+class TestExports:
+    @pytest.fixture(scope="class")
+    def exported(self, tiny_bundle, tmp_path_factory):
+        out = tmp_path_factory.mktemp("csv")
+        paths = export_all(tiny_bundle.study, out)
+        return {path.name: path for path in paths}
+
+    def test_all_files_written(self, exported):
+        assert set(exported) == {
+            "figure3_new_hijackable_per_month.csv",
+            "figure4_new_hijacked_per_month.csv",
+            "figure5_value_scatter.csv",
+            "figure6_time_to_exploit.csv",
+            "figure7_durations.csv",
+            "tables_idioms.csv",
+        }
+
+    def _read(self, path):
+        with path.open() as handle:
+            return list(csv.DictReader(handle))
+
+    def test_figure3_matches_series(self, exported, tiny_bundle):
+        from repro.analysis.exposure import new_hijackable_per_month
+        rows = self._read(exported["figure3_new_hijackable_per_month.csv"])
+        series = new_hijackable_per_month(tiny_bundle.study)
+        assert len(rows) == len(series)
+        total_csv = sum(int(r["new_hijackable_domains"]) for r in rows)
+        assert total_csv == sum(series.values())
+
+    def test_figure5_flags_are_binary(self, exported):
+        rows = self._read(exported["figure5_value_scatter.csv"])
+        assert rows
+        assert {r["hijacked"] for r in rows} <= {"0", "1"}
+
+    def test_figure6_has_both_populations(self, exported):
+        rows = self._read(exported["figure6_time_to_exploit.csv"])
+        populations = {r["population"] for r in rows}
+        assert populations == {"nameserver", "domain"}
+
+    def test_figure7_has_three_curves(self, exported):
+        rows = self._read(exported["figure7_durations.csv"])
+        assert {r["curve"] for r in rows} == {
+            "hijackable_never_hijacked", "hijackable_hijacked", "hijacked"
+        }
+
+    def test_tables_split_by_hijackable(self, exported):
+        rows = self._read(exported["tables_idioms.csv"])
+        assert {r["hijackable"] for r in rows} == {"0", "1"}

@@ -1,0 +1,137 @@
+"""Tests for EPP domain transfers and their WHOIS/remediation effects."""
+
+import pytest
+
+from repro.epp.errors import EppError, ResultCode
+from repro.epp.objects import DomainStatus
+from repro.epp.repository import EppRepository
+from repro.whois.archive import WhoisArchive
+
+
+@pytest.fixture()
+def repo():
+    repository = EppRepository("sim-verisign", ["com"])
+    repository.create_domain("godaddy", "moving.com", day=0)
+    repository.domain("moving.com").auth_info = "s3cret"
+    return repository
+
+
+class TestRepositoryTransfer:
+    def test_transfer_changes_sponsor(self, repo):
+        obj = repo.transfer_domain("enom", "moving.com", "s3cret", day=10)
+        assert obj.sponsor == "enom"
+
+    def test_bad_auth_info_rejected(self, repo):
+        with pytest.raises(EppError) as err:
+            repo.transfer_domain("enom", "moving.com", "wrong", day=10)
+        assert err.value.code is ResultCode.AUTHORIZATION_ERROR
+        assert repo.domain("moving.com").sponsor == "godaddy"
+
+    def test_transfer_to_current_sponsor_rejected(self, repo):
+        with pytest.raises(EppError) as err:
+            repo.transfer_domain("godaddy", "moving.com", "s3cret", day=10)
+        assert err.value.code is ResultCode.PARAMETER_VALUE_POLICY_ERROR
+
+    def test_transfer_prohibited_status(self, repo):
+        repo.set_domain_status(
+            "godaddy", "moving.com", day=5,
+            add=[DomainStatus.CLIENT_TRANSFER_PROHIBITED],
+        )
+        with pytest.raises(EppError) as err:
+            repo.transfer_domain("enom", "moving.com", "s3cret", day=10)
+        assert err.value.code is ResultCode.STATUS_PROHIBITS_OPERATION
+
+    def test_empty_auth_info_is_open(self, repo):
+        """Objects without authInfo (simulation default) transfer freely."""
+        repo.create_domain("godaddy", "open.com", day=0)
+        obj = repo.transfer_domain("enom", "open.com", "", day=10)
+        assert obj.sponsor == "enom"
+
+    def test_gaining_registrar_can_then_manage(self, repo):
+        repo.transfer_domain("enom", "moving.com", "s3cret", day=10)
+        repo.renew_domain("enom", "moving.com", day=11)
+        with pytest.raises(EppError):
+            repo.renew_domain("godaddy", "moving.com", day=11)
+
+    def test_audit_event_emitted(self):
+        events = []
+        repository = EppRepository(
+            "x", ["com"], audit_hook=lambda d, op, det: events.append((op, det))
+        )
+        repository.create_domain("a", "m.com", day=0)
+        repository.transfer_domain("b", "m.com", "", day=5)
+        op, detail = events[-1]
+        assert op == "domain:transfer"
+        assert detail == {"domain": "m.com", "gaining": "b", "losing": "a"}
+
+
+class TestWhoisTransfer:
+    def test_registrar_at_honours_transfer(self):
+        whois = WhoisArchive()
+        whois.record_registration("m.com", "godaddy", day=0, period_years=5)
+        whois.record_transfer("m.com", "enom", day=100)
+        assert whois.registrar_at("m.com", 50) == "godaddy"
+        assert whois.registrar_at("m.com", 100) == "enom"
+        assert whois.registrar_at("m.com", 500) == "enom"
+
+    def test_multiple_transfers_ordered(self):
+        whois = WhoisArchive()
+        whois.record_registration("m.com", "a", day=0, period_years=9)
+        whois.record_transfer("m.com", "b", day=100)
+        whois.record_transfer("m.com", "c", day=200)
+        assert whois.registrar_at("m.com", 150) == "b"
+        assert whois.registrar_at("m.com", 250) == "c"
+
+    def test_transfer_is_not_a_new_epoch(self):
+        """A transfer must never look like a hijack re-registration."""
+        whois = WhoisArchive()
+        whois.record_registration("m.com", "a", day=0, period_years=9)
+        whois.record_transfer("m.com", "b", day=100)
+        assert len(whois.history("m.com")) == 1
+        assert whois.first_registration_after("m.com", 50) is None
+
+    def test_serialization_keeps_transfers(self, tmp_path):
+        whois = WhoisArchive()
+        whois.record_registration("m.com", "a", day=0, period_years=9)
+        whois.record_transfer("m.com", "b", day=100)
+        path = tmp_path / "whois.jsonl"
+        whois.dump(path)
+        restored = WhoisArchive.load(path)
+        assert restored.registrar_at("m.com", 150) == "b"
+
+
+class TestWorldTransfers:
+    def test_transfers_happen(self, default_bundle):
+        world = default_bundle.world
+        transferred = [
+            client
+            for hoster in world.plan.hosters
+            for client in hoster.clients
+            if client.transfer_day is not None
+        ]
+        assert transferred
+        executed = 0
+        for client in transferred[:50]:
+            record = world.whois.current(client.domain, client.transfer_day)
+            if record is not None and record.transfers:
+                executed += 1
+        assert executed > 0
+
+    def test_repo_sponsor_matches_whois_after_transfer(self, default_bundle):
+        world = default_bundle.world
+        end = world.config.end_day - 1
+        checked = 0
+        for hoster in world.plan.hosters:
+            for client in hoster.clients:
+                if client.transfer_day is None:
+                    continue
+                registry = world.roster.registry_for(client.domain)
+                if not registry.repository.domain_exists(client.domain):
+                    continue
+                record = world.whois.current(client.domain, end)
+                if record is None or not record.transfers:
+                    continue
+                assert registry.repository.domain(client.domain).sponsor == \
+                    record.registrar_on(end)
+                checked += 1
+        assert checked > 0

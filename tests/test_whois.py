@@ -1,0 +1,97 @@
+"""Tests for the WHOIS history archive."""
+
+import pytest
+
+from repro.whois.archive import REDACTED, WhoisArchive
+
+
+@pytest.fixture()
+def archive():
+    whois = WhoisArchive()
+    whois.record_registration(
+        "foo.com", "godaddy", day=0, period_years=2, registrant="Alice"
+    )
+    return whois
+
+
+class TestEpochs:
+    def test_registration_recorded(self, archive):
+        record = archive.current("foo.com", 10)
+        assert record is not None
+        assert record.registrar == "godaddy"
+        assert record.expires == 730
+
+    def test_renewal_extends(self, archive):
+        archive.record_renewal("foo.com", day=100, period_years=1)
+        assert archive.current("foo.com", 100).expires == 730 + 365
+
+    def test_deletion_closes_epoch(self, archive):
+        archive.record_deletion("foo.com", day=50)
+        assert archive.current("foo.com", 50) is None
+        assert archive.current("foo.com", 49) is not None
+
+    def test_reregistration_opens_new_epoch(self, archive):
+        archive.record_deletion("foo.com", day=50)
+        archive.record_registration("foo.com", "enom", day=80)
+        assert archive.registrar_at("foo.com", 85) == "enom"
+        assert archive.registrar_at("foo.com", 40) == "godaddy"
+        assert len(archive.history("foo.com")) == 2
+
+    def test_renewal_of_unregistered_is_noop(self, archive):
+        archive.record_deletion("foo.com", day=50)
+        archive.record_renewal("foo.com", day=60)
+        assert archive.current("foo.com", 60) is None
+
+    def test_deletion_of_unknown_is_noop(self):
+        WhoisArchive().record_deletion("ghost.com", day=5)
+
+
+class TestQueries:
+    def test_registrar_at_unregistered(self, archive):
+        assert archive.registrar_at("ghost.com", 10) is None
+
+    def test_ever_registered(self, archive):
+        assert archive.ever_registered("foo.com")
+        assert not archive.ever_registered("ghost.com")
+
+    def test_first_registration_after(self, archive):
+        archive.record_deletion("foo.com", day=50)
+        archive.record_registration("foo.com", "hijacker-reg", day=90)
+        found = archive.first_registration_after("foo.com", 60)
+        assert found is not None and found.created == 90
+
+    def test_first_registration_after_none(self, archive):
+        assert archive.first_registration_after("foo.com", 1) is None
+
+    def test_first_registration_boundary_inclusive(self, archive):
+        found = archive.first_registration_after("foo.com", 0)
+        assert found is not None and found.created == 0
+
+    def test_len_counts_epochs(self, archive):
+        archive.record_deletion("foo.com", day=50)
+        archive.record_registration("foo.com", "enom", day=80)
+        assert len(archive) == 2
+
+    def test_domains_iterates(self, archive):
+        assert list(archive.domains()) == ["foo.com"]
+
+    def test_names_normalized(self, archive):
+        assert archive.registrar_at("FOO.COM", 10) == "godaddy"
+
+
+class TestRedaction:
+    def test_redaction_applies(self):
+        whois = WhoisArchive(redact_registrants=True)
+        whois.record_registration("a.com", "enom", day=0, registrant="Bob")
+        assert whois.current("a.com", 0).registrant == REDACTED
+
+    def test_registrar_survives_redaction(self):
+        """GDPR hides registrants, not sponsoring registrars (§6.2)."""
+        whois = WhoisArchive(redact_registrants=True)
+        whois.record_registration("a.com", "enom", day=0, registrant="Bob")
+        assert whois.registrar_at("a.com", 0) == "enom"
+
+    def test_empty_registrant_not_redacted(self):
+        whois = WhoisArchive(redact_registrants=True)
+        whois.record_registration("a.com", "enom", day=0)
+        assert whois.current("a.com", 0).registrant == ""

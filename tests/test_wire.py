@@ -1,0 +1,165 @@
+"""Tests for RFC 1035 wire-format encoding and decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnscore.errors import DnsError
+from repro.dnscore.records import ResourceRecord, RRType, a_record, ns_record, soa_record
+from repro.dnscore.wire import (
+    Message,
+    Question,
+    Rcode,
+    decode_message,
+    encode_message,
+)
+
+
+def round_trip(message: Message) -> Message:
+    return decode_message(encode_message(message))
+
+
+class TestHeader:
+    def test_query_flags(self):
+        query = Message.query("example.com", RRType.A, message_id=4660)
+        decoded = round_trip(query)
+        assert decoded.message_id == 4660
+        assert not decoded.is_response
+        assert decoded.recursion_desired
+        assert decoded.rcode is Rcode.NOERROR
+
+    def test_response_flags(self):
+        query = Message.query("example.com", RRType.A, message_id=7)
+        response = query.respond(
+            [a_record("example.com", "192.0.2.1")], rcode=Rcode.NOERROR
+        )
+        decoded = round_trip(response)
+        assert decoded.is_response
+        assert decoded.authoritative
+        assert decoded.message_id == 7
+
+    def test_rcode_preserved(self):
+        query = Message.query("gone.com", RRType.A)
+        decoded = round_trip(query.respond([], rcode=Rcode.NXDOMAIN))
+        assert decoded.rcode is Rcode.NXDOMAIN
+
+    def test_truncated_flag(self):
+        message = Message.query("x.com", RRType.A)
+        message.truncated = True
+        assert round_trip(message).truncated
+
+    def test_recursion_available(self):
+        message = Message.query("x.com", RRType.A)
+        message.is_response = True
+        message.recursion_available = True
+        assert round_trip(message).recursion_available
+
+
+class TestQuestions:
+    def test_question_round_trip(self):
+        decoded = round_trip(Message.query("WWW.Example.COM", RRType.NS))
+        assert decoded.questions == [Question("www.example.com", RRType.NS)]
+
+    def test_multiple_questions(self):
+        message = Message(
+            questions=[Question("a.com", RRType.A), Question("b.org", RRType.NS)]
+        )
+        assert len(round_trip(message).questions) == 2
+
+
+class TestRecords:
+    @pytest.mark.parametrize(
+        "record",
+        [
+            a_record("ns1.example.com", "192.0.2.53", ttl=300),
+            ns_record("example.com", "ns1.example.com"),
+            ResourceRecord("h.example.com", RRType.AAAA, "2001:db8::1"),
+            ResourceRecord("alias.example.com", RRType.CNAME, "target.example.net"),
+            soa_record("com", "a.nic.com", "hostmaster.nic.com", 42),
+            ResourceRecord("txt.example.com", RRType.TXT, "hello world"),
+        ],
+    )
+    def test_record_round_trip(self, record):
+        message = Message(is_response=True, answers=[record])
+        decoded = round_trip(message)
+        assert decoded.answers == [record]
+
+    def test_all_sections(self):
+        message = Message(
+            is_response=True,
+            answers=[a_record("a.com", "192.0.2.1")],
+            authorities=[ns_record("a.com", "ns1.b.net")],
+            additionals=[a_record("ns1.b.net", "192.0.2.2")],
+        )
+        decoded = round_trip(message)
+        assert len(decoded.answers) == 1
+        assert len(decoded.authorities) == 1
+        assert len(decoded.additionals) == 1
+
+    def test_long_txt_chunked(self):
+        record = ResourceRecord("t.example.com", RRType.TXT, "x" * 700)
+        decoded = round_trip(Message(answers=[record]))
+        assert decoded.answers[0].rdata == "x" * 700
+
+
+class TestCompression:
+    def test_compression_shrinks_repeated_names(self):
+        answers = [
+            ns_record("example.com", f"ns{i}.example.com") for i in range(4)
+        ]
+        message = Message(is_response=True, answers=answers)
+        wire = encode_message(message)
+        uncompressed_estimate = sum(
+            len(r.name) + len(r.rdata) + 12 for r in answers
+        )
+        assert len(wire) < uncompressed_estimate
+        assert decode_message(wire).answers == answers
+
+    def test_pointer_loop_rejected(self):
+        # Hand-craft a message whose name is a pointer to itself.
+        header = (0).to_bytes(2, "big") * 6
+        evil = bytearray(header)
+        evil[4:6] = (1).to_bytes(2, "big")  # qdcount = 1
+        evil += b"\xc0\x0c"                  # name: pointer to itself
+        evil += (1).to_bytes(2, "big") + (1).to_bytes(2, "big")
+        with pytest.raises(DnsError):
+            decode_message(bytes(evil))
+
+    def test_truncated_message_rejected(self):
+        wire = encode_message(Message.query("example.com", RRType.A))
+        with pytest.raises(DnsError):
+            decode_message(wire[:-3])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DnsError):
+            decode_message(b"\x00\x01")
+
+
+label = st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=12)
+name_st = st.lists(label, min_size=2, max_size=4).map(".".join)
+
+
+class TestProperties:
+    @given(
+        st.integers(min_value=0, max_value=65535),
+        name_st,
+        st.sampled_from([RRType.A, RRType.NS, RRType.AAAA, RRType.TXT]),
+    )
+    def test_query_round_trip(self, message_id, qname, qtype):
+        message = Message.query(qname, qtype, message_id=message_id)
+        assert round_trip(message) == message
+
+    @given(st.lists(st.tuples(name_st, name_st), min_size=1, max_size=8))
+    def test_ns_response_round_trip(self, pairs):
+        answers = [ns_record(owner, target) for owner, target in pairs]
+        message = Message(is_response=True, answers=answers)
+        assert round_trip(message).answers == answers
+
+    @given(
+        name_st,
+        st.integers(min_value=0, max_value=255),
+        st.integers(min_value=0, max_value=255),
+    )
+    def test_a_response_round_trip(self, owner, octet_a, octet_b):
+        record = a_record(owner, f"192.{octet_a}.{octet_b}.7")
+        message = Message(is_response=True, answers=[record])
+        assert round_trip(message).answers == [record]

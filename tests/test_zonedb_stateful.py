@@ -1,0 +1,93 @@
+"""Stateful property testing of the zone database.
+
+Hypothesis drives random day-by-day delegation changes through (a) the
+change-level API and (b) a shadow model (plain dicts of daily states),
+checking after every step that interval queries agree with the model —
+the property DZDB-style databases must satisfy: *any* reconstruction at
+day D equals the state that was ingested for day D.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.zonedb.database import ZoneDatabase
+
+DOMAINS = ("a.com", "b.com", "c.com")
+NAMESERVERS = ("ns1.x.net", "ns2.x.net", "ns3.y.org")
+
+
+class ZoneDbMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.db = ZoneDatabase(["com"])
+        self.day = 0
+        # The shadow model: current state plus every day's snapshot.
+        self.current: dict[str, frozenset[str]] = {}
+        self.snapshots: dict[int, dict[str, frozenset[str]]] = {}
+        self._record_day()
+
+    def _record_day(self) -> None:
+        self.snapshots[self.day] = dict(self.current)
+
+    @rule()
+    def advance_day(self):
+        self.day += 1
+        self.db.advance(self.day)
+        self._record_day()
+
+    @rule(
+        domain=st.sampled_from(DOMAINS),
+        ns_set=st.sets(st.sampled_from(NAMESERVERS), min_size=1, max_size=3),
+    )
+    def set_delegation(self, domain, ns_set):
+        self.db.set_delegation(self.day, domain, ns_set)
+        self.current[domain] = frozenset(ns_set)
+        self._record_day()
+
+    @rule(domain=st.sampled_from(DOMAINS))
+    def remove_delegation(self, domain):
+        self.db.remove_delegation(self.day, domain)
+        self.current.pop(domain, None)
+        self._record_day()
+
+    @invariant()
+    def every_past_day_reconstructs(self):
+        for day, state in self.snapshots.items():
+            if day == self.day:
+                continue  # same-day changes are squashed at daily grain
+            for domain in DOMAINS:
+                expected = state.get(domain, frozenset())
+                assert self.db.nameservers_of(domain, day) == expected, (
+                    f"day {day} domain {domain}"
+                )
+
+    @invariant()
+    def current_state_matches(self):
+        for domain in DOMAINS:
+            expected = self.current.get(domain, frozenset())
+            assert self.db.nameservers_of(domain, self.day) == expected
+
+    @invariant()
+    def ns_index_is_inverse_of_domain_index(self):
+        for ns in NAMESERVERS:
+            via_ns = self.db.domains_of_ns(ns, self.day)
+            via_domains = {
+                domain for domain in DOMAINS
+                if ns in self.db.nameservers_of(domain, self.day)
+            }
+            assert via_ns == via_domains
+
+    @invariant()
+    def presence_matches_delegation(self):
+        for domain in DOMAINS:
+            delegated = bool(self.db.nameservers_of(domain, self.day))
+            assert self.db.domain_present(domain, self.day) == delegated
+
+
+ZoneDbMachine.TestCase.settings = settings(
+    max_examples=50, stateful_step_count=25, deadline=None
+)
+TestZoneDbMachine = ZoneDbMachine.TestCase
