@@ -1,0 +1,110 @@
+"""Overhead benchmark: the fault layer must be free when switched off.
+
+Two contracts are enforced (not just measured):
+
+* ingesting a snapshot stream through a *disabled* SnapshotFaultInjector
+  plus a default IngestPolicy costs <5% over raw ingestion;
+* resolving with a RetryPolicy attached costs <5% over resolving with
+  no policy when every server answers on the first try.
+
+Timing uses a best-of-N loop rather than a mean, so background noise
+inflates neither side of the ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.dnscore.records import RRType
+from repro.faults import FaultConfig, RetryPolicy, SnapshotFaultInjector
+from repro.resolver.resolver import IterativeResolver
+from repro.resolver.server import AnsweringBehavior
+from repro.zonedb.database import IngestPolicy, ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+
+OVERHEAD_LIMIT = 1.05
+ROUNDS = 7
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _snapshot_stream(days: int = 52, domains: int = 400) -> list[ZoneSnapshot]:
+    snapshots = []
+    for day in range(days):
+        delegations = {
+            f"domain{i}.biz": frozenset(
+                {f"ns{i % 20}.host{i % 7}.com", f"ns{(i + 1) % 20}.host{i % 7}.com"}
+            )
+            for i in range(domains)
+            # Churn a tenth of the zone every week.
+            if (i + day) % 10 != 0
+        }
+        snapshots.append(ZoneSnapshot(day=day * 7, tld="biz", delegations=delegations))
+    return snapshots
+
+
+def test_bench_disabled_fault_layer_ingest_overhead(benchmark):
+    snapshots = _snapshot_stream()
+
+    def ingest_raw():
+        db = ZoneDatabase()
+        for snapshot in snapshots:
+            db.ingest_snapshot(snapshot)
+        db.finalize_pending()
+        return db
+
+    def ingest_through_disabled_layer():
+        injector = SnapshotFaultInjector(FaultConfig.off())
+        db = ZoneDatabase(ingest_policy=IngestPolicy())
+        for snapshot in injector.degrade(snapshots):
+            db.ingest_snapshot(snapshot)
+        db.finalize_pending()
+        return db
+
+    raw = _best_of(ingest_raw)
+    layered = _best_of(ingest_through_disabled_layer)
+    ratio = layered / raw
+    print(f"\ningest: raw={raw * 1e3:.1f}ms layered={layered * 1e3:.1f}ms "
+          f"ratio={ratio:.3f}")
+    assert ratio < OVERHEAD_LIMIT
+
+    db = benchmark.pedantic(ingest_through_disabled_layer, rounds=3, iterations=1)
+    assert db.nameserver_count() > 0
+
+
+def test_bench_retry_policy_resolution_overhead(benchmark):
+    db = ZoneDatabase(["com"])
+    db.set_delegation(0, "foo.com", ["ns1.foo.com"])
+    db.set_glue(0, "ns1.foo.com")
+    names = [f"site{i}.com" for i in range(200)]
+    behavior = AnsweringBehavior()
+    for name in names:
+        db.set_delegation(0, name, ["ns1.foo.com"])
+        behavior.add_record(name, RRType.A, "192.0.2.80")
+
+    plain = IterativeResolver(db)
+    retrying = IterativeResolver(db, retry_policy=RetryPolicy(max_retries=3))
+    for resolver in (plain, retrying):
+        resolver.attach_server("ns1.foo.com", behavior)
+
+    def resolve_all(resolver):
+        def run():
+            for name in names:
+                assert resolver.resolve(name, day=5).ok
+        return run
+
+    raw = _best_of(resolve_all(plain))
+    layered = _best_of(resolve_all(retrying))
+    ratio = layered / raw
+    print(f"\nresolve: raw={raw * 1e3:.1f}ms layered={layered * 1e3:.1f}ms "
+          f"ratio={ratio:.3f}")
+    assert ratio < OVERHEAD_LIMIT
+
+    benchmark.pedantic(resolve_all(retrying), rounds=3, iterations=1)

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Degraded-data walkthrough: detection on a faulty observational plane.
+
+Real zone-file and WHOIS feeds are never pristine: collection days get
+dropped, transfers arrive twice or out of order, files truncate
+mid-write, records corrupt, WHOIS coverage has holes, and nameservers
+time out without being lame. This walkthrough builds one pristine world,
+then re-runs the §3 detection methodology over increasingly degraded
+views of *the same* world:
+
+1. build the ground-truth world and its pristine observables;
+2. inject a uniform 10% fault rate into the snapshot stream, the WHOIS
+   archive, and the nameserver plane — deterministically, from the
+   fault layer's own RNG streams;
+3. ingest the degraded stream with gap-bridging enabled and show the
+   per-ingest reports and coverage annotations;
+4. run detection on the degraded view, checkpointing every stage, and
+   score it against the simulator's ground-truth rename log;
+5. sweep fault rates 0% -> 20% and print the precision/recall curve.
+
+Run:  python examples/degraded_pipeline.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.report import render_coverage
+from repro.detection.pipeline import DetectionPipeline
+from repro.ecosystem.config import default_scenario
+from repro.ecosystem.world import World
+from repro.experiment.degradation import render_sweep, run_degradation_sweep
+from repro.faults import FaultConfig, degrade_world
+
+
+def main() -> None:
+    print("Building the pristine ground-truth world (scale 0.1)...")
+    world = World(default_scenario(2021).scaled(0.1)).run()
+    truth = {r.new_name for r in world.log.renames}
+    print(
+        f"  {world.zonedb.domain_count():,} domains, "
+        f"{world.zonedb.nameserver_count():,} nameservers, "
+        f"{len(truth)} ground-truth sacrificial renames."
+    )
+
+    # -- degrade the observables, not the world -------------------------
+    faults = FaultConfig.uniform(0.10, seed=2021)
+    print("\nInjecting a uniform 10% fault rate into the observables...")
+    degraded = degrade_world(world, faults, every=7)
+    log = degraded.snapshot_log
+    print(
+        f"  snapshots: {degraded.snapshots_total} sampled, "
+        f"{len(log.dropped)} dropped, {len(log.duplicated)} duplicated, "
+        f"{len(log.reordered)} reordered, {len(log.truncated)} truncated, "
+        f"{len(log.corrupted)} records corrupted."
+    )
+    print(
+        f"  whois: {len(degraded.whois_log.domains_dropped)} domains lost, "
+        f"{len(degraded.whois_log.records_staled)} records staled."
+    )
+    print(f"  snapshot coverage: {degraded.snapshot_coverage:.1%}")
+
+    # -- detect on the degraded view, with stage checkpointing ----------
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "pipeline.pkl"
+        pipeline = DetectionPipeline(degraded.zonedb, degraded.whois)
+        result = pipeline.run(checkpoint_path=checkpoint)
+        print("\nDetection on the degraded view (checkpointed per stage):")
+        print(render_coverage(result))
+
+        detected = {s.name for s in result.sacrificial}
+        tp = len(detected & truth)
+        precision = tp / len(detected) if detected else 1.0
+        recall = tp / len(truth) if truth else 1.0
+        print(
+            f"\n  detected {len(detected)} sacrificial nameservers -> "
+            f"precision {precision:.3f}, recall {recall:.3f} "
+            f"against ground truth."
+        )
+
+        # A second run resumes from the checkpoint: every stage is
+        # already done, so it only reassembles the result.
+        resumed = DetectionPipeline(degraded.zonedb, degraded.whois).run(
+            checkpoint_path=checkpoint
+        )
+        same = {s.name for s in resumed.sacrificial} == detected
+        print(f"  resume from checkpoint reproduces the final set: {same}")
+
+    # -- the full degradation sweep -------------------------------------
+    print("\nSweeping fault rates (reusing the pristine world)...")
+    report = run_degradation_sweep(
+        [0.0, 0.05, 0.10, 0.20], seed=2021, scale=0.1, every=7,
+        world_result=world,
+    )
+    print()
+    print(render_sweep(report))
+    print(
+        "\nAt rate 0.0 the degraded plane is bypassed entirely, so the "
+        "paper numbers reproduce exactly; accuracy falls gracefully as "
+        "the observables rot."
+    )
+
+
+if __name__ == "__main__":
+    main()

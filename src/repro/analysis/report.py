@@ -95,6 +95,25 @@ def render_funnel(result: PipelineResult) -> str:
     )
 
 
+def render_coverage(result: PipelineResult) -> str:
+    """Input-quality annotations for a run on degraded data."""
+    coverage = result.coverage
+    body = [
+        ("snapshots ingested", coverage.snapshots_ingested),
+        ("snapshots rejected (out of order)", coverage.snapshots_rejected),
+        ("duplicate snapshots", coverage.duplicate_snapshots),
+        ("corrupt records skipped", coverage.corrupt_records),
+        ("delegation gaps bridged", coverage.gaps_bridged),
+        ("delegations closed after lapsed gap", coverage.closed_after_gap),
+        ("confidence", f"{coverage.confidence:.3f}"),
+    ]
+    return format_table(
+        ["input-quality measure", "value"],
+        body,
+        title="Data coverage and confidence annotations",
+    )
+
+
 def render_table1(study: StudyAnalysis) -> str:
     """Table 1."""
     rows, total = table1(study)
@@ -297,6 +316,10 @@ def render_full_report(result: PipelineResult, study: StudyAnalysis) -> str:
     sections = [
         render_dataset(study),
         render_funnel(result),
+    ]
+    if result.coverage.degraded:
+        sections.append(render_coverage(result))
+    sections += [
         render_table1(study),
         render_table2(study),
         render_table3(study),

@@ -65,15 +65,31 @@ def _resolve_config(args: argparse.Namespace):
 
 
 def _run_bundle(args: argparse.Namespace):
-    """Build a full bundle from the resolved scenario."""
+    """Build a full bundle from the resolved scenario.
+
+    A scenario with non-zero fault rates is replayed through the
+    degraded-data plane: the world runs pristine, its observables are
+    fault-injected, and detection/study consume the degraded view.
+    """
     from repro.analysis.study import StudyAnalysis
     from repro.api import ReproBundle
     from repro.detection.pipeline import DetectionPipeline
     from repro.ecosystem.world import World
 
-    world = World(_resolve_config(args)).run()
-    pipeline = DetectionPipeline(world.zonedb, world.whois).run()
-    study = StudyAnalysis(pipeline, world.zonedb, world.whois)
+    config = _resolve_config(args)
+    world = World(config).run()
+    zonedb, whois = world.zonedb, world.whois
+    if config.faults.enabled:
+        from repro.faults.apply import degrade_world
+
+        print(
+            f"Degrading observables (fault seed={config.faults.seed})...",
+            file=sys.stderr,
+        )
+        degraded = degrade_world(world, config.faults)
+        zonedb, whois = degraded.zonedb, degraded.whois
+    pipeline = DetectionPipeline(zonedb, whois).run()
+    study = StudyAnalysis(pipeline, zonedb, whois)
     return ReproBundle(world=world, pipeline=pipeline, study=study)
 
 
@@ -114,8 +130,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def cmd_detect(args: argparse.Namespace) -> int:
     """Run the detection methodology against an on-disk archive."""
+    from repro.zonedb.database import IngestError, IngestPolicy
+
     print(f"Ingesting zone archive {args.archive}...", file=sys.stderr)
-    zonedb = read_archive(args.archive)
+    policy = IngestPolicy(gap_bridge_days=args.gap_bridge, strict=args.strict)
+    try:
+        zonedb = read_archive(args.archive, ingest_policy=policy)
+    except IngestError as error:
+        print(f"error: strict ingest failed: {error}", file=sys.stderr)
+        return 1
     if zonedb.nameserver_count() == 0:
         print("error: archive contains no delegations", file=sys.stderr)
         return 1
@@ -123,8 +146,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
     pipeline = DetectionPipeline(
         zonedb, whois, mine_patterns=args.mine_patterns
     )
-    result = pipeline.run()
+    result = pipeline.run(checkpoint_path=args.checkpoint)
     print(render_funnel(result))
+    if result.coverage.degraded:
+        from repro.analysis.report import render_coverage
+
+        print()
+        print(render_coverage(result))
     if args.mine_patterns and result.mined_patterns:
         print("\nTop mined substrings:")
         for pattern in result.mined_patterns[:15]:
@@ -167,6 +195,34 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     print(f"outside-scope status    : {report.outside_answer_status}")
     print(f"hijack demonstrated     : {report.hijack_demonstrated}")
     print(f"log records purged      : {report.logs_purged}")
+    return 0
+
+
+def cmd_faults_sweep(args: argparse.Namespace) -> int:
+    """Sweep detection accuracy across uniform degradation rates."""
+    from repro.experiment.degradation import render_sweep, run_degradation_sweep
+
+    try:
+        rates = [float(token) for token in args.rates.split(",") if token.strip()]
+    except ValueError:
+        print(f"error: --rates must be comma-separated numbers, got "
+              f"{args.rates!r}", file=sys.stderr)
+        return 2
+    if not rates:
+        print("error: --rates is empty", file=sys.stderr)
+        return 2
+    print(
+        f"Sweeping fault rates {rates} (seed={args.seed}, scale={args.scale})...",
+        file=sys.stderr,
+    )
+    report = run_degradation_sweep(
+        rates,
+        seed=args.seed,
+        scale=args.scale,
+        every=args.every,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(render_sweep(report))
     return 0
 
 
@@ -215,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--mine-patterns", action="store_true",
         help="also run the substring pattern miner",
     )
+    detect.add_argument(
+        "--gap-bridge", type=int, default=0, metavar="DAYS",
+        help="keep delegations open across snapshot gaps of up to DAYS "
+             "(default: 0, strict day-level diffing)",
+    )
+    detect.add_argument(
+        "--strict", action="store_true",
+        help="fail on degraded input instead of skipping and counting it",
+    )
+    detect.add_argument(
+        "--checkpoint", metavar="FILE",
+        help="checkpoint pipeline stages to FILE and resume from it",
+    )
     detect.set_defaults(func=cmd_detect)
 
     experiment = subparsers.add_parser(
@@ -229,6 +298,29 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(export)
     export.add_argument("--out", required=True, help="output directory")
     export.set_defaults(func=cmd_export)
+
+    sweep = subparsers.add_parser(
+        "faults-sweep",
+        help="measure detection precision/recall under increasing data faults",
+    )
+    sweep.add_argument("--seed", type=int, default=2021, help="scenario seed")
+    sweep.add_argument(
+        "--scale", type=float, default=0.1,
+        help="world scale for the sweep (default: 0.1)",
+    )
+    sweep.add_argument(
+        "--rates", default="0,0.05,0.1,0.2",
+        help="comma-separated uniform fault rates (default: 0,0.05,0.1,0.2)",
+    )
+    sweep.add_argument(
+        "--every", type=int, default=7,
+        help="snapshot sampling interval in days (default: 7)",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="checkpoint per-rate results to DIR and resume from them",
+    )
+    sweep.set_defaults(func=cmd_faults_sweep)
 
     scenario = subparsers.add_parser(
         "scenario", help="write the scenario a run would use as JSON"

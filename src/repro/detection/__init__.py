@@ -25,6 +25,7 @@ from repro.detection.candidates import CandidateNameserver, build_candidate_set
 from repro.detection.idioms import IdiomClass, IdiomClassifier, known_classifiers
 from repro.detection.matching import MatchResult, OriginalNameserverMatcher
 from repro.detection.pipeline import (
+    CoverageAnnotations,
     DetectionPipeline,
     PipelineResult,
     SacrificialNameserver,
@@ -42,6 +43,7 @@ __all__ = [
     "known_classifiers",
     "MatchResult",
     "OriginalNameserverMatcher",
+    "CoverageAnnotations",
     "DetectionPipeline",
     "PipelineResult",
     "SacrificialNameserver",

@@ -21,7 +21,11 @@ stage-by-stage funnel (the §3 numbers: 20M → 312,328 → −28,614 test →
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
 
 from repro.dnscore.names import Name
 from repro.dnscore.psl import PublicSuffixList, default_psl
@@ -84,6 +88,66 @@ class PipelineFunnel:
         ]
 
 
+@dataclass(frozen=True)
+class CoverageAnnotations:
+    """How degraded the pipeline's input data was.
+
+    Summarized from the zone database's ingest reports. Pristine input
+    — or change-level ingestion, which produces no reports — yields
+    full confidence. Attached to every :class:`PipelineResult` so
+    downstream consumers can qualify the §3 numbers.
+    """
+
+    snapshots_ingested: int = 0
+    snapshots_rejected: int = 0
+    duplicate_snapshots: int = 0
+    records_total: int = 0
+    corrupt_records: int = 0
+    gaps_bridged: int = 0
+    closed_after_gap: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """True if the input showed any sign of degradation."""
+        return bool(
+            self.snapshots_rejected
+            or self.duplicate_snapshots
+            or self.corrupt_records
+            or self.gaps_bridged
+            or self.closed_after_gap
+        )
+
+    @property
+    def confidence(self) -> float:
+        """Heuristic confidence in the output, in [0, 1].
+
+        Penalized by the fraction of snapshots rejected outright (data
+        definitely lost) and of records that arrived corrupted
+        (individual pairs possibly missed). Bridged gaps are repairs,
+        not losses, and carry no penalty; duplicates are idempotent.
+        """
+        score = 1.0
+        total_snapshots = self.snapshots_ingested + self.snapshots_rejected
+        if total_snapshots:
+            score -= self.snapshots_rejected / total_snapshots
+        if self.records_total:
+            score -= self.corrupt_records / self.records_total
+        return max(0.0, score)
+
+    @classmethod
+    def from_reports(cls, reports) -> "CoverageAnnotations":
+        """Fold a list of :class:`~repro.zonedb.database.IngestReport`."""
+        return cls(
+            snapshots_ingested=sum(1 for r in reports if r.ingested),
+            snapshots_rejected=sum(1 for r in reports if not r.ingested),
+            duplicate_snapshots=sum(1 for r in reports if r.duplicate),
+            records_total=sum(r.delegations for r in reports if r.ingested),
+            corrupt_records=sum(r.corrupt_records for r in reports),
+            gaps_bridged=sum(r.gaps_bridged for r in reports),
+            closed_after_gap=sum(r.closed_after_gap for r in reports),
+        )
+
+
 @dataclass
 class PipelineResult:
     """Everything the pipeline produces."""
@@ -93,6 +157,8 @@ class PipelineResult:
     mined_patterns: list[SubstringPattern]
     matches: list[MatchResult]
     candidates: list[CandidateNameserver] = field(repr=False, default_factory=list)
+    #: Input-quality annotations (pristine input ⇒ full confidence).
+    coverage: CoverageAnnotations = field(default_factory=CoverageAnnotations)
 
     def by_name(self) -> dict[str, SacrificialNameserver]:
         """Index the final set by nameserver name."""
@@ -178,27 +244,85 @@ class DetectionPipeline:
 
     # -- the run -----------------------------------------------------------------
 
-    def run(self) -> PipelineResult:
-        """Execute every stage and return the final classified set."""
-        funnel = PipelineFunnel()
-        funnel.total_nameservers = self.zonedb.nameserver_count()
+    #: Ordered checkpointable stages of one run.
+    STAGES = (
+        "candidates",
+        "mine",
+        "test-filter",
+        "pattern-sweep",
+        "single-repo",
+        "match",
+    )
 
-        # Stage 1: unresolvable-at-first-reference candidates.
+    def run(self, *, checkpoint_path: str | Path | None = None) -> PipelineResult:
+        """Execute every stage and return the final classified set.
+
+        With a ``checkpoint_path``, intermediate state is pickled after
+        each stage (atomically: temp file + rename); a re-run against
+        the same inputs resumes after the last completed stage, so a
+        killed pipeline finishes from where it stopped and produces an
+        identical result.
+        """
+        state = self._load_checkpoint(checkpoint_path)
+        stages = {
+            "candidates": self._stage_candidates,
+            "mine": self._stage_mine,
+            "test-filter": self._stage_test_filter,
+            "pattern-sweep": self._stage_pattern_sweep,
+            "single-repo": self._stage_single_repo,
+            "match": self._stage_match,
+        }
+        for name in self.STAGES:
+            if name in state["done"]:
+                continue
+            stages[name](state)
+            state["done"].add(name)
+            self._save_checkpoint(checkpoint_path, state)
+        return self._finalize(state)
+
+    def _load_checkpoint(self, path: str | Path | None) -> dict[str, Any]:
+        if path is not None and Path(path).exists():
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        return {"done": set(), "funnel": PipelineFunnel()}
+
+    def _save_checkpoint(self, path: str | Path | None, state: dict[str, Any]) -> None:
+        if path is None:
+            return
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        temp = target.with_suffix(target.suffix + ".tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(state, handle)
+        os.replace(temp, target)
+
+    # Stage 1: unresolvable-at-first-reference candidates.
+    def _stage_candidates(self, state: dict[str, Any]) -> None:
+        funnel = state["funnel"]
+        funnel.total_nameservers = self.zonedb.nameserver_count()
         candidates = build_candidate_set(self.zonedb, self.analyzer)
         funnel.candidates = len(candidates)
+        state["candidates"] = candidates
 
-        # Stage 2: pattern discovery (for the record; confirmation is
-        # encoded in the classifier list, as manual confirmation was in
-        # the paper).
+    # Stage 2: pattern discovery (for the record; confirmation is
+    # encoded in the classifier list, as manual confirmation was in the
+    # paper).
+    def _stage_mine(self, state: dict[str, Any]) -> None:
         mined: list[SubstringPattern] = []
         if self.mine_patterns:
-            mined = mine_substrings((c.name for c in candidates), min_support=4)
+            mined = mine_substrings(
+                (c.name for c in state["candidates"]), min_support=4
+            )
+        state["mined"] = mined
 
-        # Stage 3: drop registry test nameservers.
-        candidates, test_removed = self.test_filter.partition(candidates)
-        funnel.test_removed = len(test_removed)
+    # Stage 3: drop registry test nameservers.
+    def _stage_test_filter(self, state: dict[str, Any]) -> None:
+        candidates, test_removed = self.test_filter.partition(state["candidates"])
+        state["funnel"].test_removed = len(test_removed)
+        state["candidates"] = candidates
 
-        # Stage 4: confirmed-pattern sweep over the entire population.
+    # Stage 4: confirmed-pattern sweep over the entire population.
+    def _stage_pattern_sweep(self, state: dict[str, Any]) -> None:
         sacrificial: dict[str, SacrificialNameserver] = {}
         for name in self.zonedb.all_nameservers():
             if self.test_filter.is_test_nameserver(name):
@@ -207,28 +331,42 @@ class DetectionPipeline:
                 if classifier.matches_name(name):
                     sacrificial[name] = self._classify_pattern(name, classifier)
                     break
-        funnel.pattern_classified = len(sacrificial)
+        state["funnel"].pattern_classified = len(sacrificial)
+        state["sacrificial"] = sacrificial
 
-        # Stage 5: single-repository filter on the remaining candidates.
-        remaining = [c for c in candidates if c.name not in sacrificial]
+    # Stage 5: single-repository filter on the remaining candidates.
+    def _stage_single_repo(self, state: dict[str, Any]) -> None:
+        remaining = [
+            c for c in state["candidates"] if c.name not in state["sacrificial"]
+        ]
         remaining, eliminated = self.repo_filter.partition(remaining)
-        funnel.single_repo_removed = len(eliminated)
+        state["funnel"].single_repo_removed = len(eliminated)
+        state["remaining"] = remaining
 
-        # Stage 6: original-nameserver matching and classification.
-        matches, _unmatched = self.matcher.match_all(remaining)
+    # Stage 6: original-nameserver matching and classification.
+    def _stage_match(self, state: dict[str, Any]) -> None:
+        funnel = state["funnel"]
+        sacrificial = state["sacrificial"]
+        matches, _unmatched = self.matcher.match_all(state["remaining"])
         funnel.history_matched = len(matches)
         for match in matches:
             entry = self._classify_match(match)
             if entry is not None and entry.name not in sacrificial:
                 sacrificial[entry.name] = entry
         funnel.match_classified = len(sacrificial) - funnel.pattern_classified
+        state["matches"] = matches
 
-        final = sorted(sacrificial.values(), key=lambda s: (s.created_day, s.name))
+    def _finalize(self, state: dict[str, Any]) -> PipelineResult:
+        funnel = state["funnel"]
+        final = sorted(
+            state["sacrificial"].values(), key=lambda s: (s.created_day, s.name)
+        )
         funnel.sacrificial_total = len(final)
         return PipelineResult(
             sacrificial=final,
             funnel=funnel,
-            mined_patterns=mined,
-            matches=matches,
-            candidates=candidates,
+            mined_patterns=state["mined"],
+            matches=state["matches"],
+            candidates=state["candidates"],
+            coverage=CoverageAnnotations.from_reports(self.zonedb.ingest_reports),
         )

@@ -19,6 +19,7 @@ import datetime as _dt
 from dataclasses import dataclass, field, replace
 
 from repro import simtime
+from repro.faults.config import FaultConfig
 from repro.registrar.idioms import (
     DeletedDropIdiom,
     DropThisHostIdiom,
@@ -141,6 +142,11 @@ class ScenarioConfig:
     brand_client_count: int = 20
     #: The dummyns.com abandonment (sink seized by a hijacker).
     sink_abandon_enabled: bool = True
+    #: Observational-plane degradation applied when the scenario is
+    #: replayed. The world simulation itself never reads this: faults
+    #: act on the world's *outputs*, so the base world is identical
+    #: whether or not they are enabled.
+    faults: FaultConfig = field(default_factory=FaultConfig)
 
     def scaled(self, scale: float) -> "ScenarioConfig":
         """A copy with all entity counts multiplied by ``scale``."""

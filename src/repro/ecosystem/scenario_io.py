@@ -23,6 +23,7 @@ from repro.ecosystem.config import (
     ScenarioConfig,
     default_scenario,
 )
+from repro.faults.config import fault_config_from_dict, fault_config_to_dict
 from repro.registrar.idioms import (
     DeletedDropIdiom,
     DropThisHostIdiom,
@@ -93,6 +94,7 @@ def scenario_to_dict(config: ScenarioConfig) -> dict[str, Any]:
         "fix_slow_fraction": config.fix_slow_fraction,
         "brand_client_count": config.brand_client_count,
         "sink_abandon_enabled": config.sink_abandon_enabled,
+        "faults": fault_config_to_dict(config.faults),
         "namecheap": {
             "enabled": config.namecheap.enabled,
             "day": config.namecheap.day,
@@ -198,6 +200,9 @@ def scenario_from_dict(data: dict[str, Any]) -> ScenarioConfig:
         fix_slow_fraction=data["fix_slow_fraction"],
         brand_client_count=data["brand_client_count"],
         sink_abandon_enabled=data["sink_abandon_enabled"],
+        # .get keeps scenario files written before the faults subsystem
+        # loadable unchanged (missing key -> disabled faults).
+        faults=fault_config_from_dict(data.get("faults")),
         namecheap=namecheap,
         registrars=registrars,
         hijackers=hijackers,

@@ -1,4 +1,9 @@
-"""Controlled experiments: §6.1 (hijack) and §7.3 (AS112 residual risk)."""
+"""Controlled experiments: §6.1 (hijack), §7.3 (AS112), and robustness.
+
+The degradation sweep (:mod:`repro.experiment.degradation`) is this
+reproduction's own robustness experiment: it measures how the §3
+detection methodology holds up as the observational inputs degrade.
+"""
 
 from repro.experiment.as112 import (
     As112Experiment,
@@ -10,6 +15,12 @@ from repro.experiment.controlled import (
     ExperimentReport,
     run_controlled_experiment,
 )
+from repro.experiment.degradation import (
+    DegradationReport,
+    SweepPoint,
+    render_sweep,
+    run_degradation_sweep,
+)
 
 __all__ = [
     "As112Experiment",
@@ -18,4 +29,8 @@ __all__ = [
     "ControlledExperiment",
     "ExperimentReport",
     "run_controlled_experiment",
+    "DegradationReport",
+    "SweepPoint",
+    "render_sweep",
+    "run_degradation_sweep",
 ]

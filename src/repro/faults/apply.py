@@ -1,0 +1,109 @@
+"""Degrade one simulated world's observables into realistic data sets.
+
+The world engine produces *pristine* observables: a zone database built
+from every registry change and a complete WHOIS archive. Real
+measurement inputs are worse — zone files arrive daily (and sometimes
+not at all), WHOIS coverage is partial. :func:`degrade_world` rebuilds
+the observables the way a collector would have seen them: reconstruct
+the daily snapshot stream, push it through the fault injectors, then
+re-ingest with the configured gap-bridging policy.
+
+The base world is never touched; all degradation happens on copies
+derived from its outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.config import FaultConfig
+from repro.faults.injectors import (
+    SnapshotFaultInjector,
+    SnapshotFaultLog,
+    WhoisFaultInjector,
+    WhoisFaultLog,
+)
+from repro.whois.archive import WhoisArchive
+from repro.zonedb.database import IngestPolicy, IngestReport, ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+
+
+def snapshot_stream(
+    zonedb: ZoneDatabase, *, every: int = 1, end_day: int | None = None
+) -> list[ZoneSnapshot]:
+    """Reconstruct the daily snapshot deliveries a collector would see.
+
+    Samples one snapshot per covered TLD every ``every`` days (always
+    including the final day), in (day, tld) delivery order — the same
+    sampling ``riskybiz simulate`` writes to disk. Empty snapshots are
+    skipped, as a TLD with no delegations publishes nothing of interest.
+    """
+    end = end_day if end_day is not None else zonedb.horizon
+    days = list(range(0, end, every))
+    if end > 0 and (not days or days[-1] != end - 1):
+        days.append(end - 1)
+    snapshots: list[ZoneSnapshot] = []
+    for day in days:
+        for tld in sorted(zonedb.covered_tlds):
+            snapshot = zonedb.snapshot_at(day, tld)
+            if snapshot.delegations:
+                snapshots.append(snapshot)
+    return snapshots
+
+
+@dataclass
+class DegradedObservables:
+    """The degraded data sets plus a full account of the degradation."""
+
+    config: FaultConfig
+    zonedb: ZoneDatabase
+    whois: WhoisArchive
+    snapshot_log: SnapshotFaultLog = field(default_factory=SnapshotFaultLog)
+    whois_log: WhoisFaultLog = field(default_factory=WhoisFaultLog)
+    ingest_reports: list[IngestReport] = field(default_factory=list)
+    #: Snapshots the pristine stream contained.
+    snapshots_total: int = 0
+    #: Snapshots actually delivered after injection (drops/duplicates).
+    snapshots_delivered: int = 0
+
+    @property
+    def snapshot_coverage(self) -> float:
+        """Fraction of pristine snapshots that survived injection."""
+        if self.snapshots_total == 0:
+            return 1.0
+        survived = self.snapshots_total - len(self.snapshot_log.dropped)
+        return survived / self.snapshots_total
+
+
+def degrade_world(world_result, config: FaultConfig, *, every: int = 7) -> DegradedObservables:
+    """Degraded observables for one :class:`~repro.ecosystem.world.WorldResult`.
+
+    Rebuilds the zone database from a fault-injected snapshot stream
+    (ingested under ``config``'s gap-bridge/strict policy) and a
+    fault-injected WHOIS archive. ``every`` is the snapshot sampling
+    interval in days; smaller is more faithful and slower.
+    """
+    snapshots = snapshot_stream(
+        world_result.zonedb, every=every, end_day=world_result.config.end_day
+    )
+    snapshot_injector = SnapshotFaultInjector(config)
+    delivered = snapshot_injector.degrade(snapshots)
+    policy = IngestPolicy(gap_bridge_days=config.gap_bridge_days, strict=config.strict)
+    zonedb = ZoneDatabase(ingest_policy=policy)
+    for snapshot in delivered:
+        zonedb.ingest_snapshot(snapshot)
+    zonedb.finalize_pending()
+    if world_result.config.end_day > zonedb.horizon:
+        zonedb.advance(world_result.config.end_day)
+    whois_injector = WhoisFaultInjector(config)
+    whois = whois_injector.degrade(world_result.whois)
+    return DegradedObservables(
+        config=config,
+        zonedb=zonedb,
+        whois=whois,
+        snapshot_log=snapshot_injector.log,
+        whois_log=whois_injector.log,
+        ingest_reports=list(zonedb.ingest_reports),
+        snapshots_total=len(snapshots),
+        snapshots_delivered=len(delivered),
+    )

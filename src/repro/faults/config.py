@@ -1,0 +1,204 @@
+"""Fault-injection configuration: rates, windows, and retry policy.
+
+:class:`FaultConfig` is deliberately a plain frozen dataclass with no
+imports from the rest of the library, so any layer (ecosystem scenario,
+resolver, CLI) can depend on it without cycles. All rates are
+probabilities in ``[0, 1]``; a config whose rates are all zero is
+*disabled* and every consumer short-circuits to its pristine fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Resolver retry-with-exponential-backoff/timeout parameters.
+
+    Attempt ``k`` (0-based) is given ``base_timeout_ms *
+    backoff_factor**k`` milliseconds, capped at ``max_timeout_ms``;
+    after ``max_retries`` re-attempts the resolver gives up and treats
+    the failure as persistent.
+    """
+
+    max_retries: int = 2
+    base_timeout_ms: int = 1000
+    backoff_factor: float = 2.0
+    max_timeout_ms: int = 8000
+
+    def timeout_for(self, attempt: int) -> int:
+        """The timeout budget (ms) for the ``attempt``-th try (0-based)."""
+        budget = self.base_timeout_ms * (self.backoff_factor ** attempt)
+        return int(min(budget, self.max_timeout_ms))
+
+    @property
+    def attempts(self) -> int:
+        """Total tries per server: the first query plus every retry."""
+        return self.max_retries + 1
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Every knob of the degraded-data plane, in one seedable value.
+
+    Snapshot-plane rates model CAIDA-DZDB realities (missing days,
+    truncated files, corrupted records); WHOIS rates model partial
+    DomainTools coverage; nameserver rates model flaky authoritative
+    servers. ``gap_bridge_days``/``strict`` configure how ingestion
+    reacts, and ``retry`` how resolution reacts.
+    """
+
+    #: Seed for the named fault RNG streams (independent of the world seed).
+    seed: int = 0
+
+    # -- snapshot plane (zone-file archive) --------------------------------
+    #: Probability a daily snapshot is missing entirely.
+    snapshot_drop_rate: float = 0.0
+    #: Probability a snapshot is delivered twice.
+    snapshot_duplicate_rate: float = 0.0
+    #: Probability a snapshot is swapped with its successor (out of order).
+    snapshot_reorder_rate: float = 0.0
+    #: Probability a snapshot is truncated (file cut short mid-transfer).
+    snapshot_truncate_rate: float = 0.0
+    #: Fraction of delegations that survive a truncation.
+    truncate_keep_fraction: float = 0.5
+    #: Per-delegation probability of record corruption (mangled names).
+    record_corrupt_rate: float = 0.0
+
+    # -- WHOIS plane --------------------------------------------------------
+    #: Probability a domain's entire WHOIS history is missing (coverage gap).
+    whois_gap_rate: float = 0.0
+    #: Probability a WHOIS record is stale (deletion/transfers never observed).
+    whois_stale_rate: float = 0.0
+
+    # -- nameserver plane ---------------------------------------------------
+    #: Per-query probability an authoritative server times out.
+    ns_timeout_rate: float = 0.0
+    #: Per-query probability of a SERVFAIL response.
+    ns_servfail_rate: float = 0.0
+    #: Per-query probability of a slow (but correct) answer.
+    ns_slow_rate: float = 0.0
+    #: Latency of a slow answer, in milliseconds.
+    slow_latency_ms: int = 1500
+
+    # -- consumer policy ----------------------------------------------------
+    #: DZDB-style gap bridging: a delegation absent for at most this many
+    #: days keeps its interval open. 0 reproduces strict day-level diffing.
+    gap_bridge_days: int = 0
+    #: Strict ingestion: raise on degraded input instead of degrading.
+    strict: bool = False
+    #: Resolver retry/timeout model used when querying flaky servers.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    _RATE_FIELDS = (
+        "snapshot_drop_rate",
+        "snapshot_duplicate_rate",
+        "snapshot_reorder_rate",
+        "snapshot_truncate_rate",
+        "record_corrupt_rate",
+        "whois_gap_rate",
+        "whois_stale_rate",
+        "ns_timeout_rate",
+        "ns_servfail_rate",
+        "ns_slow_rate",
+    )
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault rate is non-zero."""
+        return any(getattr(self, name) > 0 for name in self._RATE_FIELDS)
+
+    @property
+    def snapshot_faults_enabled(self) -> bool:
+        """True if any snapshot-plane rate is non-zero."""
+        return any(
+            getattr(self, name) > 0
+            for name in self._RATE_FIELDS
+            if name.startswith(("snapshot_", "record_"))
+        )
+
+    @property
+    def whois_faults_enabled(self) -> bool:
+        """True if any WHOIS-plane rate is non-zero."""
+        return self.whois_gap_rate > 0 or self.whois_stale_rate > 0
+
+    @property
+    def ns_faults_enabled(self) -> bool:
+        """True if any nameserver-plane rate is non-zero."""
+        return any(
+            getattr(self, name) > 0
+            for name in self._RATE_FIELDS
+            if name.startswith("ns_")
+        )
+
+    @classmethod
+    def off(cls) -> "FaultConfig":
+        """A disabled config (all rates zero) — the default."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, rate: float, *, seed: int = 0, **overrides: Any) -> "FaultConfig":
+        """A config degrading every observational plane at one rate.
+
+        The sweep experiment uses this to parameterize "X% degraded":
+        snapshot drops/truncations/corruption and WHOIS gaps all at
+        ``rate``; duplication/reordering at half of it (rarer in
+        practice); and a gap-bridge window wide enough to matter.
+        """
+        config = cls(
+            seed=seed,
+            snapshot_drop_rate=rate,
+            snapshot_duplicate_rate=rate / 2,
+            snapshot_reorder_rate=rate / 2,
+            snapshot_truncate_rate=rate,
+            record_corrupt_rate=rate / 10,
+            whois_gap_rate=rate,
+            whois_stale_rate=rate,
+            ns_timeout_rate=rate,
+            ns_servfail_rate=rate / 2,
+            ns_slow_rate=rate,
+            gap_bridge_days=45,
+        )
+        return replace(config, **overrides) if overrides else config
+
+
+def fault_config_to_dict(config: FaultConfig) -> dict[str, Any]:
+    """A JSON-ready dict for a :class:`FaultConfig`."""
+    return {
+        "seed": config.seed,
+        "snapshot_drop_rate": config.snapshot_drop_rate,
+        "snapshot_duplicate_rate": config.snapshot_duplicate_rate,
+        "snapshot_reorder_rate": config.snapshot_reorder_rate,
+        "snapshot_truncate_rate": config.snapshot_truncate_rate,
+        "truncate_keep_fraction": config.truncate_keep_fraction,
+        "record_corrupt_rate": config.record_corrupt_rate,
+        "whois_gap_rate": config.whois_gap_rate,
+        "whois_stale_rate": config.whois_stale_rate,
+        "ns_timeout_rate": config.ns_timeout_rate,
+        "ns_servfail_rate": config.ns_servfail_rate,
+        "ns_slow_rate": config.ns_slow_rate,
+        "slow_latency_ms": config.slow_latency_ms,
+        "gap_bridge_days": config.gap_bridge_days,
+        "strict": config.strict,
+        "retry": {
+            "max_retries": config.retry.max_retries,
+            "base_timeout_ms": config.retry.base_timeout_ms,
+            "backoff_factor": config.retry.backoff_factor,
+            "max_timeout_ms": config.retry.max_timeout_ms,
+        },
+    }
+
+
+def fault_config_from_dict(data: dict[str, Any] | None) -> FaultConfig:
+    """Rebuild a :class:`FaultConfig`; ``None`` yields the disabled default.
+
+    Tolerating ``None``/missing keys keeps scenario files written before
+    the faults subsystem loadable unchanged.
+    """
+    if data is None:
+        return FaultConfig()
+    retry_data = data.get("retry", {})
+    kwargs = {k: v for k, v in data.items() if k != "retry"}
+    return FaultConfig(retry=RetryPolicy(**retry_data), **kwargs)

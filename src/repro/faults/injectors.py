@@ -1,0 +1,301 @@
+"""Fault injectors for each observational plane.
+
+Each injector consumes pristine observables (the simulated world's
+outputs) and produces the degraded view a real measurement team would
+have collected. All randomness comes from named streams derived from
+``FaultConfig.seed`` (see :mod:`repro.faults.rng`), so every injector is
+deterministic, and a disabled injector returns its input untouched
+without drawing a single random number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.config import FaultConfig
+from repro.faults.rng import stream_rng
+from repro.resolver.server import (
+    NameserverBehavior,
+    SilentBehavior,
+    TransientServerFailure,
+)
+from repro.whois.archive import WhoisArchive, WhoisRecord
+from repro.zonedb.snapshot import ZoneSnapshot
+
+
+def _mangle(name: str) -> str:
+    """Corrupt a domain name so it fails validation (empty label)."""
+    if "." in name:
+        return name.replace(".", "..", 1)
+    return name + ".."
+
+
+@dataclass
+class SnapshotFaultLog:
+    """Ground truth of what the snapshot injector did (for validation)."""
+
+    #: Snapshots dropped entirely: (tld, day).
+    dropped: list[tuple[str, int]] = field(default_factory=list)
+    #: Snapshots delivered twice: (tld, day).
+    duplicated: list[tuple[str, int]] = field(default_factory=list)
+    #: Adjacent deliveries swapped: ((tld, day), (tld, day)).
+    reordered: list[tuple[tuple[str, int], tuple[str, int]]] = field(
+        default_factory=list
+    )
+    #: Truncated snapshots: (tld, day, delegations kept, delegations total).
+    truncated: list[tuple[str, int, int, int]] = field(default_factory=list)
+    #: Mangled records: (tld, day, corrupted name).
+    corrupted: list[tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Every individual fault the injector introduced."""
+        return (
+            len(self.dropped)
+            + len(self.duplicated)
+            + len(self.reordered)
+            + len(self.truncated)
+            + len(self.corrupted)
+        )
+
+
+class SnapshotFaultInjector:
+    """Degrades a stream of daily zone snapshots.
+
+    Models the realities of multi-year zone-file collection: missing
+    days, double deliveries, out-of-order arrival, files cut short
+    mid-transfer, and mangled individual records. Faults are applied in
+    delivery order; each fault class draws from its own RNG stream so
+    rates can be varied independently without reshuffling the others.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.log = SnapshotFaultLog()
+        seed = config.seed
+        self._drop_rng = stream_rng(seed, "snapshot.drop")
+        self._dup_rng = stream_rng(seed, "snapshot.duplicate")
+        self._reorder_rng = stream_rng(seed, "snapshot.reorder")
+        self._truncate_rng = stream_rng(seed, "snapshot.truncate")
+        self._corrupt_rng = stream_rng(seed, "snapshot.corrupt")
+
+    def degrade(self, snapshots: list[ZoneSnapshot]) -> list[ZoneSnapshot]:
+        """The degraded delivery sequence for a pristine snapshot stream."""
+        config = self.config
+        if not config.snapshot_faults_enabled:
+            return list(snapshots)
+        out: list[ZoneSnapshot] = []
+        for snapshot in snapshots:
+            if (
+                config.snapshot_drop_rate
+                and self._drop_rng.random() < config.snapshot_drop_rate
+            ):
+                self.log.dropped.append((snapshot.tld, snapshot.day))
+                continue
+            if (
+                config.snapshot_truncate_rate
+                and self._truncate_rng.random() < config.snapshot_truncate_rate
+            ):
+                snapshot = self._truncate(snapshot)
+            if config.record_corrupt_rate:
+                snapshot = self._corrupt(snapshot)
+            out.append(snapshot)
+            if (
+                config.snapshot_duplicate_rate
+                and self._dup_rng.random() < config.snapshot_duplicate_rate
+            ):
+                self.log.duplicated.append((snapshot.tld, snapshot.day))
+                out.append(snapshot)
+        if config.snapshot_reorder_rate:
+            index = 0
+            while index < len(out) - 1:
+                if self._reorder_rng.random() < config.snapshot_reorder_rate:
+                    first, second = out[index], out[index + 1]
+                    out[index], out[index + 1] = second, first
+                    self.log.reordered.append(
+                        ((first.tld, first.day), (second.tld, second.day))
+                    )
+                    index += 2
+                else:
+                    index += 1
+        return out
+
+    def _truncate(self, snapshot: ZoneSnapshot) -> ZoneSnapshot:
+        """Cut the snapshot short, keeping a prefix of its sorted records.
+
+        A truncated zone file ends mid-stream: every delegation past the
+        cut is absent that day, which is exactly the signal gap bridging
+        exists to absorb.
+        """
+        total = len(snapshot.delegations)
+        keep = int(total * self.config.truncate_keep_fraction)
+        kept_domains = sorted(snapshot.delegations)[:keep]
+        glue_keep = int(len(snapshot.glue) * self.config.truncate_keep_fraction)
+        kept_hosts = sorted(snapshot.glue)[:glue_keep]
+        self.log.truncated.append((snapshot.tld, snapshot.day, keep, total))
+        return ZoneSnapshot(
+            day=snapshot.day,
+            tld=snapshot.tld,
+            delegations={d: snapshot.delegations[d] for d in kept_domains},
+            glue={h: snapshot.glue[h] for h in kept_hosts},
+        )
+
+    def _corrupt(self, snapshot: ZoneSnapshot) -> ZoneSnapshot:
+        """Mangle individual records at ``record_corrupt_rate``.
+
+        Mostly NS targets (one bad line in a delegation's record set),
+        occasionally the owner name itself — both shapes the ingest
+        salvage path must handle.
+        """
+        rate = self.config.record_corrupt_rate
+        rng = self._corrupt_rng
+        delegations: dict[str, frozenset[str]] = {}
+        touched = False
+        for domain in sorted(snapshot.delegations):
+            ns_set = snapshot.delegations[domain]
+            if rng.random() >= rate:
+                delegations[domain] = ns_set
+                continue
+            touched = True
+            if rng.random() < 0.25:
+                mangled_domain = _mangle(domain)
+                delegations[mangled_domain] = ns_set
+                self.log.corrupted.append(
+                    (snapshot.tld, snapshot.day, mangled_domain)
+                )
+            else:
+                target = sorted(ns_set)[0]
+                mangled_ns = _mangle(target)
+                delegations[domain] = (ns_set - {target}) | {mangled_ns}
+                self.log.corrupted.append((snapshot.tld, snapshot.day, mangled_ns))
+        if not touched:
+            return snapshot
+        return ZoneSnapshot(
+            day=snapshot.day,
+            tld=snapshot.tld,
+            delegations=delegations,
+            glue=dict(snapshot.glue),
+        )
+
+
+@dataclass
+class WhoisFaultLog:
+    """Ground truth of what the WHOIS injector did."""
+
+    #: Domains whose entire history is missing (coverage gaps).
+    domains_dropped: list[str] = field(default_factory=list)
+    #: Domains with at least one stale (never-refreshed) epoch.
+    records_staled: list[str] = field(default_factory=list)
+
+    @property
+    def total_faults(self) -> int:
+        """Every individual fault the injector introduced."""
+        return len(self.domains_dropped) + len(self.records_staled)
+
+
+class WhoisFaultInjector:
+    """Degrades a WHOIS archive: coverage gaps and stale records.
+
+    A *gap* removes a domain's entire history (the provider never
+    covered it); a *stale* epoch looks as it did when first fetched —
+    later deletion and transfers were never observed.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.log = WhoisFaultLog()
+        self._gap_rng = stream_rng(config.seed, "whois.gap")
+        self._stale_rng = stream_rng(config.seed, "whois.stale")
+
+    def degrade(self, archive: WhoisArchive) -> WhoisArchive:
+        """A degraded copy of ``archive`` (the input when faults are off)."""
+        config = self.config
+        if not config.whois_faults_enabled:
+            return archive
+        degraded = WhoisArchive(redact_registrants=archive.redact_registrants)
+        for domain in sorted(archive.domains()):
+            if (
+                config.whois_gap_rate
+                and self._gap_rng.random() < config.whois_gap_rate
+            ):
+                self.log.domains_dropped.append(domain)
+                continue
+            staled = False
+            for record in archive.history(domain):
+                clone = WhoisRecord(
+                    domain=record.domain,
+                    registrar=record.registrar,
+                    created=record.created,
+                    expires=record.expires,
+                    deleted=record.deleted,
+                    registrant=record.registrant,
+                    transfers=list(record.transfers),
+                )
+                if (
+                    config.whois_stale_rate
+                    and self._stale_rng.random() < config.whois_stale_rate
+                ):
+                    clone.deleted = None
+                    clone.transfers = []
+                    staled = True
+                degraded._records.setdefault(domain, []).append(clone)
+            if staled:
+                self.log.records_staled.append(domain)
+        return degraded
+
+
+@dataclass
+class FlakyBehavior(NameserverBehavior):
+    """A nameserver that is alive but unreliable.
+
+    Wraps an inner behaviour: per query, the server may time out,
+    SERVFAIL, or answer slowly (raising
+    :class:`~repro.resolver.server.TransientServerFailure` for the
+    resolver's retry model to handle). The wrapped behaviour still logs
+    every query — a timed-out query *arrived*; only the answer was lost.
+    Flakiness for each host draws from its own named stream, so query
+    order against one server never perturbs another.
+    """
+
+    inner: NameserverBehavior = field(default_factory=SilentBehavior)
+    config: FaultConfig = field(default_factory=FaultConfig)
+    host: str = ""
+    faults_injected: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = stream_rng(self.config.seed, f"ns.flaky:{self.host}")
+
+    def handle(
+        self, day: int, qname: str, qtype, source_ip: str
+    ) -> list[str] | None:
+        config = self.config
+        if not config.ns_faults_enabled:
+            return self.inner.handle(day, qname, qtype, source_ip)
+        roll = self._rng.random()
+        if roll < config.ns_timeout_rate:
+            self.inner.handle(day, qname, qtype, source_ip)
+            self.faults_injected += 1
+            raise TransientServerFailure(
+                "timeout", latency_ms=config.retry.max_timeout_ms
+            )
+        roll -= config.ns_timeout_rate
+        if roll < config.ns_servfail_rate:
+            self.inner.handle(day, qname, qtype, source_ip)
+            self.faults_injected += 1
+            raise TransientServerFailure("servfail")
+        roll -= config.ns_servfail_rate
+        answer = self.inner.handle(day, qname, qtype, source_ip)
+        if roll < config.ns_slow_rate and answer is not None:
+            self.faults_injected += 1
+            raise TransientServerFailure(
+                "slow", latency_ms=config.slow_latency_ms, answer=answer
+            )
+        return answer
+
+    def queries_for(self, qname: str):
+        """Logged queries for one name (kept by the wrapped behaviour)."""
+        return self.inner.queries_for(qname)
+
+    def purge_logs(self) -> int:
+        """Purge the wrapped behaviour's log (plus any of our own)."""
+        return self.inner.purge_logs() + super().purge_logs()

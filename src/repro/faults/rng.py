@@ -1,0 +1,40 @@
+"""Named, independent RNG streams for fault injection.
+
+Each fault class draws from its own stream, derived from ``(seed,
+stream name)`` by hashing — so enabling snapshot drops cannot shift the
+draws that decide WHOIS gaps, and enabling faults at all cannot perturb
+the base world (whose RNGs are seeded elsewhere entirely). Streams are
+stable across processes and Python versions (SHA-256, not ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def stream_rng(seed: int, name: str) -> random.Random:
+    """A deterministic :class:`random.Random` for one named stream."""
+    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+class FaultStreams:
+    """A factory of memoized named streams sharing one seed.
+
+    >>> streams = FaultStreams(7)
+    >>> streams.stream("snapshot.drop") is streams.stream("snapshot.drop")
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name``, created on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = stream_rng(self.seed, name)
+            self._streams[name] = rng
+        return rng

@@ -14,6 +14,7 @@ from repro.resolver.server import (
     QueryRecord,
     ScopedBehavior,
     SilentBehavior,
+    TransientServerFailure,
 )
 from repro.resolver.resolver import (
     IterativeResolver,
@@ -28,6 +29,7 @@ __all__ = [
     "QueryRecord",
     "ScopedBehavior",
     "SilentBehavior",
+    "TransientServerFailure",
     "IterativeResolver",
     "Resolution",
     "ResolutionStatus",

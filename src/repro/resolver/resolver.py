@@ -20,7 +20,8 @@ from repro.dnscore.names import Name
 from repro.dnscore.psl import PublicSuffixList, default_psl
 from repro.dnscore.records import ResourceRecord, RRType
 from repro.dnscore.wire import Message, Rcode, decode_message, encode_message
-from repro.resolver.server import NameserverBehavior
+from repro.faults.config import RetryPolicy
+from repro.resolver.server import NameserverBehavior, TransientServerFailure
 from repro.zonedb.database import ZoneDatabase
 
 MAX_DEPTH = 8
@@ -28,11 +29,20 @@ MAX_DEPTH = 8
 
 @dataclass(frozen=True, slots=True)
 class WireExchange:
-    """One captured query/response pair in RFC 1035 wire format."""
+    """One captured query/response pair in RFC 1035 wire format.
+
+    Retries are captured as separate exchanges: ``attempt`` counts from
+    0 per (server, query) round, ``error`` carries the transient-failure
+    kind when no usable response came back, and ``latency_ms`` the
+    simulated answer latency when one did.
+    """
 
     server: str
     query: bytes
     response: bytes | None
+    attempt: int = 0
+    error: str | None = None
+    latency_ms: int = 0
 
     @property
     def query_size(self) -> int:
@@ -52,6 +62,7 @@ class ResolutionStatus(str, Enum):
     NXDOMAIN = "nxdomain"      # no delegation in the TLD zone
     LAME = "lame"              # referral exists but no server answered
     UNRESOLVABLE_NS = "unresolvable-ns"  # could not find any NS address
+    TRANSIENT = "transient-failure"  # only transient errors: lameness unproven
     ERROR = "error"            # depth/loop protection tripped
 
 
@@ -65,11 +76,21 @@ class Resolution:
     answer: list[str] = field(default_factory=list)
     answered_by: str | None = None
     trace: list[str] = field(default_factory=list)
+    #: Re-attempts performed under the retry policy.
+    retries: int = 0
+    #: Transient server failures (timeouts, SERVFAILs, over-budget slow
+    #: answers) observed along the way.
+    transient_failures: int = 0
 
     @property
     def ok(self) -> bool:
         """True if an authoritative answer was obtained."""
         return self.status is ResolutionStatus.ANSWERED
+
+    @property
+    def degraded(self) -> bool:
+        """True if any server exhibited transient failure en route."""
+        return self.transient_failures > 0
 
 
 class IterativeResolver:
@@ -81,6 +102,7 @@ class IterativeResolver:
         *,
         psl: PublicSuffixList | None = None,
         capture_wire: bool = False,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.zonedb = zonedb
         self.psl = psl or default_psl()
@@ -89,6 +111,9 @@ class IterativeResolver:
         #: through the RFC 1035 codec and recorded here.
         self.capture_wire = capture_wire
         self.wire_log: list[WireExchange] = []
+        #: Retry-with-backoff model for transient server failures; None
+        #: (the default) queries each server exactly once.
+        self.retry_policy = retry_policy
         self._next_message_id = 1
 
     def attach_server(self, ns_host: str, behavior: NameserverBehavior) -> None:
@@ -133,6 +158,7 @@ class IterativeResolver:
             result.status = ResolutionStatus.NXDOMAIN
             return result
         found_address = False
+        saw_definitive_silence = False
         for ns in sorted(ns_set):
             address = self._nameserver_address(
                 ns, day, result.trace, _depth, source_ip
@@ -143,25 +169,94 @@ class IterativeResolver:
             behavior = self._servers.get(ns)
             if behavior is None:
                 result.trace.append(f"{ns} ({address}): no server listening")
+                saw_definitive_silence = True
                 continue
-            answer = behavior.handle(day, name.text, qtype, source_ip)
-            if self.capture_wire:
-                self._capture(ns, name.text, qtype, answer)
+            answer, exhausted = self._query_server(
+                ns, behavior, day, name.text, qtype, source_ip, result
+            )
             if answer is not None:
                 result.status = ResolutionStatus.ANSWERED
                 result.answer = list(answer)
                 result.answered_by = ns
                 result.trace.append(f"{ns} answered: {answer}")
                 return result
-            result.trace.append(f"{ns}: no response")
-        result.status = (
-            ResolutionStatus.LAME if found_address
-            else ResolutionStatus.UNRESOLVABLE_NS
-        )
+            if exhausted:
+                result.trace.append(f"{ns}: transient failures exhausted retries")
+            else:
+                result.trace.append(f"{ns}: no response")
+                saw_definitive_silence = True
+        if not found_address:
+            result.status = ResolutionStatus.UNRESOLVABLE_NS
+        elif result.transient_failures and not saw_definitive_silence:
+            # Every reachable server failed transiently: the delegation
+            # may be perfectly healthy — lameness is not proven.
+            result.status = ResolutionStatus.TRANSIENT
+        else:
+            result.status = ResolutionStatus.LAME
         return result
 
+    def _query_server(
+        self,
+        ns: str,
+        behavior: NameserverBehavior,
+        day: int,
+        qname: str,
+        qtype: RRType,
+        source_ip: str,
+        result: Resolution,
+    ) -> tuple[list[str] | None, bool]:
+        """Query one server, retrying transient failures per the policy.
+
+        Returns ``(answer, exhausted)`` where ``exhausted`` is True when
+        the server produced nothing but transient failures — i.e. the
+        lack of an answer proves nothing about lameness.
+        """
+        policy = self.retry_policy
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(attempts):
+            try:
+                answer = behavior.handle(day, qname, qtype, source_ip)
+            except TransientServerFailure as failure:
+                budget = policy.timeout_for(attempt) if policy else 0
+                if (
+                    failure.kind == "slow"
+                    and failure.answer is not None
+                    and failure.latency_ms <= budget
+                ):
+                    # Slow but inside this attempt's budget: a usable answer.
+                    if self.capture_wire:
+                        self._capture(
+                            ns, qname, qtype, failure.answer,
+                            attempt=attempt, latency_ms=failure.latency_ms,
+                        )
+                    return failure.answer, False
+                result.transient_failures += 1
+                if self.capture_wire:
+                    self._capture(
+                        ns, qname, qtype, None,
+                        attempt=attempt, error=failure.kind,
+                        latency_ms=failure.latency_ms,
+                    )
+                if attempt + 1 < attempts:
+                    result.retries += 1
+                    continue
+                return None, True
+            else:
+                if self.capture_wire:
+                    self._capture(ns, qname, qtype, answer, attempt=attempt)
+                return answer, False
+        return None, True  # pragma: no cover - loop always returns
+
     def _capture(
-        self, server: str, qname: str, qtype: RRType, answer: list[str] | None
+        self,
+        server: str,
+        qname: str,
+        qtype: RRType,
+        answer: list[str] | None,
+        *,
+        attempt: int = 0,
+        error: str | None = None,
+        latency_ms: int = 0,
     ) -> None:
         """Round-trip the exchange through the wire codec and log it."""
         query = Message.query(qname, qtype, message_id=self._next_message_id)
@@ -177,7 +272,10 @@ class IterativeResolver:
             response_wire = encode_message(response)
             assert decode_message(response_wire).answers == response.answers
         self.wire_log.append(
-            WireExchange(server=server, query=query_wire, response=response_wire)
+            WireExchange(
+                server=server, query=query_wire, response=response_wire,
+                attempt=attempt, error=error, latency_ms=latency_ms,
+            )
         )
 
     def _nameserver_address(

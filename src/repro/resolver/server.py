@@ -20,6 +20,30 @@ from repro.dnscore.names import Name
 from repro.dnscore.records import RRType
 
 
+class TransientServerFailure(Exception):
+    """A query failed for a reason that may not recur.
+
+    Raised by behaviours standing in for flaky-but-alive servers:
+    ``kind`` is ``"timeout"``, ``"servfail"``, or ``"slow"``. A slow
+    failure carries the answer the server *would* have produced plus its
+    latency; the resolver accepts it when the latency fits the current
+    attempt's timeout budget. Stock behaviours never raise this, so
+    resolvers without fault injection never see it.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        latency_ms: int = 0,
+        answer: list[str] | None = None,
+    ) -> None:
+        super().__init__(kind)
+        self.kind = kind
+        self.latency_ms = latency_ms
+        self.answer = answer
+
+
 @dataclass(frozen=True, slots=True)
 class QueryRecord:
     """One query received by a server."""

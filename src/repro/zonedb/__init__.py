@@ -9,12 +9,21 @@ exactly as DZDB processes zone files) or through the change-level API the
 simulated world drives directly.
 """
 
-from repro.zonedb.database import DelegationRecord, ZoneDatabase
+from repro.zonedb.database import (
+    DelegationRecord,
+    IngestError,
+    IngestPolicy,
+    IngestReport,
+    ZoneDatabase,
+)
 from repro.zonedb.snapshot import ZoneSnapshot
 from repro.zonedb.archive import read_archive, write_archive
 
 __all__ = [
     "DelegationRecord",
+    "IngestError",
+    "IngestPolicy",
+    "IngestReport",
     "ZoneDatabase",
     "ZoneSnapshot",
     "read_archive",

@@ -17,11 +17,50 @@ import os
 from pathlib import Path
 from typing import Iterator
 
-from repro.dnscore.zone import Zone
-from repro.zonedb.database import ZoneDatabase
+from repro.dnscore.errors import DnsError
+from repro.dnscore.names import Name
+from repro.zonedb.database import IngestPolicy, ZoneDatabase
 from repro.zonedb.snapshot import ZoneSnapshot
 
 _DAY_WIDTH = 7
+
+
+def _canonical_or_raw(text: str) -> str:
+    """Canonicalize a name, passing invalid ones through untouched.
+
+    Archive parsing must not crash on a corrupt record: invalid names are
+    preserved verbatim so ingestion can skip and *count* them (or raise,
+    under a strict policy) instead of the parser dying mid-file.
+    """
+    try:
+        return Name(text).text
+    except DnsError:
+        return text.strip().rstrip(".")
+
+
+def _parse_snapshot(day: int, tld: str, text: str) -> ZoneSnapshot:
+    """Parse one zone file's text into a snapshot, tolerating corruption."""
+    delegations: dict[str, set[str]] = {}
+    glue: dict[str, set[str]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith(";") or line.startswith("$ORIGIN"):
+            continue
+        parts = line.split(None, 4)
+        if len(parts) != 5 or parts[2].upper() != "IN":
+            continue
+        owner, _ttl, _klass, rtype, rdata = parts
+        owner = _canonical_or_raw(owner)
+        if rtype.upper() == "NS" and owner != tld:
+            delegations.setdefault(owner, set()).add(_canonical_or_raw(rdata))
+        elif rtype.upper() == "A":
+            glue.setdefault(owner, set()).add(rdata.strip())
+    return ZoneSnapshot(
+        day=day,
+        tld=tld,
+        delegations={d: frozenset(ns) for d, ns in delegations.items()},
+        glue={h: frozenset(a) for h, a in glue.items()},
+    )
 
 
 def snapshot_path(root: str | Path, tld: str, day: int) -> Path:
@@ -54,16 +93,23 @@ def iter_archive(root: str | Path) -> Iterator[ZoneSnapshot]:
             day = int(zone_file.stem)
             entries.append((day, tld_dir.name, zone_file))
     entries.sort()
-    for day, _tld, path in entries:
-        zone = Zone.from_text(path.read_text(encoding="ascii"))
-        yield ZoneSnapshot.from_zone(day, zone)
+    for day, tld, path in entries:
+        yield _parse_snapshot(day, tld, path.read_text(encoding="ascii"))
 
 
-def read_archive(root: str | Path) -> ZoneDatabase:
-    """Build a :class:`ZoneDatabase` by ingesting a whole archive."""
-    database = ZoneDatabase()
+def read_archive(
+    root: str | Path, *, ingest_policy: IngestPolicy | None = None
+) -> ZoneDatabase:
+    """Build a :class:`ZoneDatabase` by ingesting a whole archive.
+
+    Pass an :class:`IngestPolicy` to bridge snapshot-day gaps or to fail
+    fast on degraded input; pending gap-bridge decisions are finalized
+    once the archive is exhausted.
+    """
+    database = ZoneDatabase(ingest_policy=ingest_policy)
     for snapshot in iter_archive(root):
         database.ingest_snapshot(snapshot)
+    database.finalize_pending()
     return database
 
 

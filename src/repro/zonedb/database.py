@@ -17,11 +17,72 @@ with ``end is None`` is still open at the database horizon.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.dnscore.errors import NameError_
 from repro.dnscore.names import Name
 from repro.simtime import Interval
 from repro.zonedb.snapshot import ZoneSnapshot
+
+
+class IngestError(Exception):
+    """Raised in strict mode when a snapshot cannot be ingested cleanly."""
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """How :meth:`ZoneDatabase.ingest_snapshot` reacts to degraded input.
+
+    ``gap_bridge_days`` is the DZDB-style bridging window: a delegation
+    absent from snapshots for at most that many days keeps its interval
+    open (missing zone-file days do not close and re-open histories).
+    The default window of 0 reproduces strict day-level diffing exactly.
+    In ``strict`` mode corrupt records and out-of-order snapshots raise
+    :class:`IngestError` instead of being skipped and counted.
+    """
+
+    gap_bridge_days: int = 0
+    strict: bool = False
+
+
+@dataclass
+class IngestReport:
+    """What one :meth:`ZoneDatabase.ingest_snapshot` call actually did."""
+
+    day: int
+    tld: str
+    #: False when the whole snapshot was rejected (see ``reason``).
+    ingested: bool = True
+    reason: str | None = None
+    #: True when the same (tld, day) was already ingested.
+    duplicate: bool = False
+    #: Delegated domains carried by the snapshot.
+    delegations: int = 0
+    #: Records skipped because they could not be parsed.
+    records_skipped: int = 0
+    #: Mangled names detected among the skipped records.
+    corrupt_records: int = 0
+    #: Delegations whose absence gap was bridged (interval kept open).
+    gaps_bridged: int = 0
+    #: Delegations closed retroactively after exceeding the gap window.
+    closed_after_gap: int = 0
+
+    @property
+    def corruption_detected(self) -> bool:
+        """True if any record in the snapshot was mangled."""
+        return self.corrupt_records > 0
+
+    @property
+    def clean(self) -> bool:
+        """True if the snapshot ingested fully, with nothing degraded."""
+        return (
+            self.ingested
+            and not self.duplicate
+            and self.records_skipped == 0
+            and self.gaps_bridged == 0
+            and self.closed_after_gap == 0
+        )
 
 
 class DelegationRecord:
@@ -96,15 +157,26 @@ class _PresenceHistory:
 class ZoneDatabase:
     """Interval histories of delegations and glue across TLD zones."""
 
-    def __init__(self, covered_tlds: Iterable[str] = ()) -> None:
+    def __init__(
+        self,
+        covered_tlds: Iterable[str] = (),
+        *,
+        ingest_policy: IngestPolicy | None = None,
+    ) -> None:
         self.covered_tlds: set[str] = {Name(t).text for t in covered_tlds}
         self.horizon: int = 0
+        self.ingest_policy = ingest_policy or IngestPolicy()
+        self.ingest_reports: list[IngestReport] = []
         self._domain_recs: dict[str, list[DelegationRecord]] = {}
         self._ns_recs: dict[str, list[DelegationRecord]] = {}
         self._open: dict[tuple[str, str], DelegationRecord] = {}
         self._current: dict[str, frozenset[str]] = {}
         self._glue = _PresenceHistory()
         self._domain_presence = _PresenceHistory()
+        self._last_ingest_day: dict[str, int] = {}
+        #: Domains absent from recent snapshots, awaiting the bridge
+        #: window's verdict: domain -> first day observed absent.
+        self._pending_close: dict[str, int] = {}
 
     # -- write path ---------------------------------------------------------
 
@@ -159,32 +231,144 @@ class ZoneDatabase:
         self.advance(max(self.horizon, day))
         self._glue.close(Name(host).text, day)
 
-    def ingest_snapshot(self, snapshot: ZoneSnapshot) -> None:
+    def ingest_snapshot(self, snapshot: ZoneSnapshot) -> IngestReport:
         """Diff one daily snapshot against current state (DZDB mode).
 
         Domains in the snapshot's TLD that are currently known but absent
         from the snapshot are closed; changed or new delegations are
         opened. Glue presence is diffed the same way.
+
+        Degraded input is handled per :attr:`ingest_policy`: out-of-order
+        snapshots are skipped (raised in strict mode), duplicates are
+        re-diffed idempotently, corrupt records are skipped and counted,
+        and — with a non-zero ``gap_bridge_days`` — a delegation absent
+        for at most the window keeps its interval open instead of being
+        closed and re-opened. The returned :class:`IngestReport` (also
+        appended to :attr:`ingest_reports`) says exactly what happened.
         """
+        policy = self.ingest_policy
+        report = IngestReport(day=snapshot.day, tld=snapshot.tld)
         self.cover(snapshot.tld)
         day = snapshot.day
         suffix = "." + snapshot.tld
+        last = self._last_ingest_day.get(snapshot.tld)
+        if last is not None:
+            if day < last:
+                if policy.strict:
+                    raise IngestError(
+                        f"out-of-order snapshot for {snapshot.tld!r}: "
+                        f"day {day} after day {last}"
+                    )
+                report.ingested = False
+                report.reason = "out-of-order"
+                self.ingest_reports.append(report)
+                return report
+            if day == last:
+                report.duplicate = True
+        self._last_ingest_day[snapshot.tld] = day
+        report.delegations = len(snapshot.delegations)
+        bridge = policy.gap_bridge_days
+        if bridge:
+            # Close pending absences whose window lapsed without the
+            # domain coming back (resurrected domains are handled below).
+            for domain, absent_since in list(self._pending_close.items()):
+                if not domain.endswith(suffix):
+                    continue
+                if domain in snapshot.delegations:
+                    continue
+                if day - absent_since > bridge:
+                    self.remove_delegation(absent_since, domain)
+                    del self._pending_close[domain]
+                    report.closed_after_gap += 1
         known = [
             domain for domain in self._current
             if domain.endswith(suffix)
         ]
         for domain in known:
             if domain not in snapshot.delegations:
-                self.remove_delegation(day, domain)
+                if bridge:
+                    self._pending_close.setdefault(domain, day)
+                else:
+                    self.remove_delegation(day, domain)
         for domain, ns_set in snapshot.delegations.items():
-            self.set_delegation(day, domain, ns_set)
+            if bridge:
+                absent_since = self._pending_close.pop(domain, None)
+                if absent_since is not None:
+                    if day - absent_since > bridge:
+                        self.remove_delegation(absent_since, domain)
+                        report.closed_after_gap += 1
+                    else:
+                        report.gaps_bridged += 1
+            try:
+                self.set_delegation(day, domain, ns_set)
+            except NameError_:
+                self._ingest_degraded_delegation(day, domain, ns_set, report)
         glue_now = {host for host, addrs in snapshot.glue.items() if addrs}
         for host in list(self._glue.keys()):
             if host.endswith(suffix) and host not in glue_now:
                 if self._glue.is_present(host, day):
                     self.remove_glue(day, host)
         for host in glue_now:
-            self.set_glue(day, host)
+            try:
+                self.set_glue(day, host)
+            except NameError_:
+                if policy.strict:
+                    raise IngestError(
+                        f"corrupt glue record {host!r} on day {day}"
+                    ) from None
+                report.corrupt_records += 1
+                report.records_skipped += 1
+        self.ingest_reports.append(report)
+        return report
+
+    def _ingest_degraded_delegation(
+        self, day: int, domain: str, ns_set: Iterable[str], report: IngestReport
+    ) -> None:
+        """Salvage a delegation whose record set failed name validation.
+
+        Zone-file corruption hits individual records (lines), so a bad NS
+        target drops only that (domain, ns) pair; a mangled owner name
+        makes the whole delegation unparseable — and the true domain, if
+        previously known, shows up as absent through the normal diff.
+        """
+        if self.ingest_policy.strict:
+            raise IngestError(
+                f"corrupt delegation record for {domain!r} on day {day}"
+            ) from None
+        ns_list = list(ns_set)
+        try:
+            Name(domain)
+        except NameError_:
+            report.corrupt_records += 1
+            report.records_skipped += max(1, len(ns_list))
+            return
+        valid = []
+        for ns in ns_list:
+            try:
+                Name(ns)
+            except NameError_:
+                report.corrupt_records += 1
+                report.records_skipped += 1
+            else:
+                valid.append(ns)
+        if valid:
+            self.set_delegation(day, domain, valid)
+
+    def finalize_pending(self) -> int:
+        """Close every delegation still awaiting its gap-bridge verdict.
+
+        Call once after the last snapshot of an archive: domains that
+        disappeared near the end of the data and never came back are
+        closed at the day they were first observed absent (exactly what
+        a bridging DZDB does at its horizon). Returns the number of
+        domains closed.
+        """
+        count = 0
+        for domain, absent_since in sorted(self._pending_close.items()):
+            self.remove_delegation(absent_since, domain)
+            count += 1
+        self._pending_close.clear()
+        return count
 
     def _open_pair(self, domain: str, ns: str, day: int) -> None:
         record = DelegationRecord(domain, ns, day)

@@ -1,0 +1,99 @@
+"""Property test: interval invariants hold under arbitrary fault schedules.
+
+Whatever a fault schedule does to the snapshot stream — dropped days,
+duplicates, reordering, truncation, record corruption — the interval
+database that lenient ingestion builds must still satisfy its core
+invariants:
+
+* every interval is half-open with ``end`` strictly after ``start``
+  (or ``None`` while open);
+* intervals for the same (domain, nameserver) pair never overlap;
+* the domain-keyed and nameserver-keyed indexes hold exactly the same
+  record objects.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultConfig, SnapshotFaultInjector
+from repro.zonedb.database import IngestPolicy, ZoneDatabase
+from repro.zonedb.snapshot import ZoneSnapshot
+
+_domains = st.sampled_from([f"domain{i}.biz" for i in range(5)])
+_nameservers = st.sampled_from(
+    [f"ns{i}.host{j}.com" for i in range(2) for j in range(2)]
+)
+
+_day_delegations = st.dictionaries(
+    _domains, st.frozensets(_nameservers, min_size=1, max_size=3), max_size=5
+)
+
+_schedules = st.lists(_day_delegations, min_size=1, max_size=8)
+
+_fault_configs = st.builds(
+    FaultConfig,
+    seed=st.integers(min_value=0, max_value=2**16),
+    snapshot_drop_rate=st.floats(min_value=0.0, max_value=0.5),
+    snapshot_duplicate_rate=st.floats(min_value=0.0, max_value=0.5),
+    snapshot_reorder_rate=st.floats(min_value=0.0, max_value=0.5),
+    snapshot_truncate_rate=st.floats(min_value=0.0, max_value=0.5),
+    record_corrupt_rate=st.floats(min_value=0.0, max_value=0.5),
+)
+
+_gap_windows = st.sampled_from([0, 7, 30, 10_000])
+
+
+def _check_invariants(db: ZoneDatabase) -> None:
+    pair_records: dict[tuple[str, str], list] = {}
+    domain_side = []
+    for domain in db.all_domains():
+        for record in db.domain_records(domain):
+            assert record.domain == domain
+            assert record.end is None or record.end > record.start
+            pair_records.setdefault((record.domain, record.ns), []).append(record)
+            domain_side.append(record)
+
+    for records in pair_records.values():
+        records.sort(key=lambda r: r.start)
+        for earlier, later in zip(records, records[1:]):
+            assert earlier.end is not None, "open interval must be the last one"
+            assert earlier.end <= later.start
+
+    ns_side = [
+        record
+        for ns in db.all_nameservers()
+        for record in db.ns_records(ns)
+    ]
+    assert sorted(id(r) for r in domain_side) == sorted(id(r) for r in ns_side)
+
+
+@settings(max_examples=30, deadline=None)
+@given(schedule=_schedules, faults=_fault_configs, gap=_gap_windows)
+def test_interval_invariants_survive_any_fault_schedule(schedule, faults, gap):
+    snapshots = [
+        ZoneSnapshot(day=index * 7, tld="biz", delegations=delegations)
+        for index, delegations in enumerate(schedule)
+        if delegations
+    ]
+    degraded = SnapshotFaultInjector(faults).degrade(snapshots)
+
+    db = ZoneDatabase(ingest_policy=IngestPolicy(gap_bridge_days=gap))
+    for snapshot in degraded:
+        report = db.ingest_snapshot(snapshot)
+        assert report.ingested or report.reason
+    db.finalize_pending()
+    _check_invariants(db)
+
+
+@settings(max_examples=20, deadline=None)
+@given(schedule=_schedules, gap=_gap_windows)
+def test_pristine_schedules_keep_invariants_under_gap_bridging(schedule, gap):
+    db = ZoneDatabase(ingest_policy=IngestPolicy(gap_bridge_days=gap))
+    for index, delegations in enumerate(schedule):
+        db.ingest_snapshot(
+            ZoneSnapshot(day=index * 7, tld="biz", delegations=delegations)
+        )
+    db.finalize_pending()
+    _check_invariants(db)
