@@ -60,7 +60,7 @@ def hijacker_rows(
                     record.interval.overlaps(h) for h in group.hijack_intervals()
                 ):
                     hijacked_domains.add(record.domain)
-        for actor in actors:
+        for actor in sorted(actors):
             ns_by_actor.setdefault(actor, set()).update(
                 view.name for view in group.nameservers
             )

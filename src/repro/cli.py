@@ -18,6 +18,11 @@ actually run:
 ``riskybiz experiment``
     Run the §6.1 controlled hijack experiment and print the protocol
     observations.
+
+``riskybiz lint``
+    Run the two-layer static analysis: determinism rules over the
+    Python tree and RFC 5731/5732 referential-integrity rules over
+    scenario/world JSON. Exits non-zero on any non-baselined error.
 """
 
 from __future__ import annotations
@@ -125,6 +130,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         f"to {out}",
         file=sys.stderr,
     )
+    if args.world_json:
+        from repro.ecosystem.scenario_io import save_world
+
+        world_path = save_world(result, args.world_json)
+        print(f"Wrote world dump to {world_path}", file=sys.stderr)
     return 0
 
 
@@ -226,6 +236,42 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static-analysis gate (code + scenario engines)."""
+    from repro.lint.baseline import Baseline
+    from repro.lint.reporters import render_json, render_text
+    from repro.lint.runner import run_lint
+
+    try:
+        result = run_lint(
+            args.paths,
+            root=args.root,
+            use_baseline=not args.no_baseline,
+            select=args.select.split(",") if args.select else (),
+            ignore=args.ignore.split(",") if args.ignore else (),
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        from repro.lint.config import load_config
+
+        config = load_config(args.root)
+        merged = Baseline.load(config.baseline_path()).merged_with(
+            Baseline.from_diagnostics(result.errors)
+        )
+        merged.save(config.baseline_path())
+        print(
+            f"Recorded {len(result.errors)} finding(s) in "
+            f"{config.baseline_path()}; replace the placeholder reasons "
+            "with real justifications",
+            file=sys.stderr,
+        )
+        return 0
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return result.exit_code
+
+
 def cmd_scenario(args: argparse.Namespace) -> int:
     """Dump the resolved scenario as a reusable JSON file."""
     from repro.ecosystem.scenario_io import save_scenario
@@ -257,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--every", type=int, default=30,
         help="snapshot sampling interval in days (default: 30)",
+    )
+    simulate.add_argument(
+        "--world-json", metavar="FILE",
+        help="also write a static world dump (object lifecycles, "
+             "delegation intervals, renames) for `riskybiz lint`",
     )
     simulate.set_defaults(func=cmd_simulate)
 
@@ -328,6 +379,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_world_args(scenario)
     scenario.add_argument("--out", required=True, help="output JSON file")
     scenario.set_defaults(func=cmd_scenario)
+
+    lint = subparsers.add_parser(
+        "lint", help="run determinism and scenario static analysis"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="project root holding pyproject.toml and the baseline "
+             "(default: current directory)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run exclusively",
+    )
+    lint.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined findings too",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record current errors into the baseline file instead of "
+             "failing on them",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

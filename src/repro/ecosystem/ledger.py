@@ -1,0 +1,93 @@
+"""Object-lifecycle ledger: when each EPP object existed, per repository.
+
+Fed by the registries' audit streams (alongside :class:`ZoneMirror`),
+the ledger records the existence intervals of every domain and host
+name, keyed by ``(repository operator, name)`` — a rename closes the
+old name and opens the new one, matching how the zone database sees the
+world. The per-repository key matters: the same host name can exist as
+an internal object in one repository and an external object in another,
+and those lifecycles are independent (that independence is the paper's
+cross-repository risk). ``scenario_io.world_to_dict`` serializes the
+ledger so the scenario linter can check RFC 5731/5732 referential
+integrity statically, without replaying the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NameLifetime:
+    """Existence history of one object name inside one repository."""
+
+    operator: str
+    #: Closed ``[start, end)`` spans, in event order.
+    spans: list[tuple[int, int]] = field(default_factory=list)
+    #: Day the name's current span opened, if it is still open.
+    open_since: int | None = None
+    #: Deletion days that were registry purges (bypassing RFC advice).
+    purge_days: list[int] = field(default_factory=list)
+
+    def open(self, day: int) -> None:
+        """Start a span (idempotent while already open)."""
+        if self.open_since is None:
+            self.open_since = day
+
+    def close(self, day: int, *, purge: bool = False) -> None:
+        """End the current span, dropping zero-length existence."""
+        if self.open_since is None:
+            return
+        if day > self.open_since:
+            self.spans.append((self.open_since, day))
+            if purge:
+                self.purge_days.append(day)
+        self.open_since = None
+
+    def intervals(self) -> list[tuple[int, int | None]]:
+        """Every span, the open one (if any) last with ``None`` end."""
+        result: list[tuple[int, int | None]] = list(self.spans)
+        if self.open_since is not None:
+            result.append((self.open_since, None))
+        return result
+
+
+class LifecycleLedger:
+    """Domain/host lifecycles across every repository of one world."""
+
+    def __init__(self) -> None:
+        self.domains: dict[tuple[str, str], NameLifetime] = {}
+        self.hosts: dict[tuple[str, str], NameLifetime] = {}
+
+    def _life(
+        self,
+        table: dict[tuple[str, str], NameLifetime],
+        name: str,
+        operator: str,
+    ) -> NameLifetime:
+        key = (operator, name)
+        life = table.get(key)
+        if life is None:
+            life = NameLifetime(operator=operator)
+            table[key] = life
+        return life
+
+    def record(
+        self, day: int, operation: str, details: dict, operator: str
+    ) -> None:
+        """Audit-hook entry point (same signature family as ZoneMirror)."""
+        if operation == "domain:create":
+            self._life(self.domains, details["domain"], operator).open(day)
+        elif operation == "domain:delete":
+            self._life(self.domains, details["domain"], operator).close(day)
+        elif operation == "domain:purge":
+            self._life(self.domains, details["domain"], operator).close(
+                day, purge=True
+            )
+        elif operation == "host:create":
+            self._life(self.hosts, details["host"], operator).open(day)
+        elif operation == "host:delete":
+            self._life(self.hosts, details["host"], operator).close(day)
+        elif operation == "host:rename":
+            self._life(self.hosts, details["old"], operator).close(day)
+            self._life(self.hosts, details["new"], operator).open(day)

@@ -9,6 +9,7 @@ two), but avoids materializing thousands of full snapshots.
 
 from __future__ import annotations
 
+from repro.ecosystem.ledger import LifecycleLedger
 from repro.epp.errors import EppError
 from repro.epp.objects import DomainStatus
 from repro.epp.repository import EppRepository
@@ -16,17 +17,31 @@ from repro.zonedb.database import ZoneDatabase
 
 
 class ZoneMirror:
-    """Mirrors one EPP repository's zone-visible changes into a database."""
+    """Mirrors one EPP repository's zone-visible changes into a database.
 
-    def __init__(self, repository: EppRepository, database: ZoneDatabase) -> None:
+    When given a :class:`LifecycleLedger` it also forwards every audit
+    event there, so object lifecycles are recorded alongside the zone
+    history without a second audit hook on the repository.
+    """
+
+    def __init__(
+        self,
+        repository: EppRepository,
+        database: ZoneDatabase,
+        *,
+        ledger: LifecycleLedger | None = None,
+    ) -> None:
         self.repository = repository
         self.database = database
+        self.ledger = ledger
         self._glue_hosts: set[str] = set()
         for tld in repository.tlds:
             database.cover(tld)
 
     def __call__(self, day: int, operation: str, details: dict) -> None:
         """The audit-hook entry point."""
+        if self.ledger is not None:
+            self.ledger.record(day, operation, details, self.repository.operator)
         handler = getattr(self, "_on_" + operation.replace(":", "_"), None)
         if handler is not None:
             handler(day, details)

@@ -1,11 +1,18 @@
-"""Scenario (de)serialization: JSON round-trips for ScenarioConfig.
+"""Scenario and world (de)serialization for the ecosystem.
 
-Lets a scenario be versioned, shared, and replayed exactly:
+Two JSON document kinds live here:
 
-    riskybiz report --config my-scenario.json
+* **scenario configs** (:func:`save_scenario`/:func:`load_scenario`) —
+  a :class:`ScenarioConfig` round-trip, so a scenario can be versioned,
+  shared, and replayed exactly: ``riskybiz report --config my.json``.
+  Idioms are serialized by type + parameters (the idiom classes are the
+  registry); dates as ISO strings; everything else as plain values.
 
-Idioms are serialized by type + parameters (the idiom classes are the
-registry); dates as ISO strings; everything else as plain values.
+* **world dumps** (:func:`world_to_dict`/:func:`save_world`) — a static
+  description of what a finished run's EPP state looked like over time:
+  repositories, object lifecycles, delegation intervals, and renames.
+  This is the document ``riskybiz lint`` (the scenario engine) checks
+  for RFC 5731/5732 referential integrity without running anything.
 """
 
 from __future__ import annotations
@@ -14,7 +21,10 @@ import datetime as _dt
 import json
 from dataclasses import replace
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.ecosystem.world import WorldResult
 
 from repro.ecosystem.config import (
     HijackerSpec,
@@ -223,3 +233,92 @@ def load_scenario(path: str | Path) -> ScenarioConfig:
     """Read a scenario written by :func:`save_scenario`."""
     data = json.loads(Path(path).read_text(encoding="utf-8"))
     return scenario_from_dict(data)
+
+
+# -- world dumps -------------------------------------------------------------
+
+#: Format tag identifying world-dump documents.
+WORLD_FORMAT = "riskybiz-world/1"
+
+
+def _intervals_to_json(
+    intervals: list[tuple[int, int | None]]
+) -> list[list[int | None]]:
+    return [[start, end] for start, end in intervals]
+
+
+def world_to_dict(result: "WorldResult") -> dict[str, Any]:
+    """A JSON-ready static view of a finished run's EPP state.
+
+    Built from the run's lifecycle ledger (object existence), the zone
+    database (delegation intervals), and the ground-truth rename log.
+    The output is what the scenario lint engine validates.
+    """
+    zonedb = result.zonedb
+    ledger = result.ledger
+    domains = []
+    for operator, name in sorted(ledger.domains):
+        life = ledger.domains[(operator, name)]
+        per_ns: dict[str, list[list[int | None]]] = {}
+        for record in zonedb.domain_records(name):
+            per_ns.setdefault(record.ns, []).append([record.start, record.end])
+        domains.append(
+            {
+                "name": name,
+                "repository": operator,
+                "intervals": _intervals_to_json(life.intervals()),
+                "purge_days": sorted(life.purge_days),
+                "delegations": [
+                    {"ns": ns, "intervals": sorted(spans)}
+                    for ns, spans in sorted(per_ns.items())
+                ],
+            }
+        )
+    hosts = []
+    for operator, name in sorted(ledger.hosts):
+        life = ledger.hosts[(operator, name)]
+        hosts.append(
+            {
+                "name": name,
+                "repository": operator,
+                "intervals": _intervals_to_json(life.intervals()),
+            }
+        )
+    return {
+        "format": WORLD_FORMAT,
+        "ingest_policy": {
+            "gap_bridge_days": result.config.faults.gap_bridge_days,
+            "strict": result.config.faults.strict,
+        },
+        "faults": fault_config_to_dict(result.config.faults),
+        "repositories": [
+            {
+                "operator": registry.operator,
+                "tlds": sorted(registry.repository.tlds),
+            }
+            for registry in result.roster.registries
+        ],
+        "domains": domains,
+        "hosts": hosts,
+        "renames": [
+            {
+                "day": record.day,
+                "old": record.old_name,
+                "new": record.new_name,
+                "repository": record.repository,
+                "registrar": record.registrar,
+                "sacrificial": record.hijackable,
+            }
+            for record in result.log.renames
+        ],
+    }
+
+
+def save_world(result: "WorldResult", path: str | Path) -> Path:
+    """Write a run's world dump as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(world_to_dict(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

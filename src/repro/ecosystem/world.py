@@ -26,6 +26,7 @@ from repro.ecosystem.events import (
     SinkEventRecord,
 )
 from repro.ecosystem.hijacker import HijackerActor
+from repro.ecosystem.ledger import LifecycleLedger
 from repro.ecosystem.lifecycle import (
     schedule_plan,
     schedule_registrar_policy,
@@ -39,6 +40,7 @@ from repro.ecosystem.population import (
     PopulationPlanner,
 )
 from repro.epp.registry import RegistryRoster, default_roster
+from repro.faults.rng import stable_hash
 from repro.registrar.registrar import IdiomSchedule, Registrar
 from repro.whois.archive import WhoisArchive
 from repro.zonedb.database import ZoneDatabase
@@ -73,6 +75,7 @@ class WorldResult:
     whois: WhoisArchive
     log: EventLog
     groups: dict[str, SacrificialGroup]
+    ledger: LifecycleLedger = field(default_factory=LifecycleLedger)
 
 
 class World:
@@ -88,9 +91,10 @@ class World:
         self.queue = EventQueue()
         self.groups: dict[str, SacrificialGroup] = {}
         self.roster = default_roster()
+        self.ledger = LifecycleLedger()
         self._mirrors: list[ZoneMirror] = []
         for registry in self.roster.registries:
-            mirror = ZoneMirror(registry.repository, self.zonedb)
+            mirror = ZoneMirror(registry.repository, self.zonedb, ledger=self.ledger)
             registry.repository.set_audit_hook(mirror)
             self._mirrors.append(mirror)
         self.registrars = self._build_registrars()
@@ -403,6 +407,7 @@ class World:
             whois=self.whois,
             log=self.log,
             groups=self.groups,
+            ledger=self.ledger,
         )
 
     # -- plan entity handlers ---------------------------------------------------
@@ -419,7 +424,8 @@ class World:
             return
         registrar = self.registrars[hoster.registrar]
         hosts = {
-            host: [f"192.0.2.{(hash(host) % 250) + 1}"] for host in hoster.ns_hosts
+            host: [f"192.0.2.{(stable_hash(host) % 250) + 1}"]
+            for host in hoster.ns_hosts
         }
         registrar.create_subordinate_hosts(self.roster, hoster.domain, hosts, day=day)
         registrar.update_nameservers(

@@ -11,7 +11,7 @@ protocol behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.dnscore.errors import NameError_
 from repro.epp.errors import EppError, MESSAGES, ResultCode
@@ -61,7 +61,9 @@ class EppSession:
     registrar: str
     transcript: list[TranscriptEntry] = field(default_factory=list)
 
-    def _run(self, day: int, command: str, fn, /, **args) -> Result:
+    def _run(
+        self, day: int, command: str, fn: Callable[[], Any], /, **args: object
+    ) -> Result:
         try:
             data = fn()
         except EppError as exc:

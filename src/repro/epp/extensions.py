@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.dnscore.names import Name
 from repro.epp.errors import EppError, ResultCode
+from repro.epp.objects import HostObject
 from repro.epp.repository import EppRepository
 from repro.registrar.idioms import RenamingIdiom, ReservedLabelIdiom
 
@@ -59,7 +60,7 @@ class ReservedTldPolicy:
 
     def rename_host(
         self, registrar: str, old: str, new: str, *, day: int
-    ):
+    ) -> HostObject:
         """Policy-checked <host:update> name change."""
         target = Name(new)
         if target.tld not in RESERVED_TLDS:

@@ -83,7 +83,7 @@ class EppRepository:
         """Install (or clear) the audit hook after construction."""
         self._audit_hook = hook
 
-    def _audit(self, day: int, operation: str, **details) -> None:
+    def _audit(self, day: int, operation: str, **details: object) -> None:
         if self._audit_hook is not None:
             self._audit_hook(day, operation, details)
 

@@ -15,6 +15,10 @@ derived from its outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.ecosystem.world import WorldResult
 
 from repro.faults.config import FaultConfig
 from repro.faults.injectors import (
@@ -75,7 +79,9 @@ class DegradedObservables:
         return survived / self.snapshots_total
 
 
-def degrade_world(world_result, config: FaultConfig, *, every: int = 7) -> DegradedObservables:
+def degrade_world(
+    world_result: "WorldResult", config: FaultConfig, *, every: int = 7
+) -> DegradedObservables:
     """Degraded observables for one :class:`~repro.ecosystem.world.WorldResult`.
 
     Rebuilds the zone database from a fault-injected snapshot stream

@@ -16,6 +16,8 @@ from repro.faults.config import FaultConfig
 from repro.faults.rng import stream_rng
 from repro.resolver.server import (
     NameserverBehavior,
+    QueryRecord,
+    RRType,
     SilentBehavior,
     TransientServerFailure,
 )
@@ -266,7 +268,7 @@ class FlakyBehavior(NameserverBehavior):
         self._rng = stream_rng(self.config.seed, f"ns.flaky:{self.host}")
 
     def handle(
-        self, day: int, qname: str, qtype, source_ip: str
+        self, day: int, qname: str, qtype: RRType, source_ip: str
     ) -> list[str] | None:
         config = self.config
         if not config.ns_faults_enabled:
@@ -292,7 +294,7 @@ class FlakyBehavior(NameserverBehavior):
             )
         return answer
 
-    def queries_for(self, qname: str):
+    def queries_for(self, qname: str) -> list[QueryRecord]:
         """Logged queries for one name (kept by the wrapped behaviour)."""
         return self.inner.queries_for(qname)
 

@@ -13,10 +13,21 @@ import hashlib
 import random
 
 
+def stable_hash(text: str) -> int:
+    """A 64-bit hash of ``text`` that is identical across processes.
+
+    Builtin ``hash()`` is randomized per process for str/bytes
+    (PYTHONHASHSEED), so any value derived from it breaks bit-level
+    reproducibility. Use this wherever a hash feeds simulation state or
+    serialized output.
+    """
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 def stream_rng(seed: int, name: str) -> random.Random:
     """A deterministic :class:`random.Random` for one named stream."""
-    digest = hashlib.sha256(f"{seed}:{name}".encode("utf-8")).digest()
-    return random.Random(int.from_bytes(digest[:8], "big"))
+    return random.Random(stable_hash(f"{seed}:{name}"))
 
 
 class FaultStreams:

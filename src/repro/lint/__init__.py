@@ -1,0 +1,56 @@
+"""``repro.lint``: two-layer static analysis for the reproduction.
+
+Engine 1 (:mod:`repro.lint.code_engine`) enforces determinism
+discipline on the Python tree — seeded named RNG streams, simtime-only
+clocks, order-stable iteration. Engine 2
+(:mod:`repro.lint.scenario_engine`) verifies EPP referential integrity
+(RFC 5731/5732) in scenario and world JSON before anything runs. Both
+share one diagnostic model, rule registry, pyproject config, and
+baseline-suppression file; ``riskybiz lint`` is the CLI front end.
+"""
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.code_engine import CodeContext, lint_code_source
+from repro.lint.config import LintConfig, load_config
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import (
+    RULES,
+    Rule,
+    catalogue,
+    code_checker,
+    rule,
+    scenario_checker,
+)
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import LintResult, run_lint
+from repro.lint.scenario_engine import (
+    WORLD_FORMAT,
+    ScenarioContext,
+    classify_document,
+    lint_scenario_data,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CodeContext",
+    "Diagnostic",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "ScenarioContext",
+    "Severity",
+    "WORLD_FORMAT",
+    "catalogue",
+    "classify_document",
+    "code_checker",
+    "lint_code_source",
+    "lint_scenario_data",
+    "load_config",
+    "render_json",
+    "render_text",
+    "rule",
+    "run_lint",
+    "scenario_checker",
+]

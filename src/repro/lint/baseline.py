@@ -1,0 +1,138 @@
+"""Baseline suppression: known findings, each with a written reason.
+
+The baseline is a checked-in JSON file listing findings that are
+accepted rather than fixed. Entries match diagnostics by ``(rule,
+path, symbol)`` — not line numbers — so they survive unrelated edits.
+Every entry must carry a non-empty ``reason``; an unexplained
+suppression is itself an error, which keeps the file honest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic
+
+#: Current baseline file format version.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        """The identity this entry suppresses."""
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON form."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Baseline:
+    """The set of accepted findings."""
+
+    entries: tuple[BaselineEntry, ...] = ()
+    _index: set[tuple[str, str, str]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._index = {entry.fingerprint for entry in self.entries}
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        """True if ``diagnostic`` matches a baseline entry."""
+        return diagnostic.fingerprint in self._index
+
+    def unused_entries(
+        self, diagnostics: Iterable[Diagnostic]
+    ) -> list[BaselineEntry]:
+        """Entries matching none of ``diagnostics`` (stale suppressions)."""
+        seen = {diag.fingerprint for diag in diagnostics}
+        return [e for e in self.entries if e.fingerprint not in seen]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{path}: baseline must be an object with 'entries'")
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ValueError(f"{path}: unsupported baseline version {version!r}")
+        entries: list[BaselineEntry] = []
+        for index, raw in enumerate(data["entries"]):
+            if not isinstance(raw, dict):
+                raise ValueError(f"{path}: entry {index} is not an object")
+            try:
+                entry = BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    symbol=raw.get("symbol", ""),
+                    reason=raw["reason"],
+                )
+            except KeyError as missing:
+                raise ValueError(
+                    f"{path}: entry {index} is missing {missing}"
+                ) from None
+            if not entry.reason.strip():
+                raise ValueError(
+                    f"{path}: entry {index} ({entry.rule} at {entry.path}) "
+                    "has an empty reason — every suppression must be justified"
+                )
+            entries.append(entry)
+        return cls(entries=tuple(entries))
+
+    def save(self, path: Path) -> None:
+        """Write the baseline, sorted for stable diffs."""
+        ordered = sorted(self.entries, key=lambda e: e.fingerprint)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_dict() for entry in ordered],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_diagnostics(
+        cls,
+        diagnostics: Iterable[Diagnostic],
+        reason: str = "recorded by --write-baseline; replace with a real justification",
+    ) -> "Baseline":
+        """A baseline accepting every given diagnostic (deduplicated)."""
+        entries: dict[tuple[str, str, str], BaselineEntry] = {}
+        for diag in diagnostics:
+            entries[diag.fingerprint] = BaselineEntry(
+                rule=diag.rule_id,
+                path=diag.path,
+                symbol=diag.symbol,
+                reason=reason,
+            )
+        return cls(entries=tuple(entries.values()))
+
+    def merged_with(self, other: "Baseline") -> "Baseline":
+        """This baseline plus ``other``'s entries (other wins on clashes)."""
+        merged: dict[tuple[str, str, str], BaselineEntry] = {
+            entry.fingerprint: entry for entry in self.entries
+        }
+        for entry in other.entries:
+            merged[entry.fingerprint] = entry
+        return Baseline(entries=tuple(merged.values()))

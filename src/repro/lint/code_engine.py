@@ -1,0 +1,486 @@
+"""Engine 1: determinism discipline, enforced statically on the AST.
+
+The reproduction's headline numbers depend on bit-identical reruns, so
+every stochastic or time-dependent code path must draw from seeded,
+named RNG streams and ``repro.simtime``. These rules catch the ways
+that discipline silently erodes:
+
+========  =======================  ==========================================
+DET000    parse-error              file could not be parsed
+DET001    unseeded-rng             global/unseeded ``random`` use
+DET002    wall-clock               ``time.time()``/``datetime.now()`` reads
+DET003    fault-stream-rng         fault layer bypassing the stream registry
+DET004    set-iteration            set iteration order reaching ordered output
+DET005    float-equality           ``==``/``!=`` against float literals
+DET006    mutable-default          mutable default argument values
+DET007    process-hash             builtin ``hash()`` outside ``__hash__``
+========  =======================  ==========================================
+
+Checks are deliberately syntactic (no type inference beyond local
+set-literal tracking): they over-approximate rarely and every accepted
+over-approximation goes in the baseline with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import code_checker, make, rule
+
+rule("DET000", "parse-error", "code", "file could not be parsed as Python")
+rule(
+    "DET001", "unseeded-rng", "code",
+    "unseeded random.Random() or module-level random.* call",
+)
+rule(
+    "DET002", "wall-clock", "code",
+    "wall-clock read (time.time/datetime.now); use repro.simtime",
+)
+rule(
+    "DET003", "fault-stream-rng", "code",
+    "fault-layer RNG constructed directly; use repro.faults.rng.stream_rng",
+)
+rule(
+    "DET004", "set-iteration", "code",
+    "iteration over a set where order can leak into output",
+)
+rule(
+    "DET005", "float-equality", "code",
+    "float literal compared with == / != in analysis code",
+)
+rule(
+    "DET006", "mutable-default", "code",
+    "mutable default argument value",
+)
+rule(
+    "DET007", "process-hash", "code",
+    "builtin hash() varies per process (PYTHONHASHSEED); use a stable digest",
+)
+
+#: Functions on the ``random`` module that draw from the shared global RNG.
+_MODULE_RNG_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "binomialvariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "randbytes", "seed",
+})
+
+#: ``time`` module functions that read the wall clock.
+_TIME_FNS = frozenset({"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"})
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors of "now".
+_DATETIME_NOW = frozenset({"now", "today", "utcnow"})
+_DATE_NOW = frozenset({"today"})
+
+#: Builtin calls that materialize their argument's iteration order.
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+
+@dataclass(frozen=True)
+class CodeContext:
+    """Where a module sits, and which path-scoped rules apply to it."""
+
+    path: str
+    config: LintConfig
+
+    @property
+    def in_analysis(self) -> bool:
+        """True under a path where float equality is forbidden."""
+        return self.config.path_in(self.path, self.config.analysis_paths)
+
+    @property
+    def in_faults(self) -> bool:
+        """True under the fault-injection layer."""
+        return self.config.path_in(self.path, self.config.fault_paths)
+
+    @property
+    def is_rng_module(self) -> bool:
+        """True for the module(s) allowed to build stream RNGs directly."""
+        return self.path in self.config.fault_rng_modules
+
+
+@dataclass
+class _Aliases:
+    """Import bindings relevant to the determinism rules."""
+
+    random_modules: set[str] = field(default_factory=set)
+    random_functions: set[str] = field(default_factory=set)
+    random_class: set[str] = field(default_factory=set)
+    time_modules: set[str] = field(default_factory=set)
+    time_functions: set[str] = field(default_factory=set)
+    datetime_modules: set[str] = field(default_factory=set)
+    #: local name -> "datetime" | "date"
+    datetime_classes: dict[str, str] = field(default_factory=dict)
+
+
+def _collect_aliases(tree: ast.Module) -> _Aliases:
+    aliases = _Aliases()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                if name.name == "random":
+                    aliases.random_modules.add(local)
+                elif name.name == "time":
+                    aliases.time_modules.add(local)
+                elif name.name == "datetime":
+                    aliases.datetime_modules.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                for name in node.names:
+                    local = name.asname or name.name
+                    if name.name == "Random":
+                        aliases.random_class.add(local)
+                    elif name.name in _MODULE_RNG_FNS:
+                        aliases.random_functions.add(local)
+            elif node.module == "time":
+                for name in node.names:
+                    if name.name in _TIME_FNS:
+                        aliases.time_functions.add(name.asname or name.name)
+            elif node.module == "datetime":
+                for name in node.names:
+                    if name.name in ("datetime", "date"):
+                        aliases.datetime_classes[name.asname or name.name] = name.name
+    return aliases
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    """One traversal applying every determinism rule."""
+
+    def __init__(self, ctx: CodeContext, aliases: _Aliases) -> None:
+        self.ctx = ctx
+        self.aliases = aliases
+        self.diagnostics: list[Diagnostic] = []
+        self._symbols: list[str] = []
+        #: Per-function scopes mapping local names to "is set-valued".
+        self._set_scopes: list[dict[str, bool]] = [{}]
+
+    # -- helpers -----------------------------------------------------------
+
+    @property
+    def symbol(self) -> str:
+        return ".".join(self._symbols) if self._symbols else "<module>"
+
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.diagnostics.append(
+            make(
+                rule_id,
+                self.ctx.path,
+                getattr(node, "lineno", 0),
+                getattr(node, "col_offset", 0),
+                message,
+                self.symbol,
+            )
+        )
+
+    def _is_setish(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setish(node.left) or self._is_setish(node.right)
+        if isinstance(node, ast.Name):
+            for scope in reversed(self._set_scopes):
+                if node.id in scope:
+                    return scope[node.id]
+        return False
+
+    def _describe(self, node: ast.expr) -> str:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            return "expression"
+        return text if len(text) <= 40 else text[:37] + "..."
+
+    # -- scope / symbol bookkeeping ---------------------------------------
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._symbols.append(node.name)
+        self._set_scopes.append({})
+        self.generic_visit(node)
+        self._set_scopes.pop()
+        self._symbols.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._symbols.append(node.name)
+        self.generic_visit(node)
+        self._symbols.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            self._set_scopes[-1][node.targets[0].id] = self._is_setish(node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            self._set_scopes[-1][node.target.id] = self._is_setish(node.value)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name) and self._is_setish(node.value):
+            self._set_scopes[-1][node.target.id] = True
+        self.generic_visit(node)
+
+    # -- DET001 / DET002 / DET003 / DET007: calls --------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_random_call(node)
+        self._check_wall_clock(node)
+        self._check_hash(node)
+        self._check_order_sensitive_call(node)
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call) -> None:
+        func = node.func
+        is_random_ctor = False
+        if isinstance(func, ast.Name) and func.id in self.aliases.random_class:
+            is_random_ctor = True
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.aliases.random_modules
+        ):
+            if func.attr == "Random" or func.attr == "SystemRandom":
+                is_random_ctor = True
+            elif func.attr in _MODULE_RNG_FNS:
+                self._emit(
+                    "DET001", node,
+                    f"random.{func.attr}() draws from the shared global RNG; "
+                    "use a seeded random.Random or a named stream",
+                )
+                return
+        if isinstance(func, ast.Name) and func.id in self.aliases.random_functions:
+            self._emit(
+                "DET001", node,
+                f"{func.id}() (from random) draws from the shared global RNG; "
+                "use a seeded random.Random or a named stream",
+            )
+            return
+        if not is_random_ctor:
+            return
+        if not node.args and not node.keywords:
+            self._emit(
+                "DET001", node,
+                "random.Random() without a seed is wall-entropy seeded; "
+                "pass an explicit seed",
+            )
+        elif self.ctx.in_faults and not self.ctx.is_rng_module:
+            self._emit(
+                "DET003", node,
+                "fault-layer code must obtain RNGs from "
+                "repro.faults.rng.stream_rng / FaultStreams, not construct "
+                "random.Random directly (cross-stream independence)",
+            )
+
+    def _check_wall_clock(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self.aliases.time_functions:
+            self._emit(
+                "DET002", node,
+                f"{func.id}() (from time) reads the wall clock; "
+                "simulation code must use repro.simtime day indices",
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in self.aliases.time_modules and func.attr in _TIME_FNS:
+                self._emit(
+                    "DET002", node,
+                    f"time.{func.attr}() reads the wall clock; "
+                    "simulation code must use repro.simtime day indices",
+                )
+                return
+            cls = self.aliases.datetime_classes.get(base.id)
+            if cls == "datetime" and func.attr in _DATETIME_NOW:
+                self._emit(
+                    "DET002", node,
+                    f"datetime.{func.attr}() reads the wall clock; "
+                    "use repro.simtime.to_date(day) instead",
+                )
+                return
+            if cls == "date" and func.attr in _DATE_NOW:
+                self._emit(
+                    "DET002", node,
+                    "date.today() reads the wall clock; "
+                    "use repro.simtime.to_date(day) instead",
+                )
+                return
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self.aliases.datetime_modules
+        ):
+            if base.attr == "datetime" and func.attr in _DATETIME_NOW:
+                self._emit(
+                    "DET002", node,
+                    f"datetime.datetime.{func.attr}() reads the wall clock; "
+                    "use repro.simtime.to_date(day) instead",
+                )
+            elif base.attr == "date" and func.attr in _DATE_NOW:
+                self._emit(
+                    "DET002", node,
+                    "datetime.date.today() reads the wall clock; "
+                    "use repro.simtime.to_date(day) instead",
+                )
+
+    def _check_hash(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "hash"):
+            return
+        if "__hash__" in self._symbols:
+            return  # defining object identity in-process is the one valid use
+        self._emit(
+            "DET007", node,
+            "builtin hash() is randomized per process for str/bytes "
+            "(PYTHONHASHSEED); derive values from a stable digest such as "
+            "repro.faults.rng.stable_hash",
+        )
+
+    def _check_order_sensitive_call(self, node: ast.Call) -> None:
+        func = node.func
+        sink: str | None = None
+        if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_BUILTINS:
+            sink = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            sink = "join"
+        if sink is None or not node.args:
+            return
+        arg = node.args[0]
+        if self._is_setish(arg):
+            self._emit(
+                "DET004", node,
+                f"{sink}() materializes the iteration order of a set "
+                f"({self._describe(arg)}); wrap it in sorted()",
+            )
+
+    # -- DET004: loops and comprehensions ----------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self._is_setish(iter_node):
+            self._emit(
+                "DET004", iter_node,
+                f"iterating a set ({self._describe(iter_node)}) leaks "
+                "hash-randomized order into the result; wrap it in sorted()",
+            )
+
+    # -- DET005: float equality ---------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.ctx.in_analysis:
+            operands = [node.left, *node.comparators]
+            has_float = any(
+                isinstance(op, ast.Constant) and isinstance(op.value, float)
+                for op in operands
+            )
+            has_eq = any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops)
+            if has_float and has_eq:
+                self._emit(
+                    "DET005", node,
+                    "exact ==/!= against a float literal in analysis code; "
+                    "use math.isclose or an integer representation",
+                )
+        self.generic_visit(node)
+
+    # -- DET006: mutable defaults -------------------------------------------
+
+    def _check_mutable_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        defaults: list[ast.expr] = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set")
+            )
+            if mutable:
+                self._emit(
+                    "DET006", default,
+                    f"mutable default argument in {node.name}(); defaults are "
+                    "shared across calls — use None and create inside",
+                )
+
+
+@code_checker
+def check_determinism(tree: ast.Module, ctx: CodeContext) -> list[Diagnostic]:
+    """The built-in determinism rule pack (DET001–DET007)."""
+    visitor = _DeterminismVisitor(ctx, _collect_aliases(tree))
+    visitor.visit(tree)
+    return visitor.diagnostics
+
+
+def lint_code_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> list[Diagnostic]:
+    """Lint one module's source text; ``path`` scopes path-based rules."""
+    from repro.lint.registry import CODE_CHECKERS
+
+    cfg = config or LintConfig()
+    ctx = CodeContext(path=path, config=cfg)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            make(
+                "DET000", path, error.lineno or 0, error.offset or 0,
+                f"could not parse: {error.msg}", "<module>",
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for checker in CODE_CHECKERS:
+        diagnostics.extend(checker(tree, ctx))
+    return diagnostics
+
+
+def lint_code_file(
+    file_path: Path, rel_path: str, config: LintConfig
+) -> list[Diagnostic]:
+    """Lint one ``.py`` file on disk."""
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return [make("DET000", rel_path, 0, 0, f"could not read: {error}")]
+    return lint_code_source(source, rel_path, config)
+
+
+def iter_python_sources(root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``root`` (sorted for stable output)."""
+    yield from sorted(root.rglob("*.py"))

@@ -1,0 +1,57 @@
+"""Reporters: render a lint run as text (human) or JSON (CI tooling)."""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.lint.diagnostics import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.runner import LintResult
+
+
+def render_text(result: "LintResult") -> str:
+    """Human-readable report: one line per finding, then a summary."""
+    lines: list[str] = []
+    for diag in sorted(result.diagnostics, key=lambda d: d.sort_key()):
+        marker = "warning" if diag.severity is Severity.WARNING else "error"
+        lines.append(f"{diag.render()}  ({marker})")
+    errors = sum(
+        1 for d in result.diagnostics if d.severity is Severity.ERROR
+    )
+    warnings = len(result.diagnostics) - errors
+    summary = (
+        f"{result.files_scanned} file(s) scanned: "
+        f"{errors} error(s), {warnings} warning(s), "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.stale_baseline_entries:
+        summary += f", {len(result.stale_baseline_entries)} stale baseline entr(ies)"
+    lines.append(summary)
+    for entry in result.stale_baseline_entries:
+        lines.append(
+            f"stale baseline entry: {entry.rule} at {entry.path} "
+            f"[{entry.symbol}] — finding no longer occurs; remove it"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: "LintResult") -> str:
+    """Machine-readable report (stable key order)."""
+    payload = {
+        "files_scanned": result.files_scanned,
+        "diagnostics": [
+            d.to_dict()
+            for d in sorted(result.diagnostics, key=lambda d: d.sort_key())
+        ],
+        "baselined": [
+            d.to_dict()
+            for d in sorted(result.baselined, key=lambda d: d.sort_key())
+        ],
+        "stale_baseline_entries": [
+            entry.to_dict() for entry in result.stale_baseline_entries
+        ],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

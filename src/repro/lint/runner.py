@@ -1,0 +1,125 @@
+"""The lint runner: walk paths, dispatch engines, apply the baseline.
+
+``run_lint`` is the single entry point behind both the ``riskybiz
+lint`` subcommand and the test suite. Python files go through the code
+engine, JSON files through the scenario engine; findings are filtered
+by ``select``/``ignore``, split into new vs. baselined, and the exit
+code is 1 exactly when a non-baselined ERROR remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.code_engine import lint_code_file
+from repro.lint.config import LintConfig, load_config
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import validate_rule_ids
+from repro.lint.scenario_engine import lint_scenario_file
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    baselined: list[Diagnostic] = field(default_factory=list)
+    stale_baseline_entries: list[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """Non-baselined findings that fail the run."""
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def exit_code(self) -> int:
+        """1 when any non-baselined error remains, else 0."""
+        return 1 if self.errors else 0
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        """Non-baselined findings for one rule (test helper)."""
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _iter_lintable(paths: Iterable[Path], config: LintConfig) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        candidates: Iterable[Path]
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*") if p.suffix in (".py", ".json")
+            )
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if config.is_excluded(_relativize(candidate, config.root)):
+                continue
+            yield candidate
+
+
+def run_lint(
+    paths: Iterable[Path | str],
+    *,
+    root: Path | str | None = None,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+    use_baseline: bool = True,
+    select: Iterable[str] = (),
+    ignore: Iterable[str] = (),
+) -> LintResult:
+    """Lint ``paths`` and return the partitioned findings.
+
+    ``select``/``ignore`` extend (not replace) the pyproject config;
+    passing ``use_baseline=False`` reports every finding as new.
+    """
+    cfg = config or load_config(root)
+    extra_select = tuple(select)
+    extra_ignore = tuple(ignore)
+    validate_rule_ids(extra_select + extra_ignore + cfg.select + cfg.ignore)
+    if baseline is None and use_baseline:
+        baseline = Baseline.load(cfg.baseline_path())
+    elif baseline is None:
+        baseline = Baseline()
+
+    result = LintResult()
+    all_diagnostics: list[Diagnostic] = []
+    for file_path in _iter_lintable((Path(p) for p in paths), cfg):
+        rel = _relativize(file_path, cfg.root)
+        result.files_scanned += 1
+        if file_path.suffix == ".py":
+            found = lint_code_file(file_path, rel, cfg)
+        else:
+            found = lint_scenario_file(file_path, rel, cfg)
+        for diag in found:
+            if not cfg.rule_enabled(diag.rule_id):
+                continue
+            if extra_ignore and diag.rule_id in extra_ignore:
+                continue
+            if extra_select and diag.rule_id not in extra_select:
+                continue
+            all_diagnostics.append(diag)
+
+    for diag in all_diagnostics:
+        if baseline.suppresses(diag):
+            result.baselined.append(diag)
+        else:
+            result.diagnostics.append(diag)
+    result.stale_baseline_entries = baseline.unused_entries(all_diagnostics)
+    return result

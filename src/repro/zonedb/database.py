@@ -151,7 +151,7 @@ class _PresenceHistory:
 
     def keys(self) -> Iterator[str]:
         seen = set(self._closed) | set(self._open)
-        return iter(seen)
+        return iter(sorted(seen))
 
 
 class ZoneDatabase:
@@ -205,9 +205,9 @@ class ZoneDatabase:
         old_set = self._current.get(domain_text, frozenset())
         if new_set == old_set:
             return
-        for ns in old_set - new_set:
+        for ns in sorted(old_set - new_set):
             self._close_pair(domain_text, ns, day)
-        for ns in new_set - old_set:
+        for ns in sorted(new_set - old_set):
             self._open_pair(domain_text, ns, day)
         self._current[domain_text] = new_set
         self._domain_presence.open(domain_text, day)
@@ -308,7 +308,7 @@ class ZoneDatabase:
             if host.endswith(suffix) and host not in glue_now:
                 if self._glue.is_present(host, day):
                     self.remove_glue(day, host)
-        for host in glue_now:
+        for host in sorted(glue_now):
             try:
                 self.set_glue(day, host)
             except NameError_:

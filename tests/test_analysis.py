@@ -38,7 +38,7 @@ class TestStudyCore:
     def test_namecheap_excluded(self, study, world):
         accidental = {r.new_name for r in world.log.renames if r.accidental}
         assert accidental
-        for name in accidental:
+        for name in sorted(accidental):
             assert name not in study.nameservers
         assert len(study.excluded) == len(accidental)
 

@@ -1,0 +1,333 @@
+"""Code lint engine: per-rule positives/negatives and the CLI gate."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    lint_code_source,
+    run_lint,
+)
+from repro.lint.baseline import BaselineEntry
+from repro.lint.registry import RULES, validate_rule_ids
+
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def rule_ids(source: str, path: str = "src/repro/example.py") -> list[str]:
+    diags = lint_code_source(textwrap.dedent(source), path, LintConfig())
+    return [d.rule_id for d in diags]
+
+
+class TestUnseededRng:
+    def test_module_level_random_flagged(self):
+        assert rule_ids("import random\nrandom.random()\n") == ["DET001"]
+
+    def test_module_level_choice_flagged(self):
+        assert rule_ids("import random\nrandom.choice([1, 2])\n") == ["DET001"]
+
+    def test_from_import_function_flagged(self):
+        assert rule_ids(
+            "from random import shuffle\nshuffle([1, 2])\n"
+        ) == ["DET001"]
+
+    def test_unseeded_random_instance_flagged(self):
+        assert rule_ids("import random\nrng = random.Random()\n") == ["DET001"]
+
+    def test_unseeded_from_import_class_flagged(self):
+        assert rule_ids("from random import Random\nrng = Random()\n") == [
+            "DET001"
+        ]
+
+    def test_seeded_instance_clean(self):
+        assert rule_ids("import random\nrng = random.Random(42)\n") == []
+
+    def test_aliased_module_tracked(self):
+        assert rule_ids("import random as rnd\nrnd.randint(0, 9)\n") == [
+            "DET001"
+        ]
+
+    def test_method_on_instance_clean(self):
+        source = """
+        import random
+
+        def draw(rng: random.Random) -> float:
+            return rng.random()
+        """
+        assert rule_ids(source) == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rule_ids("import time\nt = time.time()\n") == ["DET002"]
+
+    def test_from_import_time_flagged(self):
+        assert rule_ids("from time import time\nt = time()\n") == ["DET002"]
+
+    def test_datetime_now_flagged(self):
+        assert rule_ids(
+            "from datetime import datetime\nd = datetime.now()\n"
+        ) == ["DET002"]
+
+    def test_module_qualified_now_flagged(self):
+        assert rule_ids(
+            "import datetime\nd = datetime.datetime.now()\n"
+        ) == ["DET002"]
+
+    def test_date_today_flagged(self):
+        assert rule_ids("from datetime import date\nd = date.today()\n") == [
+            "DET002"
+        ]
+
+    def test_monotonic_clean(self):
+        assert rule_ids("import time\nt = time.monotonic()\n") == []
+
+    def test_constructed_datetime_clean(self):
+        assert rule_ids(
+            "import datetime\nd = datetime.date(2011, 4, 1)\n"
+        ) == []
+
+
+class TestFaultStreamRng:
+    def test_seeded_random_in_fault_layer_flagged(self):
+        assert rule_ids(
+            "import random\nrng = random.Random(7)\n",
+            path="src/repro/faults/drops.py",
+        ) == ["DET003"]
+
+    def test_rng_module_itself_exempt(self):
+        assert rule_ids(
+            "import random\nrng = random.Random(7)\n",
+            path="src/repro/faults/rng.py",
+        ) == []
+
+    def test_seeded_random_outside_fault_layer_clean(self):
+        assert rule_ids(
+            "import random\nrng = random.Random(7)\n",
+            path="src/repro/ecosystem/world.py",
+        ) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rule_ids("for x in {1, 2, 3}:\n    print(x)\n") == ["DET004"]
+
+    def test_for_over_tracked_set_name_flagged(self):
+        source = """
+        def emit(items):
+            seen = set(items)
+            return [x for x in seen]
+        """
+        assert rule_ids(source) == ["DET004"]
+
+    def test_set_difference_flagged(self):
+        source = """
+        def diff(a, b):
+            for x in set(a) - set(b):
+                print(x)
+        """
+        assert rule_ids(source) == ["DET004"]
+
+    def test_list_of_set_flagged(self):
+        assert rule_ids("names = list({'a', 'b'})\n") == ["DET004"]
+
+    def test_join_of_set_flagged(self):
+        assert rule_ids("text = ','.join({'a', 'b'})\n") == ["DET004"]
+
+    def test_sorted_set_clean(self):
+        assert rule_ids("for x in sorted({1, 2, 3}):\n    print(x)\n") == []
+
+    def test_for_over_list_clean(self):
+        assert rule_ids("for x in [3, 1, 2]:\n    print(x)\n") == []
+
+    def test_membership_test_clean(self):
+        source = """
+        def keep(items, allowed):
+            allowed_set = set(allowed)
+            return [x for x in items if x in allowed_set]
+        """
+        assert rule_ids(source) == []
+
+
+class TestFloatEquality:
+    ANALYSIS = "src/repro/analysis/tables.py"
+
+    def test_eq_against_float_flagged_in_analysis(self):
+        assert rule_ids("ok = rate == 0.25\n", path=self.ANALYSIS) == [
+            "DET005"
+        ]
+
+    def test_neq_against_float_flagged_in_analysis(self):
+        assert rule_ids("ok = 0.5 != rate\n", path=self.ANALYSIS) == ["DET005"]
+
+    def test_inequality_clean_in_analysis(self):
+        assert rule_ids("ok = rate <= 0.25\n", path=self.ANALYSIS) == []
+
+    def test_int_equality_clean_in_analysis(self):
+        assert rule_ids("ok = count == 3\n", path=self.ANALYSIS) == []
+
+    def test_float_eq_outside_analysis_not_flagged(self):
+        assert rule_ids("ok = rate == 0.25\n") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert rule_ids("def f(items=[]):\n    return items\n") == ["DET006"]
+
+    def test_dict_call_default_flagged(self):
+        assert rule_ids("def f(table=dict()):\n    return table\n") == [
+            "DET006"
+        ]
+
+    def test_kwonly_set_default_flagged(self):
+        assert rule_ids("def f(*, seen={1}):\n    return seen\n") == ["DET006"]
+
+    def test_none_default_clean(self):
+        assert rule_ids("def f(items=None):\n    return items or []\n") == []
+
+    def test_tuple_default_clean(self):
+        assert rule_ids("def f(items=()):\n    return items\n") == []
+
+
+class TestProcessHash:
+    def test_hash_call_flagged(self):
+        assert rule_ids("key = hash('example.com')\n") == ["DET007"]
+
+    def test_hash_inside_dunder_hash_exempt(self):
+        source = """
+        class Name:
+            def __hash__(self):
+                return hash(self.text)
+        """
+        assert rule_ids(source) == []
+
+    def test_stable_hash_clean(self):
+        assert rule_ids(
+            "from repro.faults.rng import stable_hash\n"
+            "key = stable_hash('example.com')\n"
+        ) == []
+
+
+class TestParseError:
+    def test_syntax_error_reported_as_det000(self):
+        assert rule_ids("def broken(:\n") == ["DET000"]
+
+
+class TestCatalogue:
+    def test_rule_ids_consistent(self):
+        validate_rule_ids(RULES)
+        with pytest.raises(ValueError):
+            validate_rule_ids(["DET999"])
+
+    def test_every_det_rule_documented(self):
+        for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
+                        "DET006", "DET007"):
+            assert rule_id in RULES
+            assert RULES[rule_id].engine == "code"
+
+
+class TestRunner:
+    def test_runner_scans_tree_and_baselines(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        (tmp_path / "good.py").write_text("VALUE = 3\n", encoding="utf-8")
+        result = run_lint([tmp_path], root=tmp_path)
+        assert [d.rule_id for d in result.diagnostics] == ["DET001"]
+        assert result.exit_code == 1
+
+        baseline = Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="DET001",
+                    path="bad.py",
+                    symbol="<module>",
+                    reason="fixture exercising the baseline",
+                )
+            ]
+        )
+        baseline.save(tmp_path / "lint-baseline.json")
+        rebased = run_lint([tmp_path], root=tmp_path)
+        assert rebased.diagnostics == []
+        assert len(rebased.baselined) == 1
+        assert rebased.exit_code == 0
+
+    def test_stale_baseline_entries_reported(self, tmp_path):
+        (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+        Baseline(
+            entries=[
+                BaselineEntry(
+                    rule="DET001",
+                    path="gone.py",
+                    symbol="<module>",
+                    reason="no longer exists",
+                )
+            ]
+        ).save(tmp_path / "lint-baseline.json")
+        result = run_lint([tmp_path], root=tmp_path)
+        assert len(result.stale_baseline_entries) == 1
+        assert result.exit_code == 0
+
+
+class TestCli:
+    def _run(self, args: list[str], cwd: Path) -> subprocess.CompletedProcess:
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            cwd=cwd, env=env, capture_output=True, text=True,
+        )
+
+    def test_cli_fails_on_violating_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nt = time.time()\n", encoding="utf-8"
+        )
+        proc = self._run(["lint", "bad.py"], cwd=tmp_path)
+        assert proc.returncode == 1
+        assert "DET002" in proc.stdout
+
+    def test_cli_passes_on_repo_tree(self):
+        proc = self._run(["lint", "src", "tests"], cwd=REPO_ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 error(s)" in proc.stdout
+
+    def test_cli_json_format(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "key = hash('x')\n", encoding="utf-8"
+        )
+        proc = self._run(["lint", "--format", "json", "bad.py"], cwd=tmp_path)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert [d["rule"] for d in payload["diagnostics"]] == ["DET007"]
+
+    def test_cli_select_filters_rules(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\nt = time.time()\nkey = hash('x')\n",
+            encoding="utf-8",
+        )
+        proc = self._run(
+            ["lint", "--select", "DET007", "bad.py"], cwd=tmp_path
+        )
+        assert proc.returncode == 1
+        assert "DET007" in proc.stdout
+        assert "DET002" not in proc.stdout
+
+    def test_cli_write_baseline_then_clean(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        recorded = self._run(["lint", "--write-baseline", "bad.py"], cwd=tmp_path)
+        assert recorded.returncode == 0
+        assert (tmp_path / "lint-baseline.json").exists()
+        proc = self._run(["lint", "bad.py"], cwd=tmp_path)
+        assert proc.returncode == 0
+        assert "1 baselined" in proc.stdout

@@ -1,0 +1,380 @@
+"""Scenario lint engine: seeded-violation fixtures and export round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecosystem.config import default_scenario
+from repro.ecosystem.scenario_io import (
+    save_world,
+    scenario_to_dict,
+    world_to_dict,
+)
+from repro.lint import WORLD_FORMAT, classify_document, lint_scenario_data
+from repro.lint.diagnostics import Severity
+
+
+@pytest.fixture(scope="module")
+def small_world_result(tiny_bundle):
+    """The shared tiny world's result, exported/linted read-only here."""
+    return tiny_bundle.world
+
+
+def world_doc(**overrides) -> dict:
+    """A minimal, violation-free world dump to seed violations into."""
+    doc = {
+        "format": WORLD_FORMAT,
+        "ingest_policy": {"gap_bridge_days": 0, "strict": False},
+        "faults": None,
+        "repositories": [
+            {"operator": "sim-verisign", "tlds": ["com", "net"]},
+            {"operator": "sim-neustar", "tlds": ["biz", "us"]},
+        ],
+        "hosts": [],
+        "domains": [],
+        "renames": [],
+    }
+    doc.update(overrides)
+    return doc
+
+
+def lint(doc: dict) -> list:
+    return lint_scenario_data(doc, "world.json")
+
+
+def rule_ids(doc: dict) -> list[str]:
+    return [d.rule_id for d in lint(doc)]
+
+
+class TestClassification:
+    def test_world_recognized(self):
+        assert classify_document(world_doc()) == "world"
+
+    def test_scenario_recognized(self):
+        assert classify_document(scenario_to_dict(default_scenario(1))) == (
+            "scenario"
+        )
+
+    def test_unrelated_json_skipped(self):
+        assert classify_document({"widgets": []}) is None
+        assert lint({"widgets": []}) == []
+
+    def test_clean_minimal_world(self):
+        assert rule_ids(world_doc()) == []
+
+
+class TestDanglingHostReference:
+    def test_missing_host_object_is_scn101(self):
+        doc = world_doc(
+            domains=[
+                {
+                    "name": "example.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [
+                        {"ns": "ns1.missing.com", "intervals": [[0, 100]]}
+                    ],
+                }
+            ],
+        )
+        diags = lint(doc)
+        assert [d.rule_id for d in diags] == ["SCN101"]
+        assert diags[0].symbol == "example.com"
+
+    def test_host_closing_mid_delegation_is_scn101(self):
+        doc = world_doc(
+            hosts=[
+                {
+                    "name": "ns1.gone.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, 50]],
+                }
+            ],
+            domains=[
+                {
+                    "name": "example.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [
+                        {"ns": "ns1.gone.com", "intervals": [[0, 100]]}
+                    ],
+                }
+            ],
+        )
+        assert rule_ids(doc) == ["SCN101"]
+
+    def test_same_name_other_repository_does_not_satisfy(self):
+        # The paper's cross-repository point: an external object in
+        # another repository is NOT the host object this domain's NS
+        # reference resolves to.
+        doc = world_doc(
+            hosts=[
+                {
+                    "name": "ns1.other.com",
+                    "repository": "sim-neustar",
+                    "intervals": [[0, None]],
+                }
+            ],
+            domains=[
+                {
+                    "name": "example.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [
+                        {"ns": "ns1.other.com", "intervals": [[0, 100]]}
+                    ],
+                }
+            ],
+        )
+        assert rule_ids(doc) == ["SCN101"]
+
+    def test_covered_delegation_clean(self):
+        doc = world_doc(
+            hosts=[
+                {
+                    "name": "ns1.alive.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                }
+            ],
+            domains=[
+                {
+                    "name": "example.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [
+                        {"ns": "ns1.alive.com", "intervals": [[5, 100]]}
+                    ],
+                }
+            ],
+        )
+        assert rule_ids(doc) == []
+
+
+def _deletion_world(purge_days: list[int]) -> dict:
+    """zoninu.com ends on day 50 while ns1.zoninu.com serves victim.com."""
+    return world_doc(
+        hosts=[
+            {
+                "name": "ns1.zoninu.com",
+                "repository": "sim-verisign",
+                "intervals": [[0, None]],
+            }
+        ],
+        domains=[
+            {
+                "name": "zoninu.com",
+                "repository": "sim-verisign",
+                "intervals": [[0, 50]],
+                "purge_days": purge_days,
+                "delegations": [
+                    {"ns": "ns1.zoninu.com", "intervals": [[0, 50]]}
+                ],
+            },
+            {
+                "name": "victim.com",
+                "repository": "sim-verisign",
+                "intervals": [[0, None]],
+                "purge_days": [],
+                "delegations": [
+                    {"ns": "ns1.zoninu.com", "intervals": [[10, 200]]}
+                ],
+            },
+        ],
+    )
+
+
+class TestDeleteWithLinkedHosts:
+    def test_delete_leaving_linked_subordinate_is_scn102(self):
+        diags = lint(_deletion_world(purge_days=[]))
+        assert [d.rule_id for d in diags] == ["SCN102"]
+        assert diags[0].symbol == "zoninu.com"
+        assert diags[0].severity is Severity.ERROR
+
+    def test_registry_purge_is_scn107_warning(self):
+        diags = lint(_deletion_world(purge_days=[50]))
+        assert [d.rule_id for d in diags] == ["SCN107"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_subordinate_closed_before_delete_clean(self):
+        # The sacrificial-rename workaround: the host name is gone by
+        # deletion day, so nothing is left linked.
+        doc = _deletion_world(purge_days=[])
+        doc["hosts"][0]["intervals"] = [[0, 40]]
+        doc["domains"][1]["delegations"][0]["intervals"] = [[10, 40]]
+        doc["domains"][0]["delegations"][0]["intervals"] = [[0, 40]]
+        assert rule_ids(doc) == []
+
+
+class TestSacrificialRename:
+    def _rename(self, new: str) -> dict:
+        return world_doc(
+            renames=[
+                {
+                    "day": 30,
+                    "old": "ns1.zoninu.biz",
+                    "new": new,
+                    "repository": "sim-neustar",
+                    "registrar": "registrar-1",
+                    "sacrificial": True,
+                }
+            ],
+        )
+
+    def test_in_repository_target_is_scn103(self):
+        diags = lint(self._rename("dropped-h8k2.biz"))
+        assert [d.rule_id for d in diags] == ["SCN103"]
+        assert diags[0].symbol == "dropped-h8k2.biz"
+
+    def test_out_of_repository_target_clean(self):
+        assert rule_ids(self._rename("dropped-h8k2.com")) == []
+
+    def test_non_sacrificial_rename_not_checked(self):
+        doc = self._rename("renamed.biz")
+        doc["renames"][0]["sacrificial"] = False
+        assert rule_ids(doc) == []
+
+
+class TestIntervalHygiene:
+    def _delegation_world(self, intervals, gap_bridge_days=0) -> dict:
+        return world_doc(
+            ingest_policy={"gap_bridge_days": gap_bridge_days, "strict": False},
+            hosts=[
+                {
+                    "name": "ns1.foo.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                }
+            ],
+            domains=[
+                {
+                    "name": "example.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [
+                        {"ns": "ns1.foo.com", "intervals": intervals}
+                    ],
+                }
+            ],
+        )
+
+    def test_overlapping_intervals_is_scn104(self):
+        diags = lint(self._delegation_world([[0, 100], [50, 150]]))
+        assert [d.rule_id for d in diags] == ["SCN104"]
+        assert diags[0].symbol == "example.com"
+
+    def test_disjoint_intervals_clean(self):
+        assert rule_ids(self._delegation_world([[0, 50], [80, 150]])) == []
+
+    def test_gap_within_bridge_window_is_scn105(self):
+        doc = self._delegation_world([[0, 10], [13, 20]], gap_bridge_days=5)
+        assert rule_ids(doc) == ["SCN105"]
+
+    def test_gap_beyond_bridge_window_clean(self):
+        doc = self._delegation_world([[0, 10], [40, 50]], gap_bridge_days=5)
+        assert rule_ids(doc) == []
+
+
+class TestFaultConfigRule:
+    def test_out_of_range_rate_is_scn106(self):
+        doc = world_doc(faults={"seed": 1, "snapshot_drop_rate": 1.5})
+        assert "SCN106" in rule_ids(doc)
+
+    def test_unknown_field_is_scn106(self):
+        doc = world_doc(faults={"seed": 1, "not_a_field": True})
+        assert rule_ids(doc) == ["SCN106"]
+
+    def test_valid_faults_clean(self):
+        doc = world_doc(faults={"seed": 1, "snapshot_drop_rate": 0.1})
+        assert rule_ids(doc) == []
+
+
+class TestMalformedDocuments:
+    def test_bad_interval_shape_is_scn100(self):
+        doc = world_doc(
+            hosts=[
+                {
+                    "name": "ns1.foo.com",
+                    "repository": "sim-verisign",
+                    "intervals": [[0]],
+                }
+            ],
+        )
+        assert "SCN100" in rule_ids(doc)
+
+    def test_missing_repository_is_scn100(self):
+        doc = world_doc(
+            domains=[
+                {
+                    "name": "example.com",
+                    "intervals": [[0, None]],
+                    "purge_days": [],
+                    "delegations": [],
+                }
+            ],
+        )
+        assert "SCN100" in rule_ids(doc)
+
+    def test_unknown_rename_repository_is_scn100(self):
+        doc = world_doc(
+            renames=[
+                {
+                    "day": 3,
+                    "old": "ns1.a.com",
+                    "new": "b.info",
+                    "repository": "sim-afilias",
+                    "sacrificial": True,
+                }
+            ],
+        )
+        assert rule_ids(doc) == ["SCN100"]
+
+
+class TestScenarioDocuments:
+    def test_default_scenario_clean(self):
+        doc = scenario_to_dict(default_scenario(7))
+        assert lint_scenario_data(doc, "scenario.json") == []
+
+    def test_broken_scenario_is_scn108(self):
+        doc = scenario_to_dict(default_scenario(7))
+        del doc["registrars"][0]["ident"]
+        ids = [d.rule_id for d in lint_scenario_data(doc, "scenario.json")]
+        assert ids == ["SCN108"]
+
+    def test_bad_faults_in_scenario_is_scn106(self):
+        doc = scenario_to_dict(default_scenario(7))
+        doc["faults"]["whois_gap_rate"] = 2.0
+        ids = [d.rule_id for d in lint_scenario_data(doc, "scenario.json")]
+        assert "SCN106" in ids
+
+
+class TestWorldExport:
+    def test_pristine_world_export_has_no_errors(self, small_world_result):
+        doc = world_to_dict(small_world_result)
+        assert classify_document(doc) == "world"
+        errors = [
+            d for d in lint_scenario_data(doc, "world.json")
+            if d.severity is Severity.ERROR
+        ]
+        assert errors == []
+
+    def test_save_world_round_trips_through_file_lint(
+        self, small_world_result, tmp_path
+    ):
+        from repro.lint import LintConfig
+        from repro.lint.scenario_engine import lint_scenario_file
+
+        path = save_world(small_world_result, tmp_path / "world.json")
+        diags = lint_scenario_file(path, "world.json", LintConfig())
+        assert [d for d in diags if d.severity is Severity.ERROR] == []
+
+    def test_export_names_every_repository(self, small_world_result):
+        doc = world_to_dict(small_world_result)
+        operators = {r["operator"] for r in doc["repositories"]}
+        assert {d["repository"] for d in doc["domains"]} <= operators
+        assert {h["repository"] for h in doc["hosts"]} <= operators

@@ -183,7 +183,7 @@ class TestMatchClassification:
         world, result = outcome
         accidental = {r.new_name for r in world.log.renames if r.accidental}
         by_name = result.by_name()
-        for name in accidental:
+        for name in sorted(accidental):
             assert name in by_name
             assert by_name[name].original_domain == "registrar-servers.com"
 

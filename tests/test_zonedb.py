@@ -127,7 +127,7 @@ class TestSnapshots:
         }
         current: dict[str, set[str]] = {}
         for day, state in timeline.items():
-            for domain in set(current) - set(state):
+            for domain in sorted(set(current) - set(state)):
                 by_changes.remove_delegation(day, domain)
             for domain, ns in state.items():
                 if current.get(domain) != ns:
