@@ -10,7 +10,12 @@ actually run:
 
 ``riskybiz detect --archive DIR --whois FILE``
     Run the §3 detection methodology against an on-disk archive (yours
-    or a simulated one) and print the funnel and idiom tables.
+    or a simulated one) and print the funnel and idiom tables. With
+    ``--dataset FILE`` it instead opens the SQLite dataset a previous
+    ``simulate`` run wrote — no in-process world object is shared
+    between the two commands. ``--shards N`` runs the per-nameserver
+    stages sharded; ``--cache-dir DIR`` caches the pipeline result
+    content-addressed by scenario digest + options.
 
 ``riskybiz report``
     Regenerate every table and figure of the paper in one run.
@@ -53,6 +58,11 @@ def _add_world_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--config", help="scenario JSON file (overrides --seed/--scale)"
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist pipeline artifacts content-addressed under DIR "
+             "(keyed by scenario digest; reused across invocations)",
+    )
 
 
 def _resolve_config(args: argparse.Namespace):
@@ -69,17 +79,29 @@ def _resolve_config(args: argparse.Namespace):
     return config
 
 
+def _artifact_cache(args: argparse.Namespace):
+    """A disk-backed artifact cache when ``--cache-dir`` was given."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.store.artifacts import ArtifactCache
+
+    return ArtifactCache(root=args.cache_dir)
+
+
 def _run_bundle(args: argparse.Namespace):
     """Build a full bundle from the resolved scenario.
 
     A scenario with non-zero fault rates is replayed through the
     degraded-data plane: the world runs pristine, its observables are
     fault-injected, and detection/study consume the degraded view.
+    With ``--cache-dir`` the pipeline result is content-addressed by the
+    scenario digest (which covers the fault configuration) and reused.
     """
     from repro.analysis.study import StudyAnalysis
     from repro.api import ReproBundle
     from repro.detection.pipeline import DetectionPipeline
     from repro.ecosystem.world import World
+    from repro.store.artifacts import ArtifactKey, scenario_digest
 
     config = _resolve_config(args)
     world = World(config).run()
@@ -93,7 +115,14 @@ def _run_bundle(args: argparse.Namespace):
         )
         degraded = degrade_world(world, config.faults)
         zonedb, whois = degraded.zonedb, degraded.whois
-    pipeline = DetectionPipeline(zonedb, whois).run()
+    cache = _artifact_cache(args)
+    if cache is None:
+        pipeline = DetectionPipeline(zonedb, whois).run()
+    else:
+        key = ArtifactKey.build("pipeline", scenario_digest(config))
+        pipeline = cache.get_or_create(
+            key, lambda: DetectionPipeline(zonedb, whois).run()
+        )
     study = StudyAnalysis(pipeline, zonedb, whois)
     return ReproBundle(world=world, pipeline=pipeline, study=study)
 
@@ -108,6 +137,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run the world and write its observable data sets to disk."""
     from repro.ecosystem.world import World
+    from repro.store.artifacts import scenario_digest
+    from repro.store.dataset import write_dataset
 
     config = _resolve_config(args)
     print(f"Simulating (seed={config.seed})...", file=sys.stderr)
@@ -124,10 +155,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
                 snapshots.append(snapshot)
     paths = write_archive(out / "zones", snapshots)
     epochs = result.whois.dump(out / "whois.jsonl")
+    digest = scenario_digest(config)
+    dataset_path = write_dataset(
+        result.zonedb, out / "dataset.sqlite", scenario_digest=digest
+    )
     print(
         f"Wrote {len(paths)} zone files ({len(sample_days)} sampled days, "
         f"{len(result.zonedb.covered_tlds)} TLDs) and {epochs} WHOIS epochs "
         f"to {out}",
+        file=sys.stderr,
+    )
+    print(
+        f"Wrote SQLite dataset {dataset_path} "
+        f"(scenario digest {digest[:12]}…)",
         file=sys.stderr,
     )
     if args.world_json:
@@ -138,25 +178,76 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_detect(args: argparse.Namespace) -> int:
-    """Run the detection methodology against an on-disk archive."""
+def _detect_zonedb(args: argparse.Namespace):
+    """The zone database ``riskybiz detect`` should analyze, or None.
+
+    Either opens the on-disk SQLite dataset (``--dataset``) or ingests a
+    zone-file archive (``--archive``) into the requested backend.
+    """
     from repro.zonedb.database import IngestError, IngestPolicy
 
-    print(f"Ingesting zone archive {args.archive}...", file=sys.stderr)
     policy = IngestPolicy(gap_bridge_days=args.gap_bridge, strict=args.strict)
+    if args.dataset:
+        from repro.store.dataset import open_dataset
+
+        try:
+            zonedb = open_dataset(args.dataset, ingest_policy=policy)
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return None
+        digest = zonedb.store.get_meta("scenario_digest")
+        suffix = f" (scenario digest {digest[:12]}…)" if digest else ""
+        print(f"Opened dataset {args.dataset}{suffix}", file=sys.stderr)
+        return zonedb
+    print(f"Ingesting zone archive {args.archive}...", file=sys.stderr)
+    store = None
+    if args.backend == "sqlite":
+        from repro.store.sqlite import SqliteDelegationStore
+
+        store = SqliteDelegationStore()  # in-memory SQLite for one run
     try:
-        zonedb = read_archive(args.archive, ingest_policy=policy)
+        return read_archive(args.archive, ingest_policy=policy, store=store)
     except IngestError as error:
         print(f"error: strict ingest failed: {error}", file=sys.stderr)
+        return None
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Run the detection methodology against an on-disk dataset/archive."""
+    if not args.dataset and not args.archive:
+        print("error: one of --dataset or --archive is required", file=sys.stderr)
+        return 2
+    zonedb = _detect_zonedb(args)
+    if zonedb is None:
         return 1
     if zonedb.nameserver_count() == 0:
-        print("error: archive contains no delegations", file=sys.stderr)
+        print("error: data set contains no delegations", file=sys.stderr)
         return 1
     whois = WhoisArchive.load(args.whois) if args.whois else WhoisArchive()
     pipeline = DetectionPipeline(
-        zonedb, whois, mine_patterns=args.mine_patterns
+        zonedb, whois, mine_patterns=args.mine_patterns, shards=args.shards
     )
-    result = pipeline.run(checkpoint_path=args.checkpoint)
+    cache = _artifact_cache(args)
+    dataset_digest = zonedb.store.get_meta("scenario_digest")
+    if cache is not None and dataset_digest is not None:
+        from repro.store.artifacts import ArtifactKey
+
+        # Shard count is deliberately not part of the key: sharded and
+        # unsharded runs produce bit-identical results.
+        key = ArtifactKey.build(
+            "pipeline",
+            dataset_digest,
+            {
+                "mine_patterns": args.mine_patterns,
+                "gap_bridge": args.gap_bridge,
+                "strict": args.strict,
+            },
+        )
+        result = cache.get_or_create(
+            key, lambda: pipeline.run(checkpoint_path=args.checkpoint)
+        )
+    else:
+        result = pipeline.run(checkpoint_path=args.checkpoint)
     print(render_funnel(result))
     if result.coverage.degraded:
         from repro.analysis.report import render_coverage
@@ -312,10 +403,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(func=cmd_simulate)
 
     detect = subparsers.add_parser(
-        "detect", help="run the detection methodology on an archive"
+        "detect", help="run the detection methodology on a dataset/archive"
     )
     detect.add_argument(
-        "--archive", required=True, help="zone archive directory"
+        "--archive", help="zone archive directory (zone-file ingestion)"
+    )
+    detect.add_argument(
+        "--dataset", metavar="FILE",
+        help="SQLite dataset written by `riskybiz simulate` "
+             "(alternative to --archive)",
+    )
+    detect.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="memory",
+        help="delegation store backend for --archive ingestion "
+             "(default: memory)",
     )
     detect.add_argument("--whois", help="WHOIS JSON-lines file")
     detect.add_argument(
@@ -332,8 +433,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail on degraded input instead of skipping and counting it",
     )
     detect.add_argument(
-        "--checkpoint", metavar="FILE",
-        help="checkpoint pipeline stages to FILE and resume from it",
+        "--shards", type=int, default=1, metavar="N",
+        help="run the per-nameserver stages over N deterministic shards "
+             "(default: 1, unsharded)",
+    )
+    detect.add_argument(
+        "--checkpoint", metavar="PATH",
+        help="checkpoint pipeline stages to PATH and resume from it "
+             "(a file when unsharded, a directory with --shards > 1)",
+    )
+    detect.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="cache the pipeline result content-addressed under DIR "
+             "(keyed by the dataset's scenario digest + options)",
     )
     detect.set_defaults(func=cmd_detect)
 

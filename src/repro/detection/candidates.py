@@ -10,6 +10,7 @@ test-nameserver noise that later stages must eliminate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.detection.resolvability import ResolvabilityAnalyzer
 from repro.zonedb.database import ZoneDatabase
@@ -32,15 +33,20 @@ class CandidateNameserver:
 def build_candidate_set(
     zonedb: ZoneDatabase,
     analyzer: ResolvabilityAnalyzer | None = None,
+    *,
+    nameservers: Iterable[str] | None = None,
 ) -> list[CandidateNameserver]:
     """Scan every nameserver in the data set for the candidate criterion.
 
     Candidates are returned in (first_seen, name) order so downstream
-    stages are deterministic.
+    stages are deterministic. Pass ``nameservers`` to restrict the scan
+    to a subset (e.g. one shard of the population).
     """
     analyzer = analyzer or ResolvabilityAnalyzer(zonedb)
     candidates: list[CandidateNameserver] = []
-    for ns in zonedb.all_nameservers():
+    if nameservers is None:
+        nameservers = zonedb.all_nameservers()
+    for ns in nameservers:
         verdict = analyzer.unresolvable_at_first_reference(ns)
         if not verdict:
             continue  # resolvable, never referenced, or unassessable

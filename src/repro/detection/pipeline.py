@@ -41,8 +41,12 @@ from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilt
 from repro.detection.resolvability import ResolvabilityAnalyzer
 from repro.detection.substrings import SubstringPattern, mine_substrings
 from repro.detection.testns import TestNameserverFilter
+from repro.store.dataset import DatasetView, ShardSpec
 from repro.whois.archive import WhoisArchive
 from repro.zonedb.database import ZoneDatabase
+
+#: Minimum substring support for the §3.2.2 mining stage.
+MINE_MIN_SUPPORT = 4
 
 
 @dataclass(frozen=True, slots=True)
@@ -170,7 +174,16 @@ class PipelineResult:
 
 
 class DetectionPipeline:
-    """Configurable end-to-end runner for the §3 methodology."""
+    """Configurable end-to-end runner for the §3 methodology.
+
+    With ``shards > 1`` the per-nameserver stages run once per
+    deterministic :class:`~repro.store.dataset.ShardSpec` (assignment by
+    ``stable_hash``), each over its own :class:`DatasetView`, and a merge
+    step reassembles a :class:`PipelineResult` bit-identical to the
+    unsharded run. Because candidate names *are* nameserver names, every
+    stage partitions cleanly along the shard boundary; only substring
+    mining needs the merged candidate set and runs after the merge.
+    """
 
     def __init__(
         self,
@@ -182,7 +195,10 @@ class DetectionPipeline:
         test_filter: TestNameserverFilter | None = None,
         repo_map: RepositoryMap | None = None,
         mine_patterns: bool = True,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.zonedb = zonedb
         self.whois = whois
         self.psl = psl or default_psl()
@@ -192,6 +208,9 @@ class DetectionPipeline:
         self.matcher = OriginalNameserverMatcher(zonedb, whois, psl=self.psl)
         self.analyzer = ResolvabilityAnalyzer(zonedb, psl=self.psl)
         self.mine_patterns = mine_patterns
+        self.shards = shards
+        #: The whole-dataset view (shard views are derived from it).
+        self.view = DatasetView(zonedb, whois)
 
     # -- helpers -----------------------------------------------------------
 
@@ -257,12 +276,27 @@ class DetectionPipeline:
     def run(self, *, checkpoint_path: str | Path | None = None) -> PipelineResult:
         """Execute every stage and return the final classified set.
 
-        With a ``checkpoint_path``, intermediate state is pickled after
-        each stage (atomically: temp file + rename); a re-run against
-        the same inputs resumes after the last completed stage, so a
-        killed pipeline finishes from where it stopped and produces an
-        identical result.
+        Unsharded (``shards == 1``): with a ``checkpoint_path`` file,
+        intermediate state is pickled after each stage (atomically: temp
+        file + rename); a re-run against the same inputs resumes after
+        the last completed stage, so a killed pipeline finishes from
+        where it stopped and produces an identical result.
+
+        Sharded (``shards > 1``): ``checkpoint_path`` names a directory
+        holding one checkpoint per completed shard; a re-run skips
+        finished shards and recomputes only the missing ones before
+        merging.
         """
+        if self.shards == 1:
+            return self._run_single(checkpoint_path)
+        checkpoint_dir = Path(checkpoint_path) if checkpoint_path is not None else None
+        shard_states = [
+            self._run_shard(shard, checkpoint_dir=checkpoint_dir)
+            for shard in ShardSpec.partition(self.shards)
+        ]
+        return self._merge(shard_states)
+
+    def _run_single(self, checkpoint_path: str | Path | None) -> PipelineResult:
         state = self._load_checkpoint(checkpoint_path)
         stages = {
             "candidates": self._stage_candidates,
@@ -275,10 +309,85 @@ class DetectionPipeline:
         for name in self.STAGES:
             if name in state["done"]:
                 continue
-            stages[name](state)
+            stages[name](self.view, state)
             state["done"].add(name)
             self._save_checkpoint(checkpoint_path, state)
         return self._finalize(state)
+
+    def shard_checkpoint_path(self, root: str | Path, shard: ShardSpec) -> Path:
+        """Checkpoint file for one shard under a checkpoint directory."""
+        return Path(root) / f"shard-{shard.index:04d}-of-{shard.count:04d}.pkl"
+
+    def _run_shard(
+        self, shard: ShardSpec, *, checkpoint_dir: Path | None = None
+    ) -> dict[str, Any]:
+        """Run every per-nameserver stage for one shard (restartable)."""
+        path: Path | None = None
+        if checkpoint_dir is not None:
+            path = self.shard_checkpoint_path(checkpoint_dir, shard)
+            if path.exists():
+                with open(path, "rb") as handle:
+                    return pickle.load(handle)
+        view = DatasetView(self.zonedb, self.whois, shard)
+        state: dict[str, Any] = {"done": set(), "funnel": PipelineFunnel()}
+        self._stage_candidates(view, state)
+        # Mining needs cross-shard support counts, so it runs post-merge;
+        # keep the pre-test-filter candidate list the miner consumes.
+        state["stage1"] = state["candidates"]
+        self._stage_test_filter(view, state)
+        self._stage_pattern_sweep(view, state)
+        self._stage_single_repo(view, state)
+        self._stage_match(view, state)
+        if path is not None:
+            self._save_checkpoint(path, state)
+        return state
+
+    def _merge(self, shard_states: list[dict[str, Any]]) -> PipelineResult:
+        """Reassemble shard states into the unsharded run's exact result.
+
+        Funnel counts sum (shards partition the nameserver population);
+        every merged list is re-sorted by the same key that orders it in
+        the unsharded run, and names land in exactly one shard, so the
+        union of the per-shard classified sets is disjoint.
+        """
+        funnel = PipelineFunnel()
+        for state in shard_states:
+            shard_funnel = state["funnel"]
+            funnel.total_nameservers += shard_funnel.total_nameservers
+            funnel.candidates += shard_funnel.candidates
+            funnel.test_removed += shard_funnel.test_removed
+            funnel.pattern_classified += shard_funnel.pattern_classified
+            funnel.single_repo_removed += shard_funnel.single_repo_removed
+            funnel.history_matched += shard_funnel.history_matched
+            funnel.match_classified += shard_funnel.match_classified
+        stage1 = sorted(
+            (c for state in shard_states for c in state["stage1"]),
+            key=lambda c: (c.first_seen, c.name),
+        )
+        mined: list[SubstringPattern] = []
+        if self.mine_patterns:
+            mined = mine_substrings(
+                (c.name for c in stage1), min_support=MINE_MIN_SUPPORT
+            )
+        candidates = sorted(
+            (c for state in shard_states for c in state["candidates"]),
+            key=lambda c: (c.first_seen, c.name),
+        )
+        sacrificial: dict[str, SacrificialNameserver] = {}
+        for state in shard_states:
+            sacrificial.update(state["sacrificial"])
+        matches = sorted(
+            (m for state in shard_states for m in state["matches"]),
+            key=lambda m: (m.first_seen, m.candidate),
+        )
+        merged: dict[str, Any] = {
+            "funnel": funnel,
+            "candidates": candidates,
+            "mined": mined,
+            "sacrificial": sacrificial,
+            "matches": matches,
+        }
+        return self._finalize(merged)
 
     def _load_checkpoint(self, path: str | Path | None) -> dict[str, Any]:
         if path is not None and Path(path).exists():
@@ -297,34 +406,37 @@ class DetectionPipeline:
         os.replace(temp, target)
 
     # Stage 1: unresolvable-at-first-reference candidates.
-    def _stage_candidates(self, state: dict[str, Any]) -> None:
+    def _stage_candidates(self, view: DatasetView, state: dict[str, Any]) -> None:
         funnel = state["funnel"]
-        funnel.total_nameservers = self.zonedb.nameserver_count()
-        candidates = build_candidate_set(self.zonedb, self.analyzer)
+        funnel.total_nameservers = view.nameserver_count()
+        candidates = build_candidate_set(
+            view.zonedb, self.analyzer, nameservers=view.nameservers()
+        )
         funnel.candidates = len(candidates)
         state["candidates"] = candidates
 
     # Stage 2: pattern discovery (for the record; confirmation is
     # encoded in the classifier list, as manual confirmation was in the
     # paper).
-    def _stage_mine(self, state: dict[str, Any]) -> None:
+    def _stage_mine(self, view: DatasetView, state: dict[str, Any]) -> None:
         mined: list[SubstringPattern] = []
         if self.mine_patterns:
             mined = mine_substrings(
-                (c.name for c in state["candidates"]), min_support=4
+                (c.name for c in state["candidates"]),
+                min_support=MINE_MIN_SUPPORT,
             )
         state["mined"] = mined
 
     # Stage 3: drop registry test nameservers.
-    def _stage_test_filter(self, state: dict[str, Any]) -> None:
+    def _stage_test_filter(self, view: DatasetView, state: dict[str, Any]) -> None:
         candidates, test_removed = self.test_filter.partition(state["candidates"])
         state["funnel"].test_removed = len(test_removed)
         state["candidates"] = candidates
 
-    # Stage 4: confirmed-pattern sweep over the entire population.
-    def _stage_pattern_sweep(self, state: dict[str, Any]) -> None:
+    # Stage 4: confirmed-pattern sweep over the view's population.
+    def _stage_pattern_sweep(self, view: DatasetView, state: dict[str, Any]) -> None:
         sacrificial: dict[str, SacrificialNameserver] = {}
-        for name in self.zonedb.all_nameservers():
+        for name in view.nameservers():
             if self.test_filter.is_test_nameserver(name):
                 continue
             for classifier in self.classifiers:
@@ -335,7 +447,7 @@ class DetectionPipeline:
         state["sacrificial"] = sacrificial
 
     # Stage 5: single-repository filter on the remaining candidates.
-    def _stage_single_repo(self, state: dict[str, Any]) -> None:
+    def _stage_single_repo(self, view: DatasetView, state: dict[str, Any]) -> None:
         remaining = [
             c for c in state["candidates"] if c.name not in state["sacrificial"]
         ]
@@ -344,7 +456,7 @@ class DetectionPipeline:
         state["remaining"] = remaining
 
     # Stage 6: original-nameserver matching and classification.
-    def _stage_match(self, state: dict[str, Any]) -> None:
+    def _stage_match(self, view: DatasetView, state: dict[str, Any]) -> None:
         funnel = state["funnel"]
         sacrificial = state["sacrificial"]
         matches, _unmatched = self.matcher.match_all(state["remaining"])

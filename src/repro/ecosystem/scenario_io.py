@@ -284,8 +284,11 @@ def world_to_dict(result: "WorldResult") -> dict[str, Any]:
                 "intervals": _intervals_to_json(life.intervals()),
             }
         )
+    from repro.store.artifacts import scenario_digest
+
     return {
         "format": WORLD_FORMAT,
+        "scenario_digest": scenario_digest(result.config),
         "ingest_policy": {
             "gap_bridge_days": result.config.faults.gap_bridge_days,
             "strict": result.config.faults.strict,

@@ -848,24 +848,28 @@ def build_world(config: ScenarioConfig | None = None) -> World:
     return world
 
 
-_RESULT_CACHE: dict[tuple, WorldResult] = {}
-
-
 def run_default_world(
     seed: int = 2021, scale: float = 1.0, *, use_cache: bool = True
 ) -> WorldResult:
-    """Run the canonical scenario (optionally scaled), with memoization.
+    """Run the canonical scenario (optionally scaled), with caching.
 
-    Tests and every benchmark share the same world through this cache, so
-    the expensive simulation runs once per process.
+    Tests and every benchmark share the same world through the
+    process-wide content-addressed artifact cache (keyed by the scenario
+    digest, bounded LRU), so the expensive simulation runs once per
+    process per configuration.
     """
-    key = (seed, scale)
-    if use_cache and key in _RESULT_CACHE:
-        return _RESULT_CACHE[key]
+    from repro.store.artifacts import ArtifactKey, default_cache, scenario_digest
+
     config = default_scenario(seed)
     if scale != 1.0:
         config = config.scaled(scale)
+    key = ArtifactKey.build("world", scenario_digest(config))
+    cache = default_cache()
+    if use_cache:
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     result = World(config).run()
     if use_cache:
-        _RESULT_CACHE[key] = result
+        cache.put(key, result, memory_only=True)
     return result

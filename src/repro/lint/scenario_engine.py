@@ -23,12 +23,16 @@ SCN107    purge-orphaned-hosts          registry purge left externally
                                         referenced hosts behind (warning;
                                         this is the paper's dummyns state)
 SCN108    invalid-scenario              scenario config fails to load
+SCN109    missing-scenario-digest       dataset/artifact manifest does not
+                                        carry the digest of the scenario
+                                        it was produced from
 ========  ============================  ===================================
 
 Documents are recognized structurally: a ``"format"`` of
-``riskybiz-world/1`` marks a world dump; a top-level object carrying
-``seed`` and ``registrars`` is a scenario config; anything else is not
-lintable and is skipped.
+``riskybiz-world/1`` marks a world dump; ``riskybiz-dataset/1`` or
+``riskybiz-artifact/1`` marks a dataset/artifact manifest; a top-level
+object carrying ``seed`` and ``registrars`` is a scenario config;
+anything else is not lintable and is skipped.
 """
 
 from __future__ import annotations
@@ -45,6 +49,10 @@ from repro.simtime import Interval, merge_intervals
 
 #: Format tag written by ``scenario_io.save_world``.
 WORLD_FORMAT = "riskybiz-world/1"
+
+#: Format tags written by ``repro.store`` (dataset and artifact-cache
+#: manifests). Kept literal so the linter never imports the store layer.
+MANIFEST_FORMATS = frozenset({"riskybiz-dataset/1", "riskybiz-artifact/1"})
 
 rule("SCN100", "malformed-document", "scenario", "document shape is invalid")
 rule(
@@ -77,6 +85,10 @@ rule(
     Severity.WARNING,
 )
 rule("SCN108", "invalid-scenario", "scenario", "scenario config fails to load")
+rule(
+    "SCN109", "missing-scenario-digest", "scenario",
+    "dataset/artifact manifest lacks the producing scenario's digest",
+)
 
 
 @dataclass(frozen=True)
@@ -85,15 +97,17 @@ class ScenarioContext:
 
     path: str
     config: LintConfig
-    kind: str  # "world" | "scenario"
+    kind: str  # "world" | "scenario" | "manifest"
 
 
 def classify_document(data: object) -> str | None:
-    """``"world"``, ``"scenario"``, or ``None`` for unrecognized JSON."""
+    """``"world"``, ``"scenario"``, ``"manifest"``, or ``None``."""
     if not isinstance(data, dict):
         return None
     if data.get("format") == WORLD_FORMAT:
         return "world"
+    if data.get("format") in MANIFEST_FORMATS:
+        return "manifest"
     if "seed" in data and "registrars" in data:
         return "scenario"
     return None
@@ -470,6 +484,34 @@ def check_scenario_document(
             )
         )
     return diagnostics
+
+
+_HEX_DIGEST_LEN = 64  # sha256 hexdigest, as produced by content_digest()
+
+
+@scenario_checker
+def check_manifest_document(
+    doc: dict[str, Any], ctx: ScenarioContext
+) -> list[Diagnostic]:
+    """The dataset/artifact-manifest rule pack (SCN109).
+
+    Datasets and cached artifacts are only meaningful relative to the
+    scenario that produced them; a manifest without the producing
+    scenario's digest lets a ``detect`` run silently consume the output
+    of the wrong ``simulate`` run.
+    """
+    if ctx.kind != "manifest":
+        return []
+    digest = doc.get("scenario_digest")
+    if isinstance(digest, str) and len(digest) == _HEX_DIGEST_LEN and all(
+        c in "0123456789abcdef" for c in digest
+    ):
+        return []
+    if digest is None:
+        message = "manifest lacks a scenario_digest"
+    else:
+        message = f"manifest scenario_digest is not a sha256 hex digest: {digest!r}"
+    return [make("SCN109", ctx.path, 0, 0, message, "<document>")]
 
 
 def lint_scenario_data(

@@ -1,0 +1,63 @@
+"""The storage layer: pluggable delegation stores and artifact caching.
+
+This package is the persistence spine of the reproduction. Everything
+above it — the zone-database façade, the detection pipeline, the
+analyses — consumes interval data through the
+:class:`~repro.store.base.DelegationStore` protocol, so the same code
+runs against the in-memory structure the simulator writes into
+(:class:`~repro.store.memory.MemoryDelegationStore`) or an on-disk
+SQLite dataset (:class:`~repro.store.sqlite.SqliteDelegationStore`)
+produced by an earlier ``riskybiz simulate`` run.
+
+Layering (see ``docs/ARCHITECTURE.md``)::
+
+    ecosystem (simulate)  →  store  ←  detection (detect)  ←  analysis
+
+* :mod:`repro.store.base` — the protocol plus the shared record types;
+* :mod:`repro.store.memory` — dict-of-intervals backend (the seed
+  implementation, moved behind the interface);
+* :mod:`repro.store.sqlite` — SQLite-backed on-disk backend;
+* :mod:`repro.store.dataset` — dataset files + manifests, and the
+  :class:`~repro.store.dataset.DatasetView`/:class:`~repro.store.dataset.ShardSpec`
+  pair the sharded detection pipeline consumes;
+* :mod:`repro.store.artifacts` — the content-addressed artifact cache
+  (digest-keyed, disk-persisted, bounded in-memory LRU);
+* :mod:`repro.store.bench` — the store/pipeline benchmark harness that
+  writes ``BENCH_store.json``.
+"""
+
+from repro.store.artifacts import (
+    ArtifactCache,
+    ArtifactKey,
+    content_digest,
+    default_cache,
+    scenario_digest,
+)
+from repro.store.base import DelegationRecord, DelegationStore, PresenceHistory
+from repro.store.dataset import (
+    DATASET_FORMAT,
+    DatasetView,
+    ShardSpec,
+    open_dataset,
+    write_dataset,
+)
+from repro.store.memory import MemoryDelegationStore
+from repro.store.sqlite import SqliteDelegationStore
+
+__all__ = [
+    "ArtifactCache",
+    "ArtifactKey",
+    "DATASET_FORMAT",
+    "DatasetView",
+    "DelegationRecord",
+    "DelegationStore",
+    "MemoryDelegationStore",
+    "PresenceHistory",
+    "ShardSpec",
+    "SqliteDelegationStore",
+    "content_digest",
+    "default_cache",
+    "open_dataset",
+    "scenario_digest",
+    "write_dataset",
+]

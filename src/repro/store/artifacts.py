@@ -1,0 +1,200 @@
+"""Content-addressed artifact cache for expensive reproduction stages.
+
+Artifacts (simulated worlds, pipeline results, full bundles) are keyed
+by the SHA-256 digest of a canonical-JSON description of *what produced
+them*: the scenario configuration plus the producing stage's options.
+Two runs that would compute the same thing therefore share one cache
+entry — and any change to the scenario or options changes the key, so
+stale artifacts can never be served for a different configuration.
+
+The cache is a bounded in-memory LRU with an optional disk layer: when
+constructed with a ``root`` directory, artifacts are pickled under it
+next to a JSON manifest that records the producing scenario digest
+(checked by ``riskybiz lint``). Entries that cannot pickle are simply
+kept memory-only; the disk layer is an accelerator, never a correctness
+dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+#: Format tag carried by artifact manifest sidecars.
+ARTIFACT_FORMAT = "riskybiz-artifact/1"
+
+#: Default bound on in-memory cached artifacts per cache instance.
+DEFAULT_CAPACITY = 16
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 of the canonical JSON encoding of ``payload``.
+
+    Canonical means sorted keys and compact separators, so logically
+    equal payloads digest identically regardless of construction order.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def scenario_digest(config: Any) -> str:
+    """Digest of a :class:`~repro.ecosystem.config.ScenarioConfig`."""
+    from repro.ecosystem.scenario_io import scenario_to_dict
+
+    return content_digest(scenario_to_dict(config))
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactKey:
+    """Identity of one cached artifact.
+
+    ``digest`` covers the kind, the producing scenario, and the options
+    dict, so it alone addresses the artifact; ``kind`` and
+    ``scenario`` ride along for filenames and manifests.
+    """
+
+    kind: str
+    scenario: str
+    digest: str
+
+    @classmethod
+    def build(
+        cls, kind: str, scenario: str, options: dict[str, Any] | None = None
+    ) -> "ArtifactKey":
+        """Key for an artifact of ``kind`` produced from ``scenario``."""
+        digest = content_digest(
+            {"kind": kind, "scenario": scenario, "options": options or {}}
+        )
+        return cls(kind=kind, scenario=scenario, digest=digest)
+
+    @property
+    def basename(self) -> str:
+        """Stable on-disk stem for this artifact's files."""
+        return f"{self.kind}-{self.digest[:32]}"
+
+
+class ArtifactCache:
+    """Bounded LRU of artifacts with optional disk persistence."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        root: str | Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.root = Path(root) if root is not None else None
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        return key.digest in self._entries
+
+    def get(self, key: ArtifactKey) -> Any | None:
+        """The cached artifact, or None. Checks memory, then disk."""
+        if key.digest in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(key.digest)
+            return self._entries[key.digest]
+        value = self._disk_load(key)
+        if value is not None:
+            self.hits += 1
+            self._remember(key, value)
+            return value
+        self.misses += 1
+        return None
+
+    def put(self, key: ArtifactKey, value: Any, *, memory_only: bool = False) -> None:
+        """Cache an artifact; spill to disk unless ``memory_only``."""
+        self._remember(key, value)
+        if not memory_only:
+            self._disk_store(key, value)
+
+    def get_or_create(
+        self,
+        key: ArtifactKey,
+        builder: Callable[[], Any],
+        *,
+        memory_only: bool = False,
+    ) -> Any:
+        """The cached artifact, building (and caching) it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value, memory_only=memory_only)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (disk artifacts are kept)."""
+        self._entries.clear()
+
+    def _remember(self, key: ArtifactKey, value: Any) -> None:
+        self._entries[key.digest] = value
+        self._entries.move_to_end(key.digest)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    # -- disk layer ---------------------------------------------------------
+
+    def _artifact_path(self, key: ArtifactKey) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / f"{key.basename}.pkl"
+
+    def manifest_path(self, key: ArtifactKey) -> Path | None:
+        """Where this artifact's manifest sidecar lives (None: no disk)."""
+        if self.root is None:
+            return None
+        return self.root / f"{key.basename}.json"
+
+    def _disk_store(self, key: ArtifactKey, value: Any) -> None:
+        path = self._artifact_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = pickle.dumps(value)
+        except Exception:
+            return  # unpicklable artifacts stay memory-only
+        temp = path.with_suffix(".tmp")
+        temp.write_bytes(payload)
+        temp.replace(path)
+        manifest = {
+            "format": ARTIFACT_FORMAT,
+            "kind": key.kind,
+            "digest": key.digest,
+            "scenario_digest": key.scenario,
+            "artifact": path.name,
+        }
+        manifest_file = self.manifest_path(key)
+        assert manifest_file is not None
+        manifest_file.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def _disk_load(self, key: ArtifactKey) -> Any | None:
+        path = self._artifact_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            return pickle.loads(path.read_bytes())
+        except Exception:
+            return None  # corrupt cache entry: treat as a miss
+
+
+_DEFAULT_CACHE = ArtifactCache()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide artifact cache (memory-only unless given a root)."""
+    return _DEFAULT_CACHE

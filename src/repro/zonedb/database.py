@@ -13,17 +13,33 @@ maintains exactly that, with two write paths:
 
 All intervals are half-open ``[start, end)`` in day indices; an interval
 with ``end is None`` is still open at the database horizon.
+
+Storage is delegated to a pluggable :class:`~repro.store.base.DelegationStore`
+backend (in-memory by default, SQLite for on-disk datasets); this class
+owns all *semantics* — name canonicalization, snapshot diffing, ingest
+policies, and DZDB-style gap bridging — so backends stay interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import asdict, dataclass
 from typing import Iterable, Iterator
 
 from repro.dnscore.errors import NameError_
 from repro.dnscore.names import Name
 from repro.simtime import Interval
+from repro.store.base import DOMAIN, GLUE, DelegationRecord, DelegationStore
+from repro.store.memory import MemoryDelegationStore
 from repro.zonedb.snapshot import ZoneSnapshot
+
+__all__ = [
+    "DelegationRecord",
+    "IngestError",
+    "IngestPolicy",
+    "IngestReport",
+    "ZoneDatabase",
+]
 
 
 class IngestError(Exception):
@@ -85,98 +101,32 @@ class IngestReport:
         )
 
 
-class DelegationRecord:
-    """One (domain, nameserver) co-occurrence interval.
-
-    Shared by the per-domain and per-nameserver indexes so closing the
-    interval updates both views.
-    """
-
-    __slots__ = ("domain", "ns", "start", "end")
-
-    def __init__(self, domain: str, ns: str, start: int, end: int | None = None):
-        self.domain = domain
-        self.ns = ns
-        self.start = start
-        self.end = end
-
-    @property
-    def interval(self) -> Interval:
-        """The record's interval view."""
-        return Interval(self.start, self.end)
-
-    def active_on(self, day: int) -> bool:
-        """True if the pair was in the zone on ``day``."""
-        return self.start <= day and (self.end is None or day < self.end)
-
-    def __repr__(self) -> str:
-        return (
-            f"DelegationRecord({self.domain!r} -> {self.ns!r}, "
-            f"[{self.start}, {self.end}))"
-        )
-
-
-class _PresenceHistory:
-    """Open/close interval tracking for a set of keys (e.g. glue hosts)."""
-
-    __slots__ = ("_closed", "_open")
-
-    def __init__(self) -> None:
-        self._closed: dict[str, list[Interval]] = {}
-        self._open: dict[str, int] = {}
-
-    def open(self, key: str, day: int) -> None:
-        if key not in self._open:
-            self._open[key] = day
-
-    def close(self, key: str, day: int) -> None:
-        start = self._open.pop(key, None)
-        if start is not None:
-            if day > start:
-                self._closed.setdefault(key, []).append(Interval(start, day))
-            # zero-length presence (opened and closed the same day) vanishes
-
-    def is_present(self, key: str, day: int) -> bool:
-        start = self._open.get(key)
-        if start is not None and start <= day:
-            return True
-        return any(iv.contains(day) for iv in self._closed.get(key, ()))
-
-    def intervals(self, key: str) -> list[Interval]:
-        result = list(self._closed.get(key, ()))
-        start = self._open.get(key)
-        if start is not None:
-            result.append(Interval(start, None))
-        return result
-
-    def keys(self) -> Iterator[str]:
-        seen = set(self._closed) | set(self._open)
-        return iter(sorted(seen))
-
-
 class ZoneDatabase:
-    """Interval histories of delegations and glue across TLD zones."""
+    """Interval histories of delegations and glue across TLD zones.
+
+    A façade: every interval lives in :attr:`store`, a
+    :class:`~repro.store.base.DelegationStore` backend. The façade keeps
+    only ingest bookkeeping (policy, reports, per-TLD last-ingest days,
+    pending gap-bridge verdicts) that has meaning mid-ingest.
+    """
 
     def __init__(
         self,
         covered_tlds: Iterable[str] = (),
         *,
         ingest_policy: IngestPolicy | None = None,
+        store: DelegationStore | None = None,
     ) -> None:
+        self.store: DelegationStore = store if store is not None else MemoryDelegationStore()
         self.covered_tlds: set[str] = {Name(t).text for t in covered_tlds}
         self.horizon: int = 0
         self.ingest_policy = ingest_policy or IngestPolicy()
         self.ingest_reports: list[IngestReport] = []
-        self._domain_recs: dict[str, list[DelegationRecord]] = {}
-        self._ns_recs: dict[str, list[DelegationRecord]] = {}
-        self._open: dict[tuple[str, str], DelegationRecord] = {}
-        self._current: dict[str, frozenset[str]] = {}
-        self._glue = _PresenceHistory()
-        self._domain_presence = _PresenceHistory()
         self._last_ingest_day: dict[str, int] = {}
         #: Domains absent from recent snapshots, awaiting the bridge
         #: window's verdict: domain -> first day observed absent.
         self._pending_close: dict[str, int] = {}
+        self._load_meta()
 
     # -- write path ---------------------------------------------------------
 
@@ -202,34 +152,32 @@ class ZoneDatabase:
         if not new_set:
             self.remove_delegation(day, domain_text)
             return
-        old_set = self._current.get(domain_text, frozenset())
+        old_set = self.store.current_nameservers(domain_text)
         if new_set == old_set:
             return
         for ns in sorted(old_set - new_set):
-            self._close_pair(domain_text, ns, day)
+            self.store.close_pair(domain_text, ns, day)
         for ns in sorted(new_set - old_set):
-            self._open_pair(domain_text, ns, day)
-        self._current[domain_text] = new_set
-        self._domain_presence.open(domain_text, day)
+            self.store.open_pair(domain_text, ns, day)
+        self.store.open_presence(DOMAIN, domain_text, day)
 
     def remove_delegation(self, day: int, domain: str) -> None:
         """Record that ``domain`` left the zone on ``day``."""
         self.advance(max(self.horizon, day))
         domain_text = Name(domain).text
-        old_set = self._current.pop(domain_text, frozenset())
-        for ns in old_set:
-            self._close_pair(domain_text, ns, day)
-        self._domain_presence.close(domain_text, day)
+        for ns in self.store.current_nameservers(domain_text):
+            self.store.close_pair(domain_text, ns, day)
+        self.store.close_presence(DOMAIN, domain_text, day)
 
     def set_glue(self, day: int, host: str) -> None:
         """Record that ``host`` has glue from ``day`` on."""
         self.advance(max(self.horizon, day))
-        self._glue.open(Name(host).text, day)
+        self.store.open_presence(GLUE, Name(host).text, day)
 
     def remove_glue(self, day: int, host: str) -> None:
         """Record that ``host`` lost its glue on ``day``."""
         self.advance(max(self.horizon, day))
-        self._glue.close(Name(host).text, day)
+        self.store.close_presence(GLUE, Name(host).text, day)
 
     def ingest_snapshot(self, snapshot: ZoneSnapshot) -> IngestReport:
         """Diff one daily snapshot against current state (DZDB mode).
@@ -280,11 +228,7 @@ class ZoneDatabase:
                     self.remove_delegation(absent_since, domain)
                     del self._pending_close[domain]
                     report.closed_after_gap += 1
-        known = [
-            domain for domain in self._current
-            if domain.endswith(suffix)
-        ]
-        for domain in known:
+        for domain in self.store.current_domains(suffix):
             if domain not in snapshot.delegations:
                 if bridge:
                     self._pending_close.setdefault(domain, day)
@@ -304,9 +248,9 @@ class ZoneDatabase:
             except NameError_:
                 self._ingest_degraded_delegation(day, domain, ns_set, report)
         glue_now = {host for host, addrs in snapshot.glue.items() if addrs}
-        for host in list(self._glue.keys()):
+        for host in list(self.store.presence_keys(GLUE)):
             if host.endswith(suffix) and host not in glue_now:
-                if self._glue.is_present(host, day):
+                if self.store.presence_contains(GLUE, host, day):
                     self.remove_glue(day, host)
         for host in sorted(glue_now):
             try:
@@ -370,52 +314,62 @@ class ZoneDatabase:
         self._pending_close.clear()
         return count
 
-    def _open_pair(self, domain: str, ns: str, day: int) -> None:
-        record = DelegationRecord(domain, ns, day)
-        self._open[(domain, ns)] = record
-        self._domain_recs.setdefault(domain, []).append(record)
-        self._ns_recs.setdefault(ns, []).append(record)
+    # -- metadata persistence ------------------------------------------------
 
-    def _close_pair(self, domain: str, ns: str, day: int) -> None:
-        record = self._open.pop((domain, ns), None)
-        if record is None:
+    _META_KEY = "zonedb"
+
+    def _load_meta(self) -> None:
+        """Adopt persisted façade state from a pre-existing store."""
+        raw = self.store.get_meta(self._META_KEY)
+        if raw is None:
             return
-        if day <= record.start:
-            # Added and removed within one day: invisible to daily zone
-            # snapshots, so it must not exist in the interval history.
-            self._domain_recs[domain].remove(record)
-            if not self._domain_recs[domain]:
-                del self._domain_recs[domain]
-            self._ns_recs[ns].remove(record)
-            if not self._ns_recs[ns]:
-                del self._ns_recs[ns]
-            return
-        record.end = day
+        meta = json.loads(raw)
+        self.covered_tlds.update(meta.get("covered_tlds", ()))
+        self.horizon = max(self.horizon, int(meta.get("horizon", 0)))
+        self._last_ingest_day.update(meta.get("last_ingest_day", {}))
+        for entry in meta.get("ingest_reports", ()):
+            self.ingest_reports.append(IngestReport(**entry))
+
+    def flush(self) -> None:
+        """Persist façade state into the store and make writes durable."""
+        meta = {
+            "covered_tlds": sorted(self.covered_tlds),
+            "horizon": self.horizon,
+            "last_ingest_day": dict(sorted(self._last_ingest_day.items())),
+            "ingest_reports": [asdict(report) for report in self.ingest_reports],
+        }
+        self.store.set_meta(self._META_KEY, json.dumps(meta, sort_keys=True))
+        self.store.flush()
+
+    def close(self) -> None:
+        """Flush and release the underlying store."""
+        self.flush()
+        self.store.close()
 
     # -- queries: nameservers -----------------------------------------------
 
     def all_nameservers(self) -> Iterator[str]:
         """Every NS name ever referenced by any delegation."""
-        return iter(self._ns_recs)
+        return iter(self.store.all_nameservers())
 
     def nameserver_count(self) -> int:
         """Number of distinct NS names ever seen."""
-        return len(self._ns_recs)
+        return self.store.nameserver_count()
 
     def ns_records(self, ns: str) -> list[DelegationRecord]:
         """All (domain, ns) interval records for ``ns``."""
-        return list(self._ns_recs.get(Name(ns).text, ()))
+        return self.store.ns_records(Name(ns).text)
 
     def first_seen(self, ns: str) -> int | None:
         """The day ``ns`` was first referenced by any domain."""
-        records = self._ns_recs.get(Name(ns).text)
+        records = self.store.ns_records(Name(ns).text)
         if not records:
             return None
         return min(record.start for record in records)
 
     def domains_of_ns(self, ns: str, day: int | None = None) -> frozenset[str]:
         """Domains delegating to ``ns`` (ever, or on a specific day)."""
-        records = self._ns_recs.get(Name(ns).text, ())
+        records = self.store.ns_records(Name(ns).text)
         if day is None:
             return frozenset(record.domain for record in records)
         return frozenset(
@@ -424,26 +378,26 @@ class ZoneDatabase:
 
     def ns_tlds(self, ns: str) -> frozenset[str]:
         """TLDs of the domains that ever delegated to ``ns``."""
-        records = self._ns_recs.get(Name(ns).text, ())
+        records = self.store.ns_records(Name(ns).text)
         return frozenset(Name(record.domain).tld for record in records)
 
     # -- queries: domains ----------------------------------------------------
 
     def all_domains(self) -> Iterator[str]:
         """Every domain ever delegated in the data set."""
-        return iter(self._domain_recs)
+        return iter(self.store.all_domains())
 
     def domain_count(self) -> int:
         """Number of distinct domains ever seen."""
-        return len(self._domain_recs)
+        return self.store.domain_count()
 
     def domain_records(self, domain: str) -> list[DelegationRecord]:
         """All (domain, ns) interval records for ``domain``."""
-        return list(self._domain_recs.get(Name(domain).text, ()))
+        return self.store.domain_records(Name(domain).text)
 
     def nameservers_of(self, domain: str, day: int) -> frozenset[str]:
         """The NS set of ``domain`` on ``day``."""
-        records = self._domain_recs.get(Name(domain).text, ())
+        records = self.store.domain_records(Name(domain).text)
         return frozenset(record.ns for record in records if record.active_on(day))
 
     def nameservers_removed_on(self, domain: str, day: int) -> frozenset[str]:
@@ -452,56 +406,65 @@ class ZoneDatabase:
         These are the nameservers "last seen the day before" ``day`` — the
         join used by the original-nameserver matching step.
         """
-        records = self._domain_recs.get(Name(domain).text, ())
+        records = self.store.domain_records(Name(domain).text)
         return frozenset(record.ns for record in records if record.end == day)
 
     def domain_present(self, domain: str, day: int) -> bool:
         """True if ``domain`` was delegated in its zone on ``day``."""
-        return self._domain_presence.is_present(Name(domain).text, day)
+        return self.store.presence_contains(DOMAIN, Name(domain).text, day)
 
     def domain_presence_intervals(self, domain: str) -> list[Interval]:
         """When ``domain`` was present in its zone, as intervals."""
-        return self._domain_presence.intervals(Name(domain).text)
+        return self.store.presence_intervals(DOMAIN, Name(domain).text)
 
     def domain_ever_seen(self, domain: str) -> bool:
         """True if ``domain`` ever appeared in the data set."""
-        return Name(domain).text in self._domain_recs
+        return bool(self.store.domain_records(Name(domain).text))
+
+    def tld_partitions(self) -> list[str]:
+        """Sorted TLDs of ever-seen domains (dataset partition keys)."""
+        return self.store.partitions()
+
+    def domains_in_tld(self, tld: str) -> list[str]:
+        """Ever-seen domains in one TLD partition."""
+        return self.store.domains_in_tld(Name(tld).text)
 
     # -- queries: glue --------------------------------------------------------
 
     def glue_present(self, host: str, day: int) -> bool:
         """True if ``host`` had glue on ``day``."""
-        return self._glue.is_present(Name(host).text, day)
+        return self.store.presence_contains(GLUE, Name(host).text, day)
 
     def glue_intervals(self, host: str) -> list[Interval]:
         """Glue presence intervals for ``host``."""
-        return self._glue.intervals(Name(host).text)
+        return self.store.presence_intervals(GLUE, Name(host).text)
 
     # -- snapshot reconstruction ----------------------------------------------
 
     def snapshot_at(self, day: int, tld: str) -> ZoneSnapshot:
         """Reconstruct one TLD's snapshot for ``day`` from the intervals."""
         tld_text = Name(tld).text
-        suffix = "." + tld_text
         delegations: dict[str, frozenset[str]] = {}
-        for domain, records in self._domain_recs.items():
-            if not domain.endswith(suffix):
-                continue
-            active = frozenset(r.ns for r in records if r.active_on(day))
+        for domain in self.store.domains_in_tld(tld_text):
+            active = frozenset(
+                r.ns for r in self.store.domain_records(domain) if r.active_on(day)
+            )
             if active:
                 delegations[domain] = active
         # The database tracks glue *presence*, not addresses (DZDB-style),
         # so reconstructed snapshots carry a documentation placeholder.
+        suffix = "." + tld_text
         glue = {
             host: frozenset({"192.0.2.0"})
-            for host in self._glue.keys()
-            if host.endswith(suffix) and self._glue.is_present(host, day)
+            for host in self.store.presence_keys(GLUE)
+            if host.endswith(suffix)
+            and self.store.presence_contains(GLUE, host, day)
         }
         return ZoneSnapshot(day=day, tld=tld_text, delegations=delegations, glue=glue)
 
     def __repr__(self) -> str:
         return (
             f"ZoneDatabase(tlds={sorted(self.covered_tlds)}, "
-            f"domains={len(self._domain_recs)}, ns={len(self._ns_recs)}, "
-            f"horizon={self.horizon})"
+            f"domains={self.domain_count()}, ns={self.nameserver_count()}, "
+            f"horizon={self.horizon}, backend={self.store.backend_name!r})"
         )

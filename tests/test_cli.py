@@ -105,6 +105,46 @@ class TestSimulateDetectRoundTrip:
         code = main(["detect", "--archive", str(tmp_path)])
         assert code == 1
 
+    def test_detect_requires_a_source(self, capsys):
+        assert main(["detect"]) == 2
+        assert "--dataset or --archive" in capsys.readouterr().err
+
+    def test_dataset_written_with_manifest(self, simulated):
+        from repro.lint.scenario_engine import lint_scenario_data
+
+        dataset = simulated / "dataset.sqlite"
+        manifest = simulated / "dataset.sqlite.manifest.json"
+        assert dataset.exists() and manifest.exists()
+        doc = json.loads(manifest.read_text())
+        assert doc["format"] == "riskybiz-dataset/1"
+        assert len(doc["scenario_digest"]) == 64
+        assert lint_scenario_data(doc, str(manifest)) == []
+
+    def test_detect_from_dataset_sharded_and_cached(
+        self, simulated, tmp_path, capsys
+    ):
+        """detect over the simulate-written SQLite dataset, no shared
+        in-process world: sharded run, pipeline artifact cached."""
+        cache_dir = tmp_path / "cache"
+        argv = [
+            "detect",
+            "--dataset", str(simulated / "dataset.sqlite"),
+            "--whois", str(simulated / "whois.jsonl"),
+            "--shards", "3",
+            "--cache-dir", str(cache_dir),
+        ]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Detection pipeline funnel" in captured.out
+        assert "scenario digest" in captured.err
+        cached = sorted(p.name for p in cache_dir.glob("pipeline-*"))
+        assert len(cached) == 2  # artifact pickle + manifest sidecar
+
+        # Second invocation: served from the on-disk artifact cache,
+        # identical report.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == captured.out
+
 
 class TestExperimentCommand:
     def test_experiment_runs(self, capsys):

@@ -474,7 +474,7 @@ class TestPipelineCheckpoint:
         checkpoint = tmp_path / "pipeline.pkl"
         killed = DetectionPipeline(zonedb, whois)
 
-        def boom(state):
+        def boom(view, state):
             raise RuntimeError("killed mid-run")
 
         killed._stage_single_repo = boom

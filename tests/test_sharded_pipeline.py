@@ -1,0 +1,140 @@
+"""Sharded detection must be bit-identical to the unsharded pipeline.
+
+The §3 funnel is re-run per nameserver shard and merged; that merge has
+to reproduce the single-pass result *exactly* — same funnel counts,
+same sacrificial set, same matches — over either delegation-store
+backend. These tests pin that equivalence at test scale (the
+full-scale seeds 2021/7 equivalence is the PR's acceptance run; the
+merge logic exercised here is scale-independent).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.detection.pipeline import DetectionPipeline, PipelineResult
+from repro.store.dataset import ShardSpec, open_dataset, write_dataset
+from repro.store.artifacts import scenario_digest
+
+
+def fingerprint(result: PipelineResult) -> dict:
+    """Everything observable about a pipeline run, order included."""
+    return {
+        "funnel": dataclasses.asdict(result.funnel),
+        "sacrificial": [dataclasses.asdict(s) for s in result.sacrificial],
+        "matches": [
+            (m.candidate, m.original_ns, m.original_domain, m.first_seen)
+            for m in result.matches
+        ],
+        "candidates": [
+            (c.name, c.first_seen, sorted(c.referencing_domains))
+            for c in result.candidates
+        ],
+        "mined": [(p.substring, p.support) for p in result.mined_patterns],
+    }
+
+
+class TestShardSpec:
+    def test_partition_covers_every_nameserver_once(self):
+        shards = ShardSpec.partition(4)
+        names = [f"ns{i}.host{i % 7}.example" for i in range(50)]
+        for name in names:
+            owners = [s for s in shards if s.owns(name)]
+            assert len(owners) == 1
+
+    def test_assignment_is_stable(self):
+        assert [ShardSpec(i, 3).owns("ns1.a.biz") for i in range(3)] == [
+            ShardSpec(i, 3).owns("ns1.a.biz") for i in range(3)
+        ]
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSpec(3, 3)
+        with pytest.raises(ValueError):
+            ShardSpec(-1, 2)
+        with pytest.raises(ValueError):
+            ShardSpec.partition(0)
+
+
+class TestShardedEquivalence:
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_matches_unsharded_memory(self, tiny_bundle, shards):
+        world = tiny_bundle.world
+        sharded = DetectionPipeline(
+            world.zonedb, world.whois, mine_patterns=False, shards=shards
+        ).run()
+        assert fingerprint(sharded) == fingerprint(tiny_bundle.pipeline)
+
+    def test_sharded_with_mining_matches_unsharded(self, tiny_bundle):
+        world = tiny_bundle.world
+        unsharded = DetectionPipeline(
+            world.zonedb, world.whois, mine_patterns=True
+        ).run()
+        sharded = DetectionPipeline(
+            world.zonedb, world.whois, mine_patterns=True, shards=3
+        ).run()
+        assert fingerprint(sharded) == fingerprint(unsharded)
+
+    def test_sharded_over_sqlite_dataset_matches(self, tiny_bundle, tmp_path):
+        """simulate → write dataset → reopen → sharded detect: identical."""
+        world = tiny_bundle.world
+        path = tmp_path / "dataset.sqlite"
+        write_dataset(
+            world.zonedb, path,
+            scenario_digest=scenario_digest(world.config),
+        )
+        reopened = open_dataset(path)
+        sharded = DetectionPipeline(
+            reopened, world.whois, mine_patterns=False, shards=4
+        ).run()
+        assert fingerprint(sharded) == fingerprint(tiny_bundle.pipeline)
+
+    def test_invalid_shard_count_rejected(self, tiny_bundle):
+        world = tiny_bundle.world
+        with pytest.raises(ValueError):
+            DetectionPipeline(world.zonedb, world.whois, shards=0)
+
+
+class TestShardCheckpoints:
+    def test_resume_skips_completed_shards(self, tiny_bundle, tmp_path):
+        world = tiny_bundle.world
+        checkpoint_dir = tmp_path / "ckpt"
+
+        first = DetectionPipeline(world.zonedb, world.whois, shards=3)
+        baseline = first.run(checkpoint_path=checkpoint_dir)
+        saved = sorted(p.name for p in checkpoint_dir.iterdir())
+        assert saved == [
+            f"shard-{i:04d}-of-0003.pkl" for i in range(3)
+        ]
+
+        # A resumed pipeline whose stages all explode must still produce
+        # the identical result purely from the shard checkpoints.
+        resumed = DetectionPipeline(world.zonedb, world.whois, shards=3)
+
+        def boom(view, state):
+            raise AssertionError("stage ran despite checkpoint")
+
+        for stage in (
+            "_stage_candidates", "_stage_test_filter", "_stage_pattern_sweep",
+            "_stage_single_repo", "_stage_match",
+        ):
+            setattr(resumed, stage, boom)
+        result = resumed.run(checkpoint_path=checkpoint_dir)
+        assert fingerprint(result) == fingerprint(baseline)
+
+    def test_partial_checkpoints_recompute_missing_shards(
+        self, tiny_bundle, tmp_path
+    ):
+        world = tiny_bundle.world
+        checkpoint_dir = tmp_path / "ckpt"
+        baseline = DetectionPipeline(world.zonedb, world.whois, shards=3).run(
+            checkpoint_path=checkpoint_dir
+        )
+        (checkpoint_dir / "shard-0001-of-0003.pkl").unlink()
+        rerun = DetectionPipeline(world.zonedb, world.whois, shards=3).run(
+            checkpoint_path=checkpoint_dir
+        )
+        assert fingerprint(rerun) == fingerprint(baseline)
+        assert (checkpoint_dir / "shard-0001-of-0003.pkl").exists()

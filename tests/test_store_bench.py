@@ -1,0 +1,42 @@
+"""Smoke tests for the store benchmark harness (repro.store.bench)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.store.bench import main, run_benchmarks
+
+
+def test_run_benchmarks_shape(tmp_path):
+    report = run_benchmarks(
+        domains=20, days=4, query_rounds=2, scale=0.1, shards=2,
+        tmp_dir=tmp_path,
+    )
+    assert report["format"] == "riskybiz-bench-store/1"
+    assert [entry["backend"] for entry in report["ingest"]] == [
+        "memory", "sqlite"
+    ]
+    for entry in report["ingest"]:
+        assert entry["events"] == 80
+        assert entry["events_per_second"] > 0
+    for entry in report["ns_records"]:
+        assert entry["calls"] > 0
+        assert entry["microseconds_per_call"] > 0
+    pipeline = report["pipeline"]
+    assert pipeline["unsharded_seconds"] > 0
+    assert pipeline["sharded_seconds"] > 0
+    assert pipeline["shards"] == 2
+
+
+def test_cli_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_store.json"
+    code = main([
+        "--out", str(out), "--domains", "20", "--days", "4",
+        "--query-rounds", "2", "--scale", "0.1", "--shards", "2",
+        "--sqlite-dir", str(tmp_path),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["parameters"]["shards"] == 2
+    err = capsys.readouterr().err
+    assert "ingest[sqlite]" in err and "pipeline:" in err

@@ -1,16 +1,36 @@
-"""Tests for the longitudinal zone database."""
+"""Tests for the longitudinal zone database.
+
+Every test here runs against both delegation-store backends (in-memory
+and SQLite): the façade must behave identically no matter where the
+intervals live.
+"""
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.simtime import Interval
+from repro.store.sqlite import SqliteDelegationStore
 from repro.zonedb.database import ZoneDatabase
 from repro.zonedb.snapshot import ZoneSnapshot
 
+BACKENDS = ("memory", "sqlite")
+
+
+def _store_for(backend):
+    return SqliteDelegationStore(":memory:") if backend == "sqlite" else None
+
+
+@pytest.fixture(params=BACKENDS)
+def make_db(request):
+    def factory(covered_tlds=()):
+        return ZoneDatabase(covered_tlds, store=_store_for(request.param))
+
+    return factory
+
 
 @pytest.fixture()
-def db():
-    database = ZoneDatabase(["com", "biz"])
+def db(make_db):
+    database = make_db(["com", "biz"])
     database.set_delegation(0, "foo.com", ["ns1.x.net", "ns2.x.net"])
     database.set_glue(0, "ns1.foo.com")
     return database
@@ -115,10 +135,10 @@ class TestSnapshots:
         later = db.snapshot_at(9, "com")
         assert set(later.delegations) == {"bar.com"}
 
-    def test_ingest_snapshot_equivalent_to_changes(self):
+    def test_ingest_snapshot_equivalent_to_changes(self, make_db):
         """Snapshot-diff ingestion and the change API agree exactly."""
-        by_changes = ZoneDatabase(["com"])
-        by_snapshots = ZoneDatabase(["com"])
+        by_changes = make_db(["com"])
+        by_snapshots = make_db(["com"])
         timeline = {
             0: {"a.com": {"ns1.x.net"}, "b.com": {"ns2.x.net"}},
             1: {"a.com": {"ns1.x.net"}, "b.com": {"ns3.x.net"}},
@@ -161,20 +181,23 @@ class TestSnapshots:
     )
     def test_snapshot_roundtrip_property(self, states):
         """Any daily state sequence survives ingest + reconstruction."""
-        db = ZoneDatabase(["com"])
-        for day, state in enumerate(states):
-            db.ingest_snapshot(
-                ZoneSnapshot(
-                    day=day, tld="com",
-                    delegations={d: frozenset(ns) for d, ns in state.items()},
+        # Backends are exercised inside the test body (not via fixture
+        # params) so hypothesis reuses examples across both.
+        for backend in BACKENDS:
+            db = ZoneDatabase(["com"], store=_store_for(backend))
+            for day, state in enumerate(states):
+                db.ingest_snapshot(
+                    ZoneSnapshot(
+                        day=day, tld="com",
+                        delegations={d: frozenset(ns) for d, ns in state.items()},
+                    )
                 )
-            )
-        db.advance(len(states))
-        for day, state in enumerate(states):
-            reconstructed = db.snapshot_at(day, "com").delegations
-            assert reconstructed == {
-                d: frozenset(ns) for d, ns in state.items()
-            }
+            db.advance(len(states))
+            for day, state in enumerate(states):
+                reconstructed = db.snapshot_at(day, "com").delegations
+                assert reconstructed == {
+                    d: frozenset(ns) for d, ns in state.items()
+                }
 
 
 class TestCounts:

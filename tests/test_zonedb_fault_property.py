@@ -9,7 +9,10 @@ invariants:
   (or ``None`` while open);
 * intervals for the same (domain, nameserver) pair never overlap;
 * the domain-keyed and nameserver-keyed indexes hold exactly the same
-  record objects.
+  records.
+
+Both delegation-store backends must uphold them, so each property runs
+against memory and SQLite.
 """
 
 from __future__ import annotations
@@ -18,8 +21,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.faults import FaultConfig, SnapshotFaultInjector
+from repro.store.sqlite import SqliteDelegationStore
 from repro.zonedb.database import IngestPolicy, ZoneDatabase
 from repro.zonedb.snapshot import ZoneSnapshot
+
+BACKENDS = ("memory", "sqlite")
+
+
+def _store_for(backend: str) -> SqliteDelegationStore | None:
+    return SqliteDelegationStore(":memory:") if backend == "sqlite" else None
 
 _domains = st.sampled_from([f"domain{i}.biz" for i in range(5)])
 _nameservers = st.sampled_from(
@@ -66,7 +76,11 @@ def _check_invariants(db: ZoneDatabase) -> None:
         for ns in db.all_nameservers()
         for record in db.ns_records(ns)
     ]
-    assert sorted(id(r) for r in domain_side) == sorted(id(r) for r in ns_side)
+    # Value comparison, not identity: the SQLite backend materializes
+    # fresh DelegationRecord objects per query.
+    assert sorted(r.as_tuple() for r in domain_side) == sorted(
+        r.as_tuple() for r in ns_side
+    )
 
 
 @settings(max_examples=30, deadline=None)
@@ -79,21 +93,29 @@ def test_interval_invariants_survive_any_fault_schedule(schedule, faults, gap):
     ]
     degraded = SnapshotFaultInjector(faults).degrade(snapshots)
 
-    db = ZoneDatabase(ingest_policy=IngestPolicy(gap_bridge_days=gap))
-    for snapshot in degraded:
-        report = db.ingest_snapshot(snapshot)
-        assert report.ingested or report.reason
-    db.finalize_pending()
-    _check_invariants(db)
+    for backend in BACKENDS:
+        db = ZoneDatabase(
+            ingest_policy=IngestPolicy(gap_bridge_days=gap),
+            store=_store_for(backend),
+        )
+        for snapshot in degraded:
+            report = db.ingest_snapshot(snapshot)
+            assert report.ingested or report.reason
+        db.finalize_pending()
+        _check_invariants(db)
 
 
 @settings(max_examples=20, deadline=None)
 @given(schedule=_schedules, gap=_gap_windows)
 def test_pristine_schedules_keep_invariants_under_gap_bridging(schedule, gap):
-    db = ZoneDatabase(ingest_policy=IngestPolicy(gap_bridge_days=gap))
-    for index, delegations in enumerate(schedule):
-        db.ingest_snapshot(
-            ZoneSnapshot(day=index * 7, tld="biz", delegations=delegations)
+    for backend in BACKENDS:
+        db = ZoneDatabase(
+            ingest_policy=IngestPolicy(gap_bridge_days=gap),
+            store=_store_for(backend),
         )
-    db.finalize_pending()
-    _check_invariants(db)
+        for index, delegations in enumerate(schedule):
+            db.ingest_snapshot(
+                ZoneSnapshot(day=index * 7, tld="biz", delegations=delegations)
+            )
+        db.finalize_pending()
+        _check_invariants(db)
