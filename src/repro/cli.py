@@ -28,6 +28,16 @@ actually run:
     Run the two-layer static analysis: determinism rules over the
     Python tree and RFC 5731/5732 referential-integrity rules over
     scenario/world JSON. Exits non-zero on any non-baselined error.
+
+``riskybiz verify-data``
+    Recompute every recorded SHA-256 over a dataset, artifact cache,
+    and/or run directory; report corrupt or orphaned entries and exit
+    non-zero on any mismatch.
+
+``riskybiz chaos-smoke``
+    Run one seeded kill-and-resume chaos trial (see
+    :mod:`repro.runner.chaos_harness`) and fail unless the interrupted
+    run reproduces the uninterrupted result bit-for-bit.
 """
 
 from __future__ import annotations
@@ -212,10 +222,56 @@ def _detect_zonedb(args: argparse.Namespace):
         return None
 
 
+def _detect_supervised(args: argparse.Namespace, zonedb, whois):
+    """Run detection under the supervised, journaled runner.
+
+    Used when ``--run-dir`` is given: every stage/shard completion is
+    journaled so ``--resume <run-id>`` restarts exactly the work that
+    did not durably complete. Returns the pipeline result, or None on a
+    runner error (already reported).
+    """
+    from repro.runner import RunFailed, SupervisorPolicy, run_supervised_detection
+
+    if args.workers > 0 and not args.dataset:
+        print(
+            "error: --workers requires --dataset (workers reopen it)",
+            file=sys.stderr,
+        )
+        return None
+    try:
+        supervised = run_supervised_detection(
+            zonedb,
+            whois,
+            run_dir=args.run_dir,
+            shards=args.shards,
+            mine_patterns=args.mine_patterns,
+            options={"gap_bridge": args.gap_bridge, "strict": args.strict},
+            policy=SupervisorPolicy(workers=args.workers),
+            resume=args.resume,
+            dataset_path=args.dataset,
+            whois_path=args.whois,
+        )
+    except RunFailed as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    verb = "Resumed" if supervised.resumed else "Completed"
+    retried = sum(1 for o in supervised.outcomes.values() if o.retried)
+    print(
+        f"{verb} supervised run {supervised.run_id} "
+        f"({args.shards} shard(s), {retried} retried); journal at "
+        f"{supervised.journal_path}",
+        file=sys.stderr,
+    )
+    return supervised.result
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     """Run the detection methodology against an on-disk dataset/archive."""
     if not args.dataset and not args.archive:
         print("error: one of --dataset or --archive is required", file=sys.stderr)
+        return 2
+    if args.resume and not args.run_dir:
+        print("error: --resume requires --run-dir", file=sys.stderr)
         return 2
     zonedb = _detect_zonedb(args)
     if zonedb is None:
@@ -224,6 +280,11 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print("error: data set contains no delegations", file=sys.stderr)
         return 1
     whois = WhoisArchive.load(args.whois) if args.whois else WhoisArchive()
+    if args.run_dir:
+        result = _detect_supervised(args, zonedb, whois)
+        if result is None:
+            return 1
+        return _render_detect(args, result, zonedb, whois)
     pipeline = DetectionPipeline(
         zonedb, whois, mine_patterns=args.mine_patterns, shards=args.shards
     )
@@ -248,6 +309,11 @@ def cmd_detect(args: argparse.Namespace) -> int:
         )
     else:
         result = pipeline.run(checkpoint_path=args.checkpoint)
+    return _render_detect(args, result, zonedb, whois)
+
+
+def _render_detect(args: argparse.Namespace, result, zonedb, whois) -> int:
+    """Print the detect command's funnel, patterns, and study tables."""
     print(render_funnel(result))
     if result.coverage.degraded:
         from repro.analysis.report import render_coverage
@@ -268,6 +334,68 @@ def cmd_detect(args: argparse.Namespace) -> int:
     print()
     print(render_table3(study))
     return 0
+
+
+def cmd_verify_data(args: argparse.Namespace) -> int:
+    """Recompute and check every recorded digest over on-disk state."""
+    from repro.store.verify import (
+        issues_as_json,
+        render_issues,
+        verify_artifact_dir,
+        verify_dataset,
+        verify_run_dir,
+    )
+
+    if not (args.dataset or args.cache_dir or args.run_dir):
+        print(
+            "error: nothing to verify; pass --dataset, --cache-dir, "
+            "and/or --run-dir",
+            file=sys.stderr,
+        )
+        return 2
+    issues = []
+    if args.dataset:
+        issues.extend(verify_dataset(args.dataset))
+    if args.cache_dir:
+        issues.extend(verify_artifact_dir(args.cache_dir))
+    if args.run_dir:
+        issues.extend(verify_run_dir(args.run_dir))
+    print(
+        issues_as_json(issues) if args.format == "json" else render_issues(issues)
+    )
+    return 1 if issues else 0
+
+
+def cmd_chaos_smoke(args: argparse.Namespace) -> int:
+    """One seeded kill-and-resume trial; non-zero unless bit-identical."""
+    from repro.runner import run_kill_resume_trial
+
+    print(
+        f"Chaos trial: backend={args.backend} scale={args.scale} "
+        f"seed={args.seed} chaos-seed={args.chaos_seed} kills<={args.kills}",
+        file=sys.stderr,
+    )
+    report = run_kill_resume_trial(
+        workdir=args.out,
+        scale=args.scale,
+        seed=args.seed,
+        backend=args.backend,
+        shards=args.shards,
+        chaos_seed=args.chaos_seed,
+        max_kills=args.kills,
+    )
+    print(f"kills injected : {report.kills}")
+    for site, label in report.kill_sites:
+        print(f"  killed at    : {site}:{label}")
+    print(f"resumes        : {report.resumes}")
+    print(f"baseline digest: {report.baseline_digest[:16]}…")
+    print(f"chaos digest   : {report.chaos_digest[:16]}…")
+    print(f"bit-identical  : {report.bit_identical}")
+    if report.verify_issues:
+        print("verify-data issues:")
+        for issue in report.verify_issues:
+            print(f"  {issue}")
+    return 0 if report.passed else 1
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -447,6 +575,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache the pipeline result content-addressed under DIR "
              "(keyed by the dataset's scenario digest + options)",
     )
+    detect.add_argument(
+        "--run-dir", metavar="DIR",
+        help="execute under the supervised runner, journaling every "
+             "stage/shard completion (and the result) under DIR",
+    )
+    detect.add_argument(
+        "--resume", metavar="RUN_ID",
+        help="resume the journaled run RUN_ID in --run-dir, re-executing "
+             "only work that did not durably complete",
+    )
+    detect.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run shards across N supervised worker processes with "
+             "heartbeats and crash retry (default: 0, inline; needs "
+             "--dataset)",
+    )
     detect.set_defaults(func=cmd_detect)
 
     experiment = subparsers.add_parser(
@@ -526,6 +670,60 @@ def build_parser() -> argparse.ArgumentParser:
              "failing on them",
     )
     lint.set_defaults(func=cmd_lint)
+
+    verify = subparsers.add_parser(
+        "verify-data",
+        help="recompute recorded digests over datasets, caches, and runs",
+    )
+    verify.add_argument(
+        "--dataset", metavar="FILE",
+        help="SQLite dataset to verify against its manifest",
+    )
+    verify.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="artifact cache directory to verify entry-by-entry",
+    )
+    verify.add_argument(
+        "--run-dir", metavar="DIR",
+        help="supervised run directory to verify (journal, checkpoints, "
+             "result)",
+    )
+    verify.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    verify.set_defaults(func=cmd_verify_data)
+
+    chaos = subparsers.add_parser(
+        "chaos-smoke",
+        help="seeded kill-and-resume trial: crash, resume, compare bits",
+    )
+    chaos.add_argument("--seed", type=int, default=2021, help="scenario seed")
+    chaos.add_argument(
+        "--scale", type=float, default=0.1,
+        help="world scale for the trial (default: 0.1)",
+    )
+    chaos.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="sqlite",
+        help="store backend the trial runs against (default: sqlite)",
+    )
+    chaos.add_argument(
+        "--shards", type=int, default=4,
+        help="detection shards for the supervised runs (default: 4)",
+    )
+    chaos.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the kill-schedule RNG streams (default: 0)",
+    )
+    chaos.add_argument(
+        "--kills", type=int, default=5,
+        help="kill budget for the trial (default: 5)",
+    )
+    chaos.add_argument(
+        "--out", required=True, metavar="DIR",
+        help="working directory for the trial's runs and datasets",
+    )
+    chaos.set_defaults(func=cmd_chaos_smoke)
 
     return parser
 

@@ -21,11 +21,10 @@ stage-by-stage funnel (the §3 numbers: 20M → 312,328 → −28,614 test →
 
 from __future__ import annotations
 
-import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.dnscore.names import Name
 from repro.dnscore.psl import PublicSuffixList, default_psl
@@ -41,12 +40,32 @@ from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilt
 from repro.detection.resolvability import ResolvabilityAnalyzer
 from repro.detection.substrings import SubstringPattern, mine_substrings
 from repro.detection.testns import TestNameserverFilter
+from repro.store.atomic import atomic_write_bytes
 from repro.store.dataset import DatasetView, ShardSpec
 from repro.whois.archive import WhoisArchive
 from repro.zonedb.database import ZoneDatabase
 
 #: Minimum substring support for the §3.2.2 mining stage.
 MINE_MIN_SUPPORT = 4
+
+
+def dump_pipeline_state(state: dict[str, Any]) -> bytes:
+    """Serialize a checkpointable stage/shard state deterministically.
+
+    The ``done`` set is normalized to a sorted list before pickling so
+    equal states produce identical bytes regardless of process hash
+    seed — checkpoint files are content-addressed by these bytes.
+    """
+    normalized = dict(state)
+    normalized["done"] = sorted(state.get("done", ()))
+    return pickle.dumps(normalized)
+
+
+def load_pipeline_state(data: bytes) -> dict[str, Any]:
+    """Inverse of :func:`dump_pipeline_state`."""
+    state: dict[str, Any] = pickle.loads(data)
+    state["done"] = set(state.get("done", ()))
+    return state
 
 
 @dataclass(frozen=True, slots=True)
@@ -294,7 +313,7 @@ class DetectionPipeline:
             self._run_shard(shard, checkpoint_dir=checkpoint_dir)
             for shard in ShardSpec.partition(self.shards)
         ]
-        return self._merge(shard_states)
+        return self.merge_shard_states(shard_states)
 
     def _run_single(self, checkpoint_path: str | Path | None) -> PipelineResult:
         state = self._load_checkpoint(checkpoint_path)
@@ -318,6 +337,56 @@ class DetectionPipeline:
         """Checkpoint file for one shard under a checkpoint directory."""
         return Path(root) / f"shard-{shard.index:04d}-of-{shard.count:04d}.pkl"
 
+    #: Per-shard stages, in execution order (mining runs post-merge).
+    SHARD_STAGES = (
+        "candidates",
+        "test-filter",
+        "pattern-sweep",
+        "single-repo",
+        "match",
+    )
+
+    def new_shard_state(self) -> dict[str, Any]:
+        """A fresh, empty shard state (nothing done yet)."""
+        return {"done": set(), "funnel": PipelineFunnel()}
+
+    def run_shard_stages(
+        self,
+        shard: ShardSpec,
+        state: dict[str, Any],
+        *,
+        after_stage: "Callable[[str, dict[str, Any]], None] | None" = None,
+    ) -> dict[str, Any]:
+        """Run every not-yet-done per-nameserver stage for one shard.
+
+        ``state`` may come from :meth:`new_shard_state` or a checkpoint
+        written mid-shard; stages in ``state["done"]`` are skipped, so
+        execution resumes exactly where durable progress stopped.
+        ``after_stage(name, state)`` runs after each stage completes —
+        the supervised runner checkpoints (and chaos-kills) there.
+        """
+        view = DatasetView(self.zonedb, self.whois, shard)
+        stages = {
+            "candidates": self._stage_candidates,
+            "test-filter": self._stage_test_filter,
+            "pattern-sweep": self._stage_pattern_sweep,
+            "single-repo": self._stage_single_repo,
+            "match": self._stage_match,
+        }
+        for name in self.SHARD_STAGES:
+            if name in state["done"]:
+                continue
+            stages[name](view, state)
+            if name == "candidates":
+                # Mining needs cross-shard support counts, so it runs
+                # post-merge; keep the pre-test-filter candidate list
+                # the miner consumes.
+                state["stage1"] = list(state["candidates"])
+            state["done"].add(name)
+            if after_stage is not None:
+                after_stage(name, state)
+        return state
+
     def _run_shard(
         self, shard: ShardSpec, *, checkpoint_dir: Path | None = None
     ) -> dict[str, Any]:
@@ -326,23 +395,15 @@ class DetectionPipeline:
         if checkpoint_dir is not None:
             path = self.shard_checkpoint_path(checkpoint_dir, shard)
             if path.exists():
-                with open(path, "rb") as handle:
-                    return pickle.load(handle)
-        view = DatasetView(self.zonedb, self.whois, shard)
-        state: dict[str, Any] = {"done": set(), "funnel": PipelineFunnel()}
-        self._stage_candidates(view, state)
-        # Mining needs cross-shard support counts, so it runs post-merge;
-        # keep the pre-test-filter candidate list the miner consumes.
-        state["stage1"] = state["candidates"]
-        self._stage_test_filter(view, state)
-        self._stage_pattern_sweep(view, state)
-        self._stage_single_repo(view, state)
-        self._stage_match(view, state)
+                return load_pipeline_state(path.read_bytes())
+        state = self.run_shard_stages(shard, self.new_shard_state())
         if path is not None:
             self._save_checkpoint(path, state)
         return state
 
-    def _merge(self, shard_states: list[dict[str, Any]]) -> PipelineResult:
+    def merge_shard_states(
+        self, shard_states: list[dict[str, Any]]
+    ) -> PipelineResult:
         """Reassemble shard states into the unsharded run's exact result.
 
         Funnel counts sum (shards partition the nameserver population);
@@ -391,19 +452,13 @@ class DetectionPipeline:
 
     def _load_checkpoint(self, path: str | Path | None) -> dict[str, Any]:
         if path is not None and Path(path).exists():
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        return {"done": set(), "funnel": PipelineFunnel()}
+            return load_pipeline_state(Path(path).read_bytes())
+        return self.new_shard_state()
 
     def _save_checkpoint(self, path: str | Path | None, state: dict[str, Any]) -> None:
         if path is None:
             return
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        temp = target.with_suffix(target.suffix + ".tmp")
-        with open(temp, "wb") as handle:
-            pickle.dump(state, handle)
-        os.replace(temp, target)
+        atomic_write_bytes(Path(path), dump_pipeline_state(state))
 
     # Stage 1: unresolvable-at-first-reference candidates.
     def _stage_candidates(self, view: DatasetView, state: dict[str, Any]) -> None:

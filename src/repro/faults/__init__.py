@@ -18,7 +18,11 @@ exactly that degradation, reproducibly:
   retry/timeout model;
 * :func:`~repro.faults.apply.degrade_world` — turn one simulated
   world's pristine observables into the degraded data sets a real
-  measurement team would have collected.
+  measurement team would have collected;
+* :class:`~repro.faults.process.ChaosMonkey` — the *execution*-plane
+  injectors: killing shard workers at stage boundaries, killing the
+  supervisor at journal-append boundaries, and tearing journal writes
+  mid-record, all within a seeded kill budget.
 
 Every injector draws from its own named RNG stream derived from
 ``FaultConfig.seed``, so enabling one fault class never perturbs
@@ -36,6 +40,12 @@ from repro.faults.injectors import (
     WhoisFaultLog,
 )
 from repro.faults.apply import DegradedObservables, degrade_world, snapshot_stream
+from repro.faults.process import (
+    KILL_EXIT_CODE,
+    ChaosKill,
+    ChaosMonkey,
+    ProcessChaosConfig,
+)
 
 __all__ = [
     "FaultConfig",
@@ -50,4 +60,8 @@ __all__ = [
     "DegradedObservables",
     "degrade_world",
     "snapshot_stream",
+    "ChaosKill",
+    "ChaosMonkey",
+    "KILL_EXIT_CODE",
+    "ProcessChaosConfig",
 ]

@@ -14,6 +14,7 @@ DET004    set-iteration            set iteration order reaching ordered output
 DET005    float-equality           ``==``/``!=`` against float literals
 DET006    mutable-default          mutable default argument values
 DET007    process-hash             builtin ``hash()`` outside ``__hash__``
+DET008    non-atomic-write         raw file write in the durability layer
 ========  =======================  ==========================================
 
 Checks are deliberately syntactic (no type inference beyond local
@@ -61,6 +62,13 @@ rule(
     "DET007", "process-hash", "code",
     "builtin hash() varies per process (PYTHONHASHSEED); use a stable digest",
 )
+rule(
+    "DET008", "non-atomic-write", "code",
+    "raw file write in storage/runner code; route through repro.store.atomic",
+)
+
+#: ``open()`` mode characters that make the call a write.
+_WRITE_MODE_CHARS = frozenset("wax+")
 
 #: Functions on the ``random`` module that draw from the shared global RNG.
 _MODULE_RNG_FNS = frozenset({
@@ -103,6 +111,16 @@ class CodeContext:
     def is_rng_module(self) -> bool:
         """True for the module(s) allowed to build stream RNGs directly."""
         return self.path in self.config.fault_rng_modules
+
+    @property
+    def in_atomic(self) -> bool:
+        """True under a path whose writes must be crash-safe."""
+        return self.config.path_in(self.path, self.config.atomic_paths)
+
+    @property
+    def is_atomic_module(self) -> bool:
+        """True for the module(s) allowed to write files directly."""
+        return self.path in self.config.atomic_write_modules
 
 
 @dataclass
@@ -245,6 +263,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._check_wall_clock(node)
         self._check_hash(node)
         self._check_order_sensitive_call(node)
+        self._check_raw_write(node)
         self.generic_visit(node)
 
     def _check_random_call(self, node: ast.Call) -> None:
@@ -355,6 +374,56 @@ class _DeterminismVisitor(ast.NodeVisitor):
             "repro.faults.rng.stable_hash",
         )
 
+    # -- DET008: raw writes in the durability layer -------------------------
+
+    def _check_raw_write(self, node: ast.Call) -> None:
+        """Flag writes that bypass the atomic-write helper.
+
+        Scoped to the storage/runner/detection layers, where a
+        half-written manifest, checkpoint, or journal would be read back
+        later; everything there must go through
+        :mod:`repro.store.atomic` (or be an explicitly allowed module,
+        or carry a baselined justification).
+        """
+        if not self.ctx.in_atomic or self.ctx.is_atomic_module:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "write_text", "write_bytes",
+        ):
+            self._emit(
+                "DET008", node,
+                f".{func.attr}() is not crash-safe (a kill mid-write leaves "
+                "a torn file); use repro.store.atomic.atomic_write_*",
+            )
+            return
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode_index = 1  # builtin open(file, mode)
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            mode_index = 0  # Path.open(mode)
+        else:
+            return
+        mode: str | None = None
+        if (
+            len(node.args) > mode_index
+            and isinstance(node.args[mode_index], ast.Constant)
+            and isinstance(node.args[mode_index].value, str)
+        ):
+            mode = node.args[mode_index].value
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "mode"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                mode = keyword.value.value
+        if mode is not None and any(ch in _WRITE_MODE_CHARS for ch in mode):
+            self._emit(
+                "DET008", node,
+                f"open(..., {mode!r}) writes in place (not crash-safe); "
+                "use repro.store.atomic.atomic_write_*",
+            )
+
     def _check_order_sensitive_call(self, node: ast.Call) -> None:
         func = node.func
         sink: str | None = None
@@ -441,7 +510,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
 @code_checker
 def check_determinism(tree: ast.Module, ctx: CodeContext) -> list[Diagnostic]:
-    """The built-in determinism rule pack (DET001–DET007)."""
+    """The built-in determinism rule pack (DET001–DET008)."""
     visitor = _DeterminismVisitor(ctx, _collect_aliases(tree))
     visitor.visit(tree)
     return visitor.diagnostics

@@ -43,6 +43,19 @@ class LintConfig:
     fault_paths: tuple[str, ...] = ("src/repro/faults",)
     #: The modules allowed to construct stream RNGs directly.
     fault_rng_modules: tuple[str, ...] = ("src/repro/faults/rng.py",)
+    #: Paths whose manifest/checkpoint/journal writes must route through
+    #: :mod:`repro.store.atomic` (DET008).
+    atomic_paths: tuple[str, ...] = (
+        "src/repro/store",
+        "src/repro/runner",
+        "src/repro/detection",
+    )
+    #: The modules allowed to perform raw file writes: the atomic helper
+    #: itself, and the append-only journal (appends cannot temp-rename).
+    atomic_write_modules: tuple[str, ...] = (
+        "src/repro/store/atomic.py",
+        "src/repro/runner/journal.py",
+    )
 
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
@@ -105,6 +118,8 @@ def load_config(root: Path | str | None = None) -> LintConfig:
         ("analysis-paths", "analysis_paths"),
         ("fault-paths", "fault_paths"),
         ("fault-rng-modules", "fault_rng_modules"),
+        ("atomic-paths", "atomic_paths"),
+        ("atomic-write-modules", "atomic_write_modules"),
     ):
         if option in table:
             updates[attr] = _as_str_tuple(table[option], option)

@@ -1,0 +1,569 @@
+"""Supervised detection runs: journaled, checkpointed, resumable.
+
+This module ties the supervisor and the journal to the detection
+pipeline. One *supervised run* lives in a run directory::
+
+    <run_dir>/journal.jsonl                    append-only run journal
+    <run_dir>/checkpoints/shard-NNNN-of-NNNN.pkl   per-shard state
+    <run_dir>/result.pkl + result.json         merged result + manifest
+
+Durability protocol, per shard stage::
+
+    run stage  →  atomic checkpoint write  →  journal stage-complete
+
+so every crash window converges on resume:
+
+* killed before the checkpoint write — the stage's work is in memory
+  only; the checkpoint still describes the previous stage; redo it;
+* killed between checkpoint and journal append — the checkpoint is
+  *ahead* of the journal; resume reconciles by journaling the stages
+  the checkpoint proves complete (flagged ``reconciled``);
+* a torn journal append — the fragment fails verification and is
+  dropped on reopen, identical to the previous window.
+
+Checkpoints and the merged result are content-verified on resume: a
+file whose SHA-256 does not match what the journal recorded is
+quarantined and its work recomputed — the journal never lies about
+what durably exists. Run IDs are deterministic digests of the run's
+inputs, so ``--resume`` can also detect an input switcheroo.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.detection.pipeline import (
+    DetectionPipeline,
+    PipelineResult,
+    dump_pipeline_state,
+    load_pipeline_state,
+)
+from repro.runner.journal import RunJournal
+from repro.runner.supervisor import (
+    RunFailed,
+    RunSupervisor,
+    ShardOutcome,
+    SupervisorPolicy,
+)
+from repro.store.artifacts import content_digest
+from repro.store.atomic import (
+    atomic_write_bytes,
+    file_sha256,
+    load_checked_json,
+    quarantine,
+    write_checked_json,
+)
+from repro.store.dataset import SCENARIO_DIGEST_KEY, ShardSpec
+
+if TYPE_CHECKING:
+    from repro.faults.process import ChaosMonkey
+    from repro.whois.archive import WhoisArchive
+    from repro.zonedb.database import ZoneDatabase
+
+#: Format tag carried by the result manifest sidecar.
+RESULT_FORMAT = "riskybiz-run-result/1"
+
+#: Filenames inside a run directory.
+JOURNAL_NAME = "journal.jsonl"
+RESULT_NAME = "result.pkl"
+RESULT_MANIFEST_NAME = "result.json"
+CHECKPOINT_DIR_NAME = "checkpoints"
+
+
+def compute_run_id(fingerprint: dict[str, Any]) -> str:
+    """Deterministic run ID for a run-input fingerprint.
+
+    Same dataset + same options ⇒ same ID, so a resume against changed
+    inputs is caught as an ID mismatch instead of producing a franken-run.
+    """
+    return "run-" + content_digest(fingerprint)[:12]
+
+
+def result_fingerprint(result: PipelineResult) -> dict[str, Any]:
+    """A canonical, JSON-able fingerprint of a pipeline result.
+
+    Semantic (field values), not representational (pickle bytes), so it
+    is stable across processes, hash seeds, and pickle protocols. Two
+    results fingerprint equal iff every output the paper reports from
+    them is equal.
+    """
+    return {
+        "funnel": asdict(result.funnel),
+        "sacrificial": [asdict(entry) for entry in result.sacrificial],
+        "matches": [asdict(match) for match in result.matches],
+        "candidates": [
+            [c.name, c.first_seen, list(c.referencing_domains)]
+            for c in result.candidates
+        ],
+        "mined": [[p.substring, p.support] for p in result.mined_patterns],
+    }
+
+
+def result_digest(result: PipelineResult) -> str:
+    """SHA-256 digest of :func:`result_fingerprint`."""
+    return content_digest(result_fingerprint(result))
+
+
+def state_digest(state: dict[str, Any]) -> str:
+    """Semantic digest of one shard's checkpointable state.
+
+    Journaled at every stage boundary; like :func:`result_fingerprint`
+    it digests field values, not pickle bytes, so digests agree between
+    the process that wrote a checkpoint and the one that resumes it.
+    """
+    fingerprint: dict[str, Any] = {
+        "done": sorted(state.get("done", ())),
+        "funnel": asdict(state["funnel"]),
+    }
+    for key in ("candidates", "stage1", "remaining"):
+        if key in state:
+            fingerprint[key] = [
+                [c.name, c.first_seen, list(c.referencing_domains)]
+                for c in state[key]
+            ]
+    if "sacrificial" in state:
+        fingerprint["sacrificial"] = {
+            name: asdict(entry) for name, entry in state["sacrificial"].items()
+        }
+    if "matches" in state:
+        fingerprint["matches"] = [asdict(match) for match in state["matches"]]
+    return content_digest(fingerprint)
+
+
+@dataclass
+class SupervisedResult:
+    """What a supervised run produced, plus how it got there."""
+
+    run_id: str
+    result: PipelineResult
+    result_digest: str
+    run_dir: Path
+    journal_path: Path
+    resumed: bool = False
+    #: Per-shard execution outcomes (empty when replayed from a
+    #: durably-complete journal without re-executing anything).
+    outcomes: dict[int, ShardOutcome] = field(default_factory=dict)
+
+
+def _boundary(chaos: "ChaosMonkey | None", site: str, label: str) -> None:
+    """Hit a chaos boundary if a monkey is riding along."""
+    if chaos is None:
+        return
+    if site == "worker":
+        chaos.worker_boundary(label)
+    else:
+        chaos.supervisor_boundary(label)
+
+
+def _load_partial_state(
+    journal: RunJournal,
+    pipeline: DetectionPipeline,
+    shard: ShardSpec,
+    path: Path,
+) -> dict[str, Any]:
+    """The resumable state for an unfinished shard, reconciled.
+
+    Source of truth is the checkpoint file (it is written before the
+    journal entry); the journal is cross-checked against it:
+
+    * checkpoint ahead of journal — journal the proven stages
+      (``reconciled``) and continue from the checkpoint;
+    * checkpoint behind the journal, unreadable, or missing while the
+      journal claims progress — the durable artifact is gone or lying;
+      quarantine it, journal a ``shard-reset``, start the shard over.
+    """
+    journaled = set(journal.completed_stages(shard.index))
+    if not path.exists():
+        if journaled:
+            journal.append(
+                "shard-reset", shard=shard.index, reason="checkpoint-missing"
+            )
+        return pipeline.new_shard_state()
+    try:
+        state = load_pipeline_state(path.read_bytes())
+        done = set(state["done"])
+    except Exception:
+        quarantine(path)
+        journal.append(
+            "shard-reset", shard=shard.index, reason="checkpoint-unreadable"
+        )
+        return pipeline.new_shard_state()
+    if not journaled <= done:
+        quarantine(path)
+        journal.append(
+            "shard-reset", shard=shard.index, reason="checkpoint-behind-journal"
+        )
+        return pipeline.new_shard_state()
+    for stage in pipeline.SHARD_STAGES:
+        if stage in done and stage not in journaled:
+            journal.append(
+                "stage-complete",
+                shard=shard.index,
+                stage=stage,
+                state_digest=state_digest(state),
+                checkpoint_sha256=file_sha256(path),
+                reconciled=True,
+            )
+    return state
+
+
+def _verified_completed_shards(
+    journal: RunJournal,
+    pipeline: DetectionPipeline,
+    checkpoint_dir: Path,
+    shards: int,
+) -> set[int]:
+    """Journal-complete shards whose checkpoints verify on disk.
+
+    A shard-complete record whose checkpoint is missing or hashes wrong
+    is demoted: the file is quarantined, a ``shard-reset`` journaled,
+    and the shard re-executed (stages are deterministic, so redoing is
+    always safe).
+    """
+    verified: set[int] = set()
+    for index, payload in journal.completed_shards().items():
+        if not 0 <= index < shards:
+            continue
+        path = pipeline.shard_checkpoint_path(
+            checkpoint_dir, ShardSpec(index, shards)
+        )
+        if path.exists() and file_sha256(path) == payload.get("checkpoint_sha256"):
+            verified.add(index)
+            continue
+        if path.exists():
+            quarantine(path)
+        journal.append(
+            "shard-reset", shard=index, reason="completed-checkpoint-mismatch"
+        )
+    return verified
+
+
+def _load_completed_result(
+    run_dir: Path, payload: dict[str, Any]
+) -> PipelineResult | None:
+    """The durably-journaled merged result, verified, or None.
+
+    None means the result artifact was missing or failed verification;
+    the corrupt files are quarantined and the caller re-merges from the
+    (independently verified) shard checkpoints.
+    """
+    result_path = run_dir / RESULT_NAME
+    manifest_path = run_dir / RESULT_MANIFEST_NAME
+    if not result_path.exists():
+        return None
+    data = result_path.read_bytes()
+    if hashlib.sha256(data).hexdigest() != payload.get("result_sha256"):
+        quarantine(result_path)
+        if manifest_path.exists():
+            quarantine(manifest_path)
+        return None
+    try:
+        result: PipelineResult = pickle.loads(data)
+    except Exception:
+        quarantine(result_path)
+        return None
+    if result_digest(result) != payload.get("result_digest"):
+        quarantine(result_path)
+        return None
+    if manifest_path.exists() and load_checked_json(manifest_path) is None:
+        # Manifest corrupt (now quarantined): rewrite it from the
+        # verified result rather than leaving the run dir inconsistent.
+        _write_result_manifest(run_dir, payload["run_id"], data, result)
+    return result
+
+
+def _write_result_manifest(
+    run_dir: Path, run_id: str, data: bytes, result: PipelineResult
+) -> dict[str, Any]:
+    manifest = {
+        "format": RESULT_FORMAT,
+        "run_id": run_id,
+        "result": RESULT_NAME,
+        "result_sha256": hashlib.sha256(data).hexdigest(),
+        "result_digest": result_digest(result),
+        "sacrificial_total": result.funnel.sacrificial_total,
+    }
+    write_checked_json(run_dir / RESULT_MANIFEST_NAME, manifest)
+    return manifest
+
+
+# -- worker-process entry point ---------------------------------------------
+
+
+def _shard_worker(
+    index: int,
+    shards: int,
+    dataset_path: str,
+    whois_path: str | None,
+    checkpoint_dir: str,
+    mine_patterns: bool,
+    heartbeats: Any,
+    chaos_seed: int | None,
+    kill_rate: float,
+) -> None:
+    """One shard, in its own process: open data, resume, checkpoint.
+
+    Module-level so it pickles under any multiprocessing start method.
+    The worker never touches the journal — the journal has exactly one
+    writer, the supervisor, which records the completion only after
+    verifying the checkpoint this worker left behind.
+
+    Chaos (when ``chaos_seed`` is not None) uses a per-shard seed and
+    ``os._exit(137)`` at stage boundaries, so the supervisor sees a
+    genuine SIGKILL-style crash; the supervisor only arms it on a
+    shard's first attempt, so retries always make progress.
+    """
+    from repro.store.dataset import open_dataset
+    from repro.whois.archive import WhoisArchive
+
+    monkey = None
+    if chaos_seed is not None and kill_rate > 0:
+        from repro.faults.process import ChaosMonkey, ProcessChaosConfig
+        from repro.faults.rng import stable_hash
+
+        monkey = ChaosMonkey(
+            ProcessChaosConfig(
+                seed=stable_hash(f"{chaos_seed}:worker:{index}"),
+                kill_worker_rate=kill_rate,
+                max_kills=1,
+            )
+        )
+    zonedb = open_dataset(dataset_path)
+    whois = WhoisArchive.load(whois_path) if whois_path else WhoisArchive()
+    pipeline = DetectionPipeline(
+        zonedb, whois, mine_patterns=mine_patterns, shards=shards
+    )
+    shard = ShardSpec(index, shards)
+    path = pipeline.shard_checkpoint_path(Path(checkpoint_dir), shard)
+    state = pipeline.new_shard_state()
+    if path.exists():
+        try:
+            state = load_pipeline_state(path.read_bytes())
+        except Exception:
+            state = pipeline.new_shard_state()
+
+    def after_stage(stage: str, st: dict[str, Any]) -> None:
+        if monkey is not None:
+            monkey.exit_if(f"shard-{index}:{stage}")
+        atomic_write_bytes(path, dump_pipeline_state(st))
+        heartbeats.put((index, stage))
+
+    pipeline.run_shard_stages(shard, state, after_stage=after_stage)
+
+
+# -- the supervised run ------------------------------------------------------
+
+
+def run_supervised_detection(
+    zonedb: "ZoneDatabase",
+    whois: "WhoisArchive",
+    *,
+    run_dir: str | Path,
+    shards: int = 1,
+    mine_patterns: bool = True,
+    options: dict[str, Any] | None = None,
+    policy: SupervisorPolicy | None = None,
+    chaos: "ChaosMonkey | None" = None,
+    resume: str | None = None,
+    dataset_path: str | Path | None = None,
+    whois_path: str | Path | None = None,
+) -> SupervisedResult:
+    """Run the detection pipeline under supervision, journaled in ``run_dir``.
+
+    Fresh run: ``run_dir`` must hold no journal; one is created under a
+    deterministic run ID. Resume: pass ``resume=<run-id>`` (from the
+    journal, or ``riskybiz detect``'s output); the journal is replayed
+    and exactly the work that did not durably complete is re-executed —
+    finishing a run twice returns the recorded result without running
+    anything.
+
+    ``policy.workers == 0`` executes shards inline (the deterministic
+    mode the chaos harness drives); ``workers > 0`` fans out worker
+    processes under the :class:`RunSupervisor` liveness loop, which
+    requires ``dataset_path`` so workers can reopen the data themselves.
+
+    ``chaos`` arms the execution-plane fault injectors at every stage,
+    journal-append, and merge boundary (see :mod:`repro.faults.process`).
+    """
+    policy = policy or SupervisorPolicy()
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    journal_path = run_dir / JOURNAL_NAME
+    checkpoint_dir = run_dir / CHECKPOINT_DIR_NAME
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    options = dict(options or {})
+    run_id = compute_run_id(
+        {
+            "scenario_digest": zonedb.store.get_meta(SCENARIO_DIGEST_KEY),
+            "shards": shards,
+            "mine_patterns": mine_patterns,
+            "options": options,
+        }
+    )
+
+    resumed = journal_path.exists()
+    if resumed:
+        if resume is None:
+            raise RunFailed(
+                f"{run_dir} already holds a journal; pass resume=<run-id> "
+                "(or point at a fresh run directory)"
+            )
+        journal = RunJournal.open(journal_path)
+        if journal.run_id != resume:
+            raise RunFailed(
+                f"journal belongs to {journal.run_id}, not {resume}"
+            )
+        if journal.run_id != run_id:
+            raise RunFailed(
+                f"run inputs changed: journal is {journal.run_id}, these "
+                f"inputs fingerprint to {run_id}"
+            )
+    else:
+        if resume is not None:
+            raise RunFailed(f"nothing to resume in {run_dir}")
+        journal = RunJournal.create(journal_path, run_id)
+    if chaos is not None:
+        journal.torn_writer = chaos.torn_write
+    if journal.last("run-config") is None:
+        journal.append(
+            "run-config",
+            shards=shards,
+            mine_patterns=mine_patterns,
+            options=options,
+            workers=policy.workers,
+        )
+
+    complete_record = journal.run_complete
+    if complete_record is not None:
+        replayed = _load_completed_result(run_dir, complete_record.payload)
+        if replayed is not None:
+            return SupervisedResult(
+                run_id=run_id,
+                result=replayed,
+                result_digest=str(complete_record.payload["result_digest"]),
+                run_dir=run_dir,
+                journal_path=journal_path,
+                resumed=True,
+            )
+
+    pipeline = DetectionPipeline(
+        zonedb, whois, mine_patterns=mine_patterns, shards=shards
+    )
+    done = _verified_completed_shards(journal, pipeline, checkpoint_dir, shards)
+    todo = [index for index in range(shards) if index not in done]
+    supervisor = RunSupervisor(policy)
+    outcomes: dict[int, ShardOutcome] = {}
+
+    def on_complete(index: int) -> None:
+        shard = ShardSpec(index, shards)
+        path = pipeline.shard_checkpoint_path(checkpoint_dir, shard)
+        state = load_pipeline_state(path.read_bytes())
+        _boundary(chaos, "supervisor", f"shard-complete:{index}")
+        journal.append(
+            "shard-complete",
+            shard=index,
+            state_digest=state_digest(state),
+            checkpoint_sha256=file_sha256(path),
+        )
+
+    if todo:
+        if policy.workers == 0:
+
+            def execute(index: int) -> None:
+                shard = ShardSpec(index, shards)
+                path = pipeline.shard_checkpoint_path(checkpoint_dir, shard)
+                state = _load_partial_state(journal, pipeline, shard, path)
+                _boundary(chaos, "supervisor", f"shard-start:{index}")
+                journal.append(
+                    "shard-start",
+                    shard=index,
+                    resumed_stages=sorted(state["done"]),
+                )
+
+                def after_stage(stage: str, st: dict[str, Any]) -> None:
+                    _boundary(chaos, "worker", f"shard-{index}:{stage}")
+                    atomic_write_bytes(path, dump_pipeline_state(st))
+                    _boundary(
+                        chaos, "supervisor", f"stage-complete:{index}:{stage}"
+                    )
+                    journal.append(
+                        "stage-complete",
+                        shard=index,
+                        stage=stage,
+                        state_digest=state_digest(st),
+                        checkpoint_sha256=file_sha256(path),
+                    )
+
+                pipeline.run_shard_stages(shard, state, after_stage=after_stage)
+
+            outcomes = supervisor.run_inline(
+                todo, execute, on_complete=on_complete
+            )
+        else:
+            if dataset_path is None:
+                raise RunFailed(
+                    "process-pool execution needs dataset_path so workers "
+                    "can reopen the dataset"
+                )
+            chaos_seed = chaos.config.seed if chaos is not None else None
+            kill_rate = chaos.config.kill_worker_rate if chaos is not None else 0.0
+
+            def spawn(index: int, attempt: int, heartbeats: Any) -> Any:
+                import multiprocessing
+
+                journal.append("shard-start", shard=index, attempt=attempt)
+                process = multiprocessing.get_context().Process(
+                    target=_shard_worker,
+                    args=(
+                        index,
+                        shards,
+                        str(dataset_path),
+                        str(whois_path) if whois_path else None,
+                        str(checkpoint_dir),
+                        mine_patterns,
+                        heartbeats,
+                        chaos_seed if attempt == 1 else None,
+                        kill_rate,
+                    ),
+                )
+                process.start()
+                return process
+
+            outcomes = supervisor.run_processes(
+                todo, spawn, on_complete=on_complete
+            )
+
+    _boundary(chaos, "supervisor", "merge-start")
+    journal.append("merge-start", shards=shards)
+    states = [
+        load_pipeline_state(
+            pipeline.shard_checkpoint_path(
+                checkpoint_dir, ShardSpec(index, shards)
+            ).read_bytes()
+        )
+        for index in range(shards)
+    ]
+    result = pipeline.merge_shard_states(states)
+    data = pickle.dumps(result)
+    atomic_write_bytes(run_dir / RESULT_NAME, data)
+    manifest = _write_result_manifest(run_dir, run_id, data, result)
+    _boundary(chaos, "supervisor", "run-complete")
+    journal.append(
+        "run-complete",
+        run_id=run_id,
+        result_sha256=manifest["result_sha256"],
+        result_digest=manifest["result_digest"],
+    )
+    return SupervisedResult(
+        run_id=run_id,
+        result=result,
+        result_digest=str(manifest["result_digest"]),
+        run_dir=run_dir,
+        journal_path=journal_path,
+        resumed=resumed,
+        outcomes=outcomes,
+    )

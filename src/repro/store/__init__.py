@@ -22,6 +22,11 @@ Layering (see ``docs/ARCHITECTURE.md``)::
   pair the sharded detection pipeline consumes;
 * :mod:`repro.store.artifacts` — the content-addressed artifact cache
   (digest-keyed, disk-persisted, bounded in-memory LRU);
+* :mod:`repro.store.atomic` — crash-safe writes (temp → fsync →
+  rename) and checksummed JSON manifests; every manifest, checkpoint,
+  and journal write routes through it (lint rule ``DET008``);
+* :mod:`repro.store.verify` — the read-only integrity walker behind
+  ``riskybiz verify-data``;
 * :mod:`repro.store.bench` — the store/pipeline benchmark harness that
   writes ``BENCH_store.json``.
 """
@@ -33,16 +38,35 @@ from repro.store.artifacts import (
     default_cache,
     scenario_digest,
 )
+from repro.store.atomic import (
+    IntegrityError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    file_sha256,
+    load_checked_json,
+    quarantine,
+    verify_checked_json,
+    write_checked_json,
+)
 from repro.store.base import DelegationRecord, DelegationStore, PresenceHistory
 from repro.store.dataset import (
     DATASET_FORMAT,
     DatasetView,
     ShardSpec,
+    load_manifest,
     open_dataset,
+    rebuild_manifest,
     write_dataset,
 )
 from repro.store.memory import MemoryDelegationStore
 from repro.store.sqlite import SqliteDelegationStore
+from repro.store.verify import (
+    Issue,
+    verify_artifact_dir,
+    verify_dataset,
+    verify_run_dir,
+)
 
 __all__ = [
     "ArtifactCache",
@@ -51,13 +75,28 @@ __all__ = [
     "DatasetView",
     "DelegationRecord",
     "DelegationStore",
+    "IntegrityError",
+    "Issue",
     "MemoryDelegationStore",
     "PresenceHistory",
     "ShardSpec",
     "SqliteDelegationStore",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
     "content_digest",
     "default_cache",
+    "file_sha256",
+    "load_checked_json",
+    "load_manifest",
     "open_dataset",
+    "quarantine",
+    "rebuild_manifest",
     "scenario_digest",
+    "verify_artifact_dir",
+    "verify_checked_json",
+    "verify_dataset",
+    "verify_run_dir",
+    "write_checked_json",
     "write_dataset",
 ]

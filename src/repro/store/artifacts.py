@@ -13,6 +13,13 @@ next to a JSON manifest that records the producing scenario digest
 (checked by ``riskybiz lint``). Entries that cannot pickle are simply
 kept memory-only; the disk layer is an accelerator, never a correctness
 dependency.
+
+Disk entries are crash-safe and self-verifying: both files are written
+through :mod:`repro.store.atomic`, the manifest carries its own content
+checksum plus the SHA-256 of the pickled artifact bytes, and a load
+whose bytes do not hash to the manifest's record is quarantined and
+treated as a miss — corruption is surfaced to ``riskybiz verify-data``
+and recomputed, never silently served.
 """
 
 from __future__ import annotations
@@ -24,6 +31,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
+
+from repro.store.atomic import (
+    atomic_write_bytes,
+    load_checked_json,
+    quarantine,
+    write_checked_json,
+)
 
 #: Format tag carried by artifact manifest sidecars.
 ARTIFACT_FORMAT = "riskybiz-artifact/1"
@@ -162,32 +176,42 @@ class ArtifactCache:
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
             payload = pickle.dumps(value)
         except Exception:
             return  # unpicklable artifacts stay memory-only
-        temp = path.with_suffix(".tmp")
-        temp.write_bytes(payload)
-        temp.replace(path)
+        atomic_write_bytes(path, payload)
         manifest = {
             "format": ARTIFACT_FORMAT,
             "kind": key.kind,
             "digest": key.digest,
             "scenario_digest": key.scenario,
             "artifact": path.name,
+            "artifact_sha256": hashlib.sha256(payload).hexdigest(),
         }
         manifest_file = self.manifest_path(key)
         assert manifest_file is not None
-        manifest_file.write_text(
-            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-        )
+        write_checked_json(manifest_file, manifest)
 
     def _disk_load(self, key: ArtifactKey) -> Any | None:
         path = self._artifact_path(key)
         if path is None or not path.exists():
             return None
+        payload = path.read_bytes()
+        manifest_file = self.manifest_path(key)
+        assert manifest_file is not None
+        if manifest_file.exists():
+            manifest = load_checked_json(manifest_file)  # quarantines if bad
+            if manifest is not None:
+                recorded = manifest.get("artifact_sha256")
+                actual = hashlib.sha256(payload).hexdigest()
+                if isinstance(recorded, str) and recorded != actual:
+                    # The artifact bytes are not what was written:
+                    # quarantine both halves and recompute on miss.
+                    quarantine(path)
+                    quarantine(manifest_file)
+                    return None
         try:
-            return pickle.loads(path.read_bytes())
+            return pickle.loads(payload)
         except Exception:
             return None  # corrupt cache entry: treat as a miss
 

@@ -15,11 +15,15 @@ across processes and runs.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.store.atomic import (
+    file_sha256,
+    load_checked_json,
+    write_checked_json,
+)
 from repro.store.base import DOMAIN, GLUE
 from repro.store.sqlite import SqliteDelegationStore
 
@@ -156,20 +160,77 @@ def write_dataset(
         "tlds": sorted(zonedb.covered_tlds),
     }
     target.close()
-    manifest_path(target_path).write_text(
-        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
+    # Hash after close: the WAL is truncated into the main file, so the
+    # digest covers the complete, self-contained dataset bytes.
+    manifest["dataset_sha256"] = file_sha256(target_path)
+    write_checked_json(manifest_path(target_path), manifest)
     return target_path
+
+
+def rebuild_manifest(dataset_path: str | Path) -> dict[str, Any]:
+    """Recompute a dataset's manifest from the dataset itself.
+
+    Used when the manifest sidecar is missing or failed its checksum
+    (the corrupt file has already been quarantined): everything in the
+    manifest is derivable from the store, so integrity failures of the
+    *sidecar* never invalidate the dataset. Writes the fresh manifest
+    and returns its payload.
+    """
+    from repro.zonedb.database import ZoneDatabase
+
+    target_path = Path(dataset_path)
+    store = SqliteDelegationStore(target_path)
+    try:
+        zonedb = ZoneDatabase(store=store)
+        manifest = {
+            "format": DATASET_FORMAT,
+            "backend": store.backend_name,
+            "dataset": target_path.name,
+            "scenario_digest": store.get_meta(SCENARIO_DIGEST_KEY),
+            "domains": zonedb.domain_count(),
+            "nameservers": zonedb.nameserver_count(),
+            "horizon": zonedb.horizon,
+            "tlds": sorted(zonedb.covered_tlds),
+        }
+    finally:
+        store.close()
+    manifest["dataset_sha256"] = file_sha256(target_path)
+    write_checked_json(manifest_path(target_path), manifest)
+    return manifest
+
+
+def load_manifest(dataset_path: str | Path) -> dict[str, Any]:
+    """The verified manifest for a dataset, recomputed if corrupt.
+
+    A manifest that fails its content checksum is quarantined
+    (``*.corrupt``) and rebuilt from the dataset; a missing manifest is
+    simply rebuilt. The returned payload always verifies.
+    """
+    sidecar = manifest_path(dataset_path)
+    if sidecar.exists():
+        body = load_checked_json(sidecar)
+        if body is not None:
+            return body
+    return rebuild_manifest(dataset_path)
 
 
 def open_dataset(
     path: str | Path, *, ingest_policy: "IngestPolicy | None" = None
 ) -> "ZoneDatabase":
-    """Open an on-disk dataset as a zone database (SQLite backend)."""
+    """Open an on-disk dataset as a zone database (SQLite backend).
+
+    The manifest sidecar is verified against its embedded checksum
+    before the dataset is trusted; a corrupt sidecar is quarantined and
+    recomputed from the store (deep dataset-content verification is
+    ``riskybiz verify-data``'s job — opening only guards the cheap
+    invariants).
+    """
     from repro.zonedb.database import ZoneDatabase
 
     dataset_path = Path(path)
     if not dataset_path.exists():
         raise FileNotFoundError(f"no dataset at {dataset_path}")
+    if manifest_path(dataset_path).exists():
+        load_manifest(dataset_path)  # verify; quarantine-and-recompute
     store = SqliteDelegationStore(dataset_path)
     return ZoneDatabase(store=store, ingest_policy=ingest_policy)

@@ -13,6 +13,13 @@ writes run in batched transactions committed by :meth:`flush`/:meth:`close`.
 Query iteration orders are sorted (SQLite has no useful insertion
 order), which is safe because every pipeline output that order could
 reach is explicitly sorted before being returned.
+
+File-backed stores open in WAL mode with ``synchronous=NORMAL``: a
+killed writer can lose its open transaction but can never corrupt the
+database file, and readers are never blocked mid-checkpoint. Closing
+truncates the WAL back into the main file so a closed dataset is one
+self-contained, checksummable file. In-memory stores keep
+``synchronous=OFF`` (there is nothing to make durable).
 """
 
 from __future__ import annotations
@@ -56,9 +63,17 @@ class SqliteDelegationStore:
 
     def __init__(self, path: str | Path = ":memory:") -> None:
         self.path = str(path)
+        self.on_disk = self.path != ":memory:"
         self._conn = sqlite3.connect(self.path)
         self._conn.isolation_level = None  # explicit transaction control
-        self._conn.execute("PRAGMA synchronous=OFF")
+        if self.on_disk:
+            # Crash safety: WAL never corrupts the main file on a kill,
+            # and NORMAL syncs at checkpoint boundaries (durable enough
+            # under WAL; OFF would trade integrity for speed).
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        else:
+            self._conn.execute("PRAGMA synchronous=OFF")
         self._conn.executescript(_SCHEMA)
         self._in_txn = False
         self._txn_writes = 0
@@ -274,6 +289,17 @@ class SqliteDelegationStore:
     def flush(self) -> None:
         self._commit()
 
+    def integrity_check(self) -> list[str]:
+        """Problems reported by SQLite's own integrity scan (empty = ok)."""
+        self._commit()
+        rows = self._conn.execute("PRAGMA integrity_check").fetchall()
+        problems = [str(row[0]) for row in rows if str(row[0]) != "ok"]
+        return problems
+
     def close(self) -> None:
         self._commit()
+        if self.on_disk:
+            # Fold the WAL back into the main file and drop the -wal/-shm
+            # sidecars, so the dataset is a single checksummable file.
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         self._conn.close()

@@ -218,6 +218,73 @@ class TestProcessHash:
         ) == []
 
 
+class TestNonAtomicWrite:
+    STORE_PATH = "src/repro/store/example.py"
+
+    def test_write_text_in_store_flagged(self):
+        assert rule_ids(
+            "path.write_text('data')\n", path=self.STORE_PATH
+        ) == ["DET008"]
+
+    def test_write_bytes_in_runner_flagged(self):
+        assert rule_ids(
+            "path.write_bytes(b'data')\n", path="src/repro/runner/example.py"
+        ) == ["DET008"]
+
+    def test_open_for_write_flagged(self):
+        assert rule_ids(
+            "handle = open('manifest.json', 'w')\n", path=self.STORE_PATH
+        ) == ["DET008"]
+
+    def test_open_append_flagged(self):
+        assert rule_ids(
+            "handle = open('journal.jsonl', mode='ab')\n", path=self.STORE_PATH
+        ) == ["DET008"]
+
+    def test_path_open_write_flagged(self):
+        assert rule_ids(
+            "handle = path.open('wb')\n", path=self.STORE_PATH
+        ) == ["DET008"]
+
+    def test_open_for_read_clean(self):
+        assert rule_ids(
+            "data = open('manifest.json').read()\n"
+            "more = open('dataset.sqlite', 'rb').read()\n",
+            path=self.STORE_PATH,
+        ) == []
+
+    def test_read_helpers_clean(self):
+        assert rule_ids(
+            "data = path.read_bytes()\ntext = path.read_text()\n",
+            path=self.STORE_PATH,
+        ) == []
+
+    def test_atomic_helper_module_exempt(self):
+        assert rule_ids(
+            "handle = open('x.tmp', 'wb')\n", path="src/repro/store/atomic.py"
+        ) == []
+
+    def test_journal_module_exempt(self):
+        assert rule_ids(
+            "handle = open('journal.jsonl', 'ab')\n",
+            path="src/repro/runner/journal.py",
+        ) == []
+
+    def test_outside_durability_layer_clean(self):
+        assert rule_ids(
+            "path.write_text('csv,data')\n", path="src/repro/analysis/export.py"
+        ) == []
+
+    def test_repo_tree_routes_writes_atomically(self):
+        """The real storage/runner tree carries no unbaselined DET008."""
+        result = run_lint(
+            ["src/repro/store", "src/repro/runner", "src/repro/detection"],
+            root=REPO_ROOT,
+            select=["DET008"],
+        )
+        assert result.errors == []
+
+
 class TestParseError:
     def test_syntax_error_reported_as_det000(self):
         assert rule_ids("def broken(:\n") == ["DET000"]
@@ -231,7 +298,7 @@ class TestCatalogue:
 
     def test_every_det_rule_documented(self):
         for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                        "DET006", "DET007"):
+                        "DET006", "DET007", "DET008"):
             assert rule_id in RULES
             assert RULES[rule_id].engine == "code"
 
