@@ -37,7 +37,16 @@ actually run:
 ``riskybiz chaos-smoke``
     Run one seeded kill-and-resume chaos trial (see
     :mod:`repro.runner.chaos_harness`) and fail unless the interrupted
-    run reproduces the uninterrupted result bit-for-bit.
+    run reproduces the uninterrupted result bit-for-bit. With
+    ``--trace`` both runs are traced and their canonical trace content
+    must converge too.
+
+``riskybiz trace``
+    Inspect the telemetry a supervised ``detect --trace`` run wrote:
+    the span timeline, a per-stage summary table, and the metrics
+    snapshot, as text or JSON. ``--validate`` schema-checks the
+    ``trace.jsonl``/``metrics.json`` pair instead (CI's telemetry
+    smoke gate).
 """
 
 from __future__ import annotations
@@ -250,6 +259,8 @@ def _detect_supervised(args: argparse.Namespace, zonedb, whois):
             resume=args.resume,
             dataset_path=args.dataset,
             whois_path=args.whois,
+            trace=args.trace,
+            profile=args.profile,
         )
     except RunFailed as error:
         print(f"error: {error}", file=sys.stderr)
@@ -262,6 +273,16 @@ def _detect_supervised(args: argparse.Namespace, zonedb, whois):
         f"{supervised.journal_path}",
         file=sys.stderr,
     )
+    if args.trace:
+        from repro.runner.execution import METRICS_NAME, TRACE_NAME
+
+        run_dir = Path(args.run_dir)
+        print(
+            f"Trace at {run_dir / TRACE_NAME}, metrics at "
+            f"{run_dir / METRICS_NAME} (inspect with `riskybiz trace "
+            f"--run-dir {run_dir}`)",
+            file=sys.stderr,
+        )
     return supervised.result
 
 
@@ -272,6 +293,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         return 2
     if args.resume and not args.run_dir:
         print("error: --resume requires --run-dir", file=sys.stderr)
+        return 2
+    if (args.trace or args.profile) and not args.run_dir:
+        print(
+            "error: --trace/--profile require --run-dir (telemetry lives "
+            "next to the run journal)",
+            file=sys.stderr,
+        )
         return 2
     zonedb = _detect_zonedb(args)
     if zonedb is None:
@@ -307,6 +335,13 @@ def cmd_detect(args: argparse.Namespace) -> int:
         result = cache.get_or_create(
             key, lambda: pipeline.run(checkpoint_path=args.checkpoint)
         )
+        stats = cache.stats()
+        print(
+            f"Artifact cache: {stats['hits']} hit(s), "
+            f"{stats['misses']} miss(es), "
+            f"{stats['quarantined']} quarantined",
+            file=sys.stderr,
+        )
     else:
         result = pipeline.run(checkpoint_path=args.checkpoint)
     return _render_detect(args, result, zonedb, whois)
@@ -339,6 +374,7 @@ def _render_detect(args: argparse.Namespace, result, zonedb, whois) -> int:
 def cmd_verify_data(args: argparse.Namespace) -> int:
     """Recompute and check every recorded digest over on-disk state."""
     from repro.store.verify import (
+        artifact_entry_count,
         issues_as_json,
         render_issues,
         verify_artifact_dir,
@@ -358,6 +394,11 @@ def cmd_verify_data(args: argparse.Namespace) -> int:
         issues.extend(verify_dataset(args.dataset))
     if args.cache_dir:
         issues.extend(verify_artifact_dir(args.cache_dir))
+        print(
+            f"Artifact cache {args.cache_dir}: "
+            f"{artifact_entry_count(args.cache_dir)} entr(y/ies) checked",
+            file=sys.stderr,
+        )
     if args.run_dir:
         issues.extend(verify_run_dir(args.run_dir))
     print(
@@ -383,6 +424,7 @@ def cmd_chaos_smoke(args: argparse.Namespace) -> int:
         shards=args.shards,
         chaos_seed=args.chaos_seed,
         max_kills=args.kills,
+        trace=args.trace,
     )
     print(f"kills injected : {report.kills}")
     for site, label in report.kill_sites:
@@ -391,11 +433,58 @@ def cmd_chaos_smoke(args: argparse.Namespace) -> int:
     print(f"baseline digest: {report.baseline_digest[:16]}…")
     print(f"chaos digest   : {report.chaos_digest[:16]}…")
     print(f"bit-identical  : {report.bit_identical}")
+    if report.baseline_trace_digest is not None:
+        print(f"baseline trace : {report.baseline_trace_digest[:16]}…")
+        print(f"chaos trace    : {report.chaos_trace_digest[:16]}…")
+        print(f"traces match   : {report.traces_identical}")
     if report.verify_issues:
         print("verify-data issues:")
         for issue in report.verify_issues:
             print(f"  {issue}")
     return 0 if report.passed else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect or validate the telemetry of a supervised run directory."""
+    import json
+
+    from repro.obs.reporters import render_trace_json, render_trace_text
+    from repro.obs.schema import validate_metrics_file, validate_trace_file
+    from repro.obs.tracer import TraceCorruption, read_trace
+    from repro.runner.execution import METRICS_NAME, TRACE_NAME
+
+    run_dir = Path(args.run_dir)
+    trace_path = run_dir / TRACE_NAME
+    metrics_path = run_dir / METRICS_NAME
+    if args.validate:
+        issues = list(validate_trace_file(trace_path))
+        if metrics_path.exists():
+            issues.extend(validate_metrics_file(metrics_path))
+        for issue in issues:
+            print(issue)
+        print(f"{len(issues)} issue(s)")
+        return 1 if issues else 0
+    if not trace_path.exists():
+        print(
+            f"error: no trace at {trace_path} "
+            "(run `riskybiz detect --run-dir ... --trace` first)",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        records = read_trace(trace_path)
+    except TraceCorruption as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    metrics_document = None
+    if metrics_path.exists():
+        metrics_document = json.loads(metrics_path.read_text(encoding="utf-8"))
+    print(
+        render_trace_json(records, metrics_document)
+        if args.format == "json"
+        else render_trace_text(records, metrics_document)
+    )
+    return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
@@ -591,6 +680,17 @@ def build_parser() -> argparse.ArgumentParser:
              "heartbeats and crash retry (default: 0, inline; needs "
              "--dataset)",
     )
+    detect.add_argument(
+        "--trace", action="store_true",
+        help="write a span trace (trace.jsonl) and metrics snapshot "
+             "(metrics.json) into --run-dir; content stays bit-identical "
+             "across resumes, timings live in telemetry-only fields",
+    )
+    detect.add_argument(
+        "--profile", action="store_true",
+        help="also record per-stage wall time and tracemalloc peaks "
+             "into the metrics snapshot (needs --run-dir; adds overhead)",
+    )
     detect.set_defaults(func=cmd_detect)
 
     experiment = subparsers.add_parser(
@@ -723,7 +823,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", required=True, metavar="DIR",
         help="working directory for the trial's runs and datasets",
     )
+    chaos.add_argument(
+        "--trace", action="store_true",
+        help="trace both runs and require their canonical trace content "
+             "to converge as well",
+    )
     chaos.set_defaults(func=cmd_chaos_smoke)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="inspect the trace/metrics a supervised --trace run wrote",
+    )
+    trace.add_argument(
+        "--run-dir", required=True, metavar="DIR",
+        help="supervised run directory holding trace.jsonl/metrics.json",
+    )
+    trace.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    trace.add_argument(
+        "--validate", action="store_true",
+        help="schema-validate trace.jsonl and metrics.json instead of "
+             "rendering them; non-zero exit on any issue",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

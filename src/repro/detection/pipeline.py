@@ -40,6 +40,8 @@ from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilt
 from repro.detection.resolvability import ResolvabilityAnalyzer
 from repro.detection.substrings import SubstringPattern, mine_substrings
 from repro.detection.testns import TestNameserverFilter
+from repro.obs import profiling
+from repro.obs import runtime as obs
 from repro.store.atomic import atomic_write_bytes
 from repro.store.dataset import DatasetView, ShardSpec
 from repro.whois.archive import WhoisArchive
@@ -47,6 +49,44 @@ from repro.zonedb.database import ZoneDatabase
 
 #: Minimum substring support for the §3.2.2 mining stage.
 MINE_MIN_SUPPORT = 4
+
+#: Funnel fields each stage populates — mirrored into stage spans and
+#: the obs funnel counters when the stage completes.
+_STAGE_FUNNEL_FIELDS = {
+    "candidates": ("total_nameservers", "candidates"),
+    "mine": (),
+    "test-filter": ("test_removed",),
+    "pattern-sweep": ("pattern_classified",),
+    "single-repo": ("single_repo_removed",),
+    "match": ("history_matched", "match_classified"),
+}
+
+
+def _run_stage_observed(
+    name: str,
+    stage: "Callable[[DatasetView, dict[str, Any]], None]",
+    view: "DatasetView",
+    state: dict[str, Any],
+) -> None:
+    """Run one stage under a span, a duration histogram, and profiling.
+
+    The span's content attributes are the funnel counts the stage
+    produced — pure functions of the run's inputs, so a re-run after a
+    crash emits an identical span-end; the duration lands only in the
+    histogram and the span's telemetry field.
+    """
+    with obs.span(name) as span, obs.timed(
+        f"pipeline.stage.{name}.duration_s"
+    ), profiling.profile_stage(name):
+        stage(view, state)
+        counts = {
+            field_name: getattr(state["funnel"], field_name)
+            for field_name in _STAGE_FUNNEL_FIELDS.get(name, ())
+        }
+        span.set(**counts)
+    obs.counter(f"pipeline.stage_runs.{name}").inc()
+    for field_name, value in counts.items():
+        obs.counter(f"pipeline.funnel.{field_name}").inc(value)
 
 
 def dump_pipeline_state(state: dict[str, Any]) -> bytes:
@@ -328,7 +368,7 @@ class DetectionPipeline:
         for name in self.STAGES:
             if name in state["done"]:
                 continue
-            stages[name](self.view, state)
+            _run_stage_observed(name, stages[name], self.view, state)
             state["done"].add(name)
             self._save_checkpoint(checkpoint_path, state)
         return self._finalize(state)
@@ -376,7 +416,7 @@ class DetectionPipeline:
         for name in self.SHARD_STAGES:
             if name in state["done"]:
                 continue
-            stages[name](view, state)
+            _run_stage_observed(name, stages[name], view, state)
             if name == "candidates":
                 # Mining needs cross-shard support counts, so it runs
                 # post-merge; keep the pre-test-filter candidate list

@@ -79,6 +79,29 @@ class DegradedObservables:
         return survived / self.snapshots_total
 
 
+def _record_fault_metrics(
+    snapshot_log: SnapshotFaultLog, whois_log: WhoisFaultLog
+) -> None:
+    """Mirror injector activations into the obs metrics registry.
+
+    Imported lazily so the faults package keeps no import-time
+    dependency on the obs layer.
+    """
+    from repro.obs import runtime as obs
+
+    obs.counter("faults.snapshots_dropped").inc(len(snapshot_log.dropped))
+    obs.counter("faults.snapshots_duplicated").inc(len(snapshot_log.duplicated))
+    obs.counter("faults.snapshots_reordered").inc(len(snapshot_log.reordered))
+    obs.counter("faults.snapshots_truncated").inc(len(snapshot_log.truncated))
+    obs.counter("faults.records_corrupted").inc(len(snapshot_log.corrupted))
+    obs.counter("faults.whois_domains_dropped").inc(
+        len(whois_log.domains_dropped)
+    )
+    obs.counter("faults.whois_records_staled").inc(
+        len(whois_log.records_staled)
+    )
+
+
 def degrade_world(
     world_result: "WorldResult", config: FaultConfig, *, every: int = 7
 ) -> DegradedObservables:
@@ -103,6 +126,7 @@ def degrade_world(
         zonedb.advance(world_result.config.end_day)
     whois_injector = WhoisFaultInjector(config)
     whois = whois_injector.degrade(world_result.whois)
+    _record_fault_metrics(snapshot_injector.log, whois_injector.log)
     return DegradedObservables(
         config=config,
         zonedb=zonedb,

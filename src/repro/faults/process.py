@@ -97,6 +97,12 @@ class ChaosMonkey:
     def _record(self, site: str, label: str) -> None:
         self.kills += 1
         self.kill_sites.append((site, label))
+        # Telemetry mirror; imported lazily so the faults package keeps
+        # no import-time dependency on the obs layer.
+        from repro.obs import runtime as obs
+
+        obs.counter("chaos.kills").inc()
+        obs.trace_event("chaos.kill", site=site, label=label)
 
     def worker_boundary(self, label: str) -> None:
         """Maybe kill (raise) at a worker stage boundary."""

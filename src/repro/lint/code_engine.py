@@ -15,6 +15,7 @@ DET005    float-equality           ``==``/``!=`` against float literals
 DET006    mutable-default          mutable default argument values
 DET007    process-hash             builtin ``hash()`` outside ``__hash__``
 DET008    non-atomic-write         raw file write in the durability layer
+DET009    telemetry-read           raw duration-clock read outside ``repro.obs``
 ========  =======================  ==========================================
 
 Checks are deliberately syntactic (no type inference beyond local
@@ -66,6 +67,10 @@ rule(
     "DET008", "non-atomic-write", "code",
     "raw file write in storage/runner code; route through repro.store.atomic",
 )
+rule(
+    "DET009", "telemetry-read", "code",
+    "raw duration-clock / tracemalloc read; route through repro.obs",
+)
 
 #: ``open()`` mode characters that make the call a write.
 _WRITE_MODE_CHARS = frozenset("wax+")
@@ -81,6 +86,14 @@ _MODULE_RNG_FNS = frozenset({
 
 #: ``time`` module functions that read the wall clock.
 _TIME_FNS = frozenset({"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"})
+
+#: ``time`` module functions that read duration clocks (DET009). These
+#: are deterministic-content-safe but belong to the telemetry layer:
+#: scattered reads are how wall-clock data leaks into run artifacts.
+_DURATION_FNS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "thread_time", "thread_time_ns",
+})
 
 #: ``datetime.datetime`` / ``datetime.date`` constructors of "now".
 _DATETIME_NOW = frozenset({"now", "today", "utcnow"})
@@ -122,6 +135,16 @@ class CodeContext:
         """True for the module(s) allowed to write files directly."""
         return self.path in self.config.atomic_write_modules
 
+    @property
+    def in_telemetry_scope(self) -> bool:
+        """True under a path where raw duration-clock reads are policed."""
+        return self.config.path_in(self.path, self.config.telemetry_paths)
+
+    @property
+    def is_telemetry_module(self) -> bool:
+        """True under the module tree allowed to read clocks directly."""
+        return self.config.path_in(self.path, self.config.telemetry_modules)
+
 
 @dataclass
 class _Aliases:
@@ -132,6 +155,9 @@ class _Aliases:
     random_class: set[str] = field(default_factory=set)
     time_modules: set[str] = field(default_factory=set)
     time_functions: set[str] = field(default_factory=set)
+    duration_functions: set[str] = field(default_factory=set)
+    tracemalloc_modules: set[str] = field(default_factory=set)
+    tracemalloc_functions: set[str] = field(default_factory=set)
     datetime_modules: set[str] = field(default_factory=set)
     #: local name -> "datetime" | "date"
     datetime_classes: dict[str, str] = field(default_factory=dict)
@@ -147,6 +173,8 @@ def _collect_aliases(tree: ast.Module) -> _Aliases:
                     aliases.random_modules.add(local)
                 elif name.name == "time":
                     aliases.time_modules.add(local)
+                elif name.name == "tracemalloc":
+                    aliases.tracemalloc_modules.add(local)
                 elif name.name == "datetime":
                     aliases.datetime_modules.add(local)
         elif isinstance(node, ast.ImportFrom) and node.level == 0:
@@ -161,6 +189,11 @@ def _collect_aliases(tree: ast.Module) -> _Aliases:
                 for name in node.names:
                     if name.name in _TIME_FNS:
                         aliases.time_functions.add(name.asname or name.name)
+                    elif name.name in _DURATION_FNS:
+                        aliases.duration_functions.add(name.asname or name.name)
+            elif node.module == "tracemalloc":
+                for name in node.names:
+                    aliases.tracemalloc_functions.add(name.asname or name.name)
             elif node.module == "datetime":
                 for name in node.names:
                     if name.name in ("datetime", "date"):
@@ -261,6 +294,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_random_call(node)
         self._check_wall_clock(node)
+        self._check_telemetry_read(node)
         self._check_hash(node)
         self._check_order_sensitive_call(node)
         self._check_raw_write(node)
@@ -360,6 +394,53 @@ class _DeterminismVisitor(ast.NodeVisitor):
                     "datetime.date.today() reads the wall clock; "
                     "use repro.simtime.to_date(day) instead",
                 )
+
+    def _check_telemetry_read(self, node: ast.Call) -> None:
+        """DET009: confine duration clocks and tracemalloc to repro.obs.
+
+        Duration clocks don't threaten determinism by themselves, but a
+        raw read is one assignment away from a timing field in a run
+        artifact — and then resumed runs stop being bit-identical. So
+        every read funnels through :mod:`repro.obs`: ``repro.obs.clock``
+        for the clocks, ``repro.obs.profiling`` for tracemalloc, which
+        keep measured durations in telemetry-only fields.
+        """
+        if not self.ctx.in_telemetry_scope or self.ctx.is_telemetry_module:
+            return
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.aliases.duration_functions:
+                self._emit(
+                    "DET009", node,
+                    f"{func.id}() (from time) is a raw duration-clock read; "
+                    "use repro.obs.clock (keeps timings in telemetry-only "
+                    "fields)",
+                )
+            elif func.id in self.aliases.tracemalloc_functions:
+                self._emit(
+                    "DET009", node,
+                    f"{func.id}() (from tracemalloc) outside the telemetry "
+                    "layer; use repro.obs.profiling.profile_stage",
+                )
+            return
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+        ):
+            return
+        base = func.value.id
+        if base in self.aliases.time_modules and func.attr in _DURATION_FNS:
+            self._emit(
+                "DET009", node,
+                f"time.{func.attr}() is a raw duration-clock read; use "
+                "repro.obs.clock (keeps timings in telemetry-only fields)",
+            )
+        elif base in self.aliases.tracemalloc_modules:
+            self._emit(
+                "DET009", node,
+                f"tracemalloc.{func.attr}() outside the telemetry layer; "
+                "use repro.obs.profiling.profile_stage",
+            )
 
     def _check_hash(self, node: ast.Call) -> None:
         func = node.func
@@ -510,7 +591,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
 @code_checker
 def check_determinism(tree: ast.Module, ctx: CodeContext) -> list[Diagnostic]:
-    """The built-in determinism rule pack (DET001–DET008)."""
+    """The built-in determinism rule pack (DET001–DET009)."""
     visitor = _DeterminismVisitor(ctx, _collect_aliases(tree))
     visitor.visit(tree)
     return visitor.diagnostics

@@ -56,6 +56,12 @@ class LintConfig:
         "src/repro/store/atomic.py",
         "src/repro/runner/journal.py",
     )
+    #: Paths where raw duration-clock / tracemalloc reads are forbidden
+    #: outside the telemetry modules (DET009).
+    telemetry_paths: tuple[str, ...] = ("src/repro",)
+    #: The modules (prefix match) allowed to read duration clocks and
+    #: tracemalloc directly: the obs layer itself.
+    telemetry_modules: tuple[str, ...] = ("src/repro/obs",)
 
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
@@ -120,6 +126,8 @@ def load_config(root: Path | str | None = None) -> LintConfig:
         ("fault-rng-modules", "fault_rng_modules"),
         ("atomic-paths", "atomic_paths"),
         ("atomic-write-modules", "atomic_write_modules"),
+        ("telemetry-paths", "telemetry_paths"),
+        ("telemetry-modules", "telemetry_modules"),
     ):
         if option in table:
             updates[attr] = _as_str_tuple(table[option], option)

@@ -1,0 +1,35 @@
+"""The telemetry clock: the one place raw duration clocks are read.
+
+Everything in the reproduction that wants to *measure* time — stage
+latencies, query timings, heartbeat liveness windows — goes through
+these wrappers instead of calling ``time.monotonic`` /
+``time.perf_counter`` directly. Lint rule ``DET009`` enforces the
+funnel: outside :mod:`repro.obs`, a direct monotonic/perf-counter/
+``tracemalloc`` read is an error, because scattered clock reads are how
+wall-clock state quietly leaks into content that must stay bit-identical
+across replays.
+
+These are *duration* sources (monotonic, no epoch), not wall clocks:
+``DET002`` (wall-clock reads) remains a separate, stricter rule. The
+values they return are telemetry — they may appear in clearly-marked
+telemetry-only fields (see :mod:`repro.obs.tracer`) and never in
+journal, checkpoint, or result content.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def perf_counter() -> float:
+    """High-resolution duration clock (seconds, arbitrary origin)."""
+    return time.perf_counter()
+
+
+def monotonic() -> float:
+    """Monotonic liveness clock (seconds, arbitrary origin).
+
+    Used by the supervisor for heartbeat timeouts and backoff deadlines;
+    never for anything that lands in run content.
+    """
+    return time.monotonic()

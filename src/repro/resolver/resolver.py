@@ -21,6 +21,7 @@ from repro.dnscore.psl import PublicSuffixList, default_psl
 from repro.dnscore.records import ResourceRecord, RRType
 from repro.dnscore.wire import Message, Rcode, decode_message, encode_message
 from repro.faults.config import RetryPolicy
+from repro.obs import runtime as obs
 from repro.resolver.server import NameserverBehavior, TransientServerFailure
 from repro.zonedb.database import ZoneDatabase
 
@@ -139,7 +140,34 @@ class IterativeResolver:
         source_ip: str = "203.0.113.1",
         _depth: int = 0,
     ) -> Resolution:
-        """Iteratively resolve ``qname`` as of ``day``."""
+        """Iteratively resolve ``qname`` as of ``day``.
+
+        Top-level resolutions (not recursive NS-address lookups) mirror
+        their outcome, retries, and transient failures into the obs
+        metrics registry — operational counters, not run content.
+        """
+        result = self._resolve(
+            qname, day=day, qtype=qtype, source_ip=source_ip, _depth=_depth
+        )
+        if _depth == 0:
+            obs.counter(f"resolver.status.{result.status.value}").inc()
+            if result.retries:
+                obs.counter("resolver.retries").inc(result.retries)
+            if result.transient_failures:
+                obs.counter("resolver.transient_failures").inc(
+                    result.transient_failures
+                )
+        return result
+
+    def _resolve(
+        self,
+        qname: str,
+        *,
+        day: int,
+        qtype: RRType = RRType.A,
+        source_ip: str = "203.0.113.1",
+        _depth: int = 0,
+    ) -> Resolution:
         name = Name(qname)
         result = Resolution(qname=name.text, qtype=qtype, status=ResolutionStatus.ERROR)
         if _depth > MAX_DEPTH:

@@ -44,6 +44,9 @@ class ChaosTrialReport:
     baseline_digest: str
     chaos_digest: str
     verify_issues: list[str] = field(default_factory=list)
+    #: Canonical trace-content digests (None when tracing was off).
+    baseline_trace_digest: str | None = None
+    chaos_trace_digest: str | None = None
 
     @property
     def bit_identical(self) -> bool:
@@ -51,9 +54,24 @@ class ChaosTrialReport:
         return self.baseline_digest == self.chaos_digest
 
     @property
+    def traces_identical(self) -> bool:
+        """Did the interrupted run's trace converge on the same content?
+
+        Compares the canonical span view (deterministic content fields
+        only); vacuously True when the trial ran without tracing.
+        """
+        if self.baseline_trace_digest is None:
+            return True
+        return self.baseline_trace_digest == self.chaos_trace_digest
+
+    @property
     def passed(self) -> bool:
         """Identical output and a clean post-trial verification."""
-        return self.bit_identical and not self.verify_issues
+        return (
+            self.bit_identical
+            and self.traces_identical
+            and not self.verify_issues
+        )
 
 
 def _build_inputs(
@@ -107,6 +125,7 @@ def run_kill_resume_trial(
     kill_supervisor_rate: float = 0.25,
     torn_write_rate: float = 0.25,
     mine_patterns: bool = True,
+    trace: bool = False,
 ) -> ChaosTrialReport:
     """One seeded chaos trial; see the module docstring for the claim.
 
@@ -128,6 +147,7 @@ def run_kill_resume_trial(
         shards=shards,
         mine_patterns=mine_patterns,
         policy=policy,
+        trace=trace,
     )
 
     monkey = ChaosMonkey(
@@ -156,6 +176,7 @@ def run_kill_resume_trial(
                 policy=policy,
                 chaos=monkey,
                 resume=resume_id,
+                trace=trace,
             )
             break
         except ChaosKill:
@@ -167,6 +188,15 @@ def run_kill_resume_trial(
         )
 
     issues = _post_trial_verification(chaos_dir, dataset_path)
+    baseline_trace = chaos_trace = None
+    if trace:
+        from repro.obs.tracer import read_trace, trace_content_digest
+        from repro.runner.execution import TRACE_NAME
+
+        baseline_trace = trace_content_digest(
+            read_trace(workdir / "baseline" / TRACE_NAME)
+        )
+        chaos_trace = trace_content_digest(read_trace(chaos_dir / TRACE_NAME))
     return ChaosTrialReport(
         backend=backend,
         shards=shards,
@@ -176,6 +206,8 @@ def run_kill_resume_trial(
         baseline_digest=baseline.result_digest,
         chaos_digest=supervised.result_digest,
         verify_issues=issues,
+        baseline_trace_digest=baseline_trace,
+        chaos_trace_digest=chaos_trace,
     )
 
 

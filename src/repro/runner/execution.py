@@ -31,6 +31,7 @@ inputs, so ``--resume`` can also detect an input switcheroo.
 from __future__ import annotations
 
 import hashlib
+import json
 import pickle
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -42,6 +43,9 @@ from repro.detection.pipeline import (
     dump_pipeline_state,
     load_pipeline_state,
 )
+from repro.obs import profiling
+from repro.obs import runtime as obs
+from repro.obs.tracer import Tracer
 from repro.runner.journal import RunJournal
 from repro.runner.supervisor import (
     RunFailed,
@@ -72,6 +76,8 @@ JOURNAL_NAME = "journal.jsonl"
 RESULT_NAME = "result.pkl"
 RESULT_MANIFEST_NAME = "result.json"
 CHECKPOINT_DIR_NAME = "checkpoints"
+TRACE_NAME = "trace.jsonl"
+METRICS_NAME = "metrics.json"
 
 
 def compute_run_id(fingerprint: dict[str, Any]) -> str:
@@ -159,6 +165,12 @@ def _boundary(chaos: "ChaosMonkey | None", site: str, label: str) -> None:
         chaos.supervisor_boundary(label)
 
 
+def _note_shard_reset(index: int, reason: str) -> None:
+    """Mirror a journaled shard-reset into metrics and the trace."""
+    obs.counter("runner.shard_resets").inc()
+    obs.trace_event("runner.shard-reset", shard=index, reason=reason)
+
+
 def _load_partial_state(
     journal: RunJournal,
     pipeline: DetectionPipeline,
@@ -182,6 +194,7 @@ def _load_partial_state(
             journal.append(
                 "shard-reset", shard=shard.index, reason="checkpoint-missing"
             )
+            _note_shard_reset(shard.index, "checkpoint-missing")
         return pipeline.new_shard_state()
     try:
         state = load_pipeline_state(path.read_bytes())
@@ -191,12 +204,14 @@ def _load_partial_state(
         journal.append(
             "shard-reset", shard=shard.index, reason="checkpoint-unreadable"
         )
+        _note_shard_reset(shard.index, "checkpoint-unreadable")
         return pipeline.new_shard_state()
     if not journaled <= done:
         quarantine(path)
         journal.append(
             "shard-reset", shard=shard.index, reason="checkpoint-behind-journal"
         )
+        _note_shard_reset(shard.index, "checkpoint-behind-journal")
         return pipeline.new_shard_state()
     for stage in pipeline.SHARD_STAGES:
         if stage in done and stage not in journaled:
@@ -239,6 +254,7 @@ def _verified_completed_shards(
         journal.append(
             "shard-reset", shard=index, reason="completed-checkpoint-mismatch"
         )
+        _note_shard_reset(index, "completed-checkpoint-mismatch")
     return verified
 
 
@@ -320,6 +336,10 @@ def _shard_worker(
     from repro.store.dataset import open_dataset
     from repro.whois.archive import WhoisArchive
 
+    # A forked worker inherits the supervisor's open tracer; the trace
+    # has one writer (the supervisor), so drop the inherited handle.
+    obs.detach()
+
     monkey = None
     if chaos_seed is not None and kill_rate > 0:
         from repro.faults.process import ChaosMonkey, ProcessChaosConfig
@@ -358,6 +378,17 @@ def _shard_worker(
 # -- the supervised run ------------------------------------------------------
 
 
+def _write_metrics_snapshot(run_dir: Path) -> Path:
+    """Write the global metrics registry as ``metrics.json`` (atomic)."""
+    snapshot = obs.metrics().snapshot()
+    path = run_dir / METRICS_NAME
+    atomic_write_bytes(
+        path,
+        (json.dumps(snapshot, indent=2, sort_keys=True) + "\n").encode("utf-8"),
+    )
+    return path
+
+
 def run_supervised_detection(
     zonedb: "ZoneDatabase",
     whois: "WhoisArchive",
@@ -371,6 +402,8 @@ def run_supervised_detection(
     resume: str | None = None,
     dataset_path: str | Path | None = None,
     whois_path: str | Path | None = None,
+    trace: bool = False,
+    profile: bool = False,
 ) -> SupervisedResult:
     """Run the detection pipeline under supervision, journaled in ``run_dir``.
 
@@ -388,6 +421,12 @@ def run_supervised_detection(
 
     ``chaos`` arms the execution-plane fault injectors at every stage,
     journal-append, and merge boundary (see :mod:`repro.faults.process`).
+
+    ``trace`` emits a span/event trace to ``<run_dir>/trace.jsonl`` and a
+    metrics snapshot to ``<run_dir>/metrics.json`` (deterministic span
+    IDs; wall durations confined to telemetry-only fields — see
+    :mod:`repro.obs.tracer`). ``profile`` additionally records per-stage
+    durations and ``tracemalloc`` peaks into the metrics snapshot.
     """
     policy = policy or SupervisorPolicy()
     run_dir = Path(run_dir)
@@ -437,133 +476,224 @@ def run_supervised_detection(
             workers=policy.workers,
         )
 
-    complete_record = journal.run_complete
-    if complete_record is not None:
-        replayed = _load_completed_result(run_dir, complete_record.payload)
-        if replayed is not None:
-            return SupervisedResult(
-                run_id=run_id,
-                result=replayed,
-                result_digest=str(complete_record.payload["result_digest"]),
+    tracer = (
+        Tracer.open_or_create(run_dir / TRACE_NAME, run_id) if trace else None
+    )
+    if trace or profile:
+        # The snapshot written at run end must cover exactly this run,
+        # not whatever the process-global registry accumulated before.
+        obs.reset_metrics()
+    if profile:
+        profiling.enable()
+    try:
+        with obs.observing(tracer):
+            return _execute_supervised(
+                zonedb=zonedb,
+                whois=whois,
+                journal=journal,
                 run_dir=run_dir,
                 journal_path=journal_path,
-                resumed=True,
+                checkpoint_dir=checkpoint_dir,
+                run_id=run_id,
+                shards=shards,
+                mine_patterns=mine_patterns,
+                policy=policy,
+                chaos=chaos,
+                dataset_path=dataset_path,
+                whois_path=whois_path,
+                resumed=resumed,
+                tracer=tracer,
             )
+    finally:
+        if profile:
+            profiling.disable()
+        if tracer is not None:
+            tracer.close()
 
-    pipeline = DetectionPipeline(
-        zonedb, whois, mine_patterns=mine_patterns, shards=shards
-    )
-    done = _verified_completed_shards(journal, pipeline, checkpoint_dir, shards)
-    todo = [index for index in range(shards) if index not in done]
-    supervisor = RunSupervisor(policy)
-    outcomes: dict[int, ShardOutcome] = {}
 
-    def on_complete(index: int) -> None:
-        shard = ShardSpec(index, shards)
-        path = pipeline.shard_checkpoint_path(checkpoint_dir, shard)
-        state = load_pipeline_state(path.read_bytes())
-        _boundary(chaos, "supervisor", f"shard-complete:{index}")
-        journal.append(
-            "shard-complete",
-            shard=index,
-            state_digest=state_digest(state),
-            checkpoint_sha256=file_sha256(path),
-        )
+def _execute_supervised(
+    *,
+    zonedb: "ZoneDatabase",
+    whois: "WhoisArchive",
+    journal: RunJournal,
+    run_dir: Path,
+    journal_path: Path,
+    checkpoint_dir: Path,
+    run_id: str,
+    shards: int,
+    mine_patterns: bool,
+    policy: SupervisorPolicy,
+    chaos: "ChaosMonkey | None",
+    dataset_path: str | Path | None,
+    whois_path: str | Path | None,
+    resumed: bool,
+    tracer: Tracer | None,
+) -> SupervisedResult:
+    """The journal-driven execution body of :func:`run_supervised_detection`.
 
-    if todo:
-        if policy.workers == 0:
-
-            def execute(index: int) -> None:
-                shard = ShardSpec(index, shards)
-                path = pipeline.shard_checkpoint_path(checkpoint_dir, shard)
-                state = _load_partial_state(journal, pipeline, shard, path)
-                _boundary(chaos, "supervisor", f"shard-start:{index}")
-                journal.append(
-                    "shard-start",
-                    shard=index,
-                    resumed_stages=sorted(state["done"]),
+    Runs with the caller's tracer (possibly None) installed as the
+    active one; every span and event below no-ops when tracing is off.
+    The outermost ``run`` span closes only when the run completes, so a
+    kill anywhere inside leaves a start-without-end — the same shape the
+    journal's crash windows have.
+    """
+    with obs.span("run", shards=shards) as run_span:
+        complete_record = journal.run_complete
+        if complete_record is not None:
+            replayed = _load_completed_result(run_dir, complete_record.payload)
+            if replayed is not None:
+                run_span.set(
+                    result_digest=str(complete_record.payload["result_digest"])
                 )
-
-                def after_stage(stage: str, st: dict[str, Any]) -> None:
-                    _boundary(chaos, "worker", f"shard-{index}:{stage}")
-                    atomic_write_bytes(path, dump_pipeline_state(st))
-                    _boundary(
-                        chaos, "supervisor", f"stage-complete:{index}:{stage}"
-                    )
-                    journal.append(
-                        "stage-complete",
-                        shard=index,
-                        stage=stage,
-                        state_digest=state_digest(st),
-                        checkpoint_sha256=file_sha256(path),
-                    )
-
-                pipeline.run_shard_stages(shard, state, after_stage=after_stage)
-
-            outcomes = supervisor.run_inline(
-                todo, execute, on_complete=on_complete
-            )
-        else:
-            if dataset_path is None:
-                raise RunFailed(
-                    "process-pool execution needs dataset_path so workers "
-                    "can reopen the dataset"
-                )
-            chaos_seed = chaos.config.seed if chaos is not None else None
-            kill_rate = chaos.config.kill_worker_rate if chaos is not None else 0.0
-
-            def spawn(index: int, attempt: int, heartbeats: Any) -> Any:
-                import multiprocessing
-
-                journal.append("shard-start", shard=index, attempt=attempt)
-                process = multiprocessing.get_context().Process(
-                    target=_shard_worker,
-                    args=(
-                        index,
-                        shards,
-                        str(dataset_path),
-                        str(whois_path) if whois_path else None,
-                        str(checkpoint_dir),
-                        mine_patterns,
-                        heartbeats,
-                        chaos_seed if attempt == 1 else None,
-                        kill_rate,
+                if tracer is not None:
+                    _write_metrics_snapshot(run_dir)
+                return SupervisedResult(
+                    run_id=run_id,
+                    result=replayed,
+                    result_digest=str(
+                        complete_record.payload["result_digest"]
                     ),
+                    run_dir=run_dir,
+                    journal_path=journal_path,
+                    resumed=True,
                 )
-                process.start()
-                return process
 
-            outcomes = supervisor.run_processes(
-                todo, spawn, on_complete=on_complete
-            )
-
-    _boundary(chaos, "supervisor", "merge-start")
-    journal.append("merge-start", shards=shards)
-    states = [
-        load_pipeline_state(
-            pipeline.shard_checkpoint_path(
-                checkpoint_dir, ShardSpec(index, shards)
-            ).read_bytes()
+        pipeline = DetectionPipeline(
+            zonedb, whois, mine_patterns=mine_patterns, shards=shards
         )
-        for index in range(shards)
-    ]
-    result = pipeline.merge_shard_states(states)
-    data = pickle.dumps(result)
-    atomic_write_bytes(run_dir / RESULT_NAME, data)
-    manifest = _write_result_manifest(run_dir, run_id, data, result)
-    _boundary(chaos, "supervisor", "run-complete")
-    journal.append(
-        "run-complete",
-        run_id=run_id,
-        result_sha256=manifest["result_sha256"],
-        result_digest=manifest["result_digest"],
-    )
-    return SupervisedResult(
-        run_id=run_id,
-        result=result,
-        result_digest=str(manifest["result_digest"]),
-        run_dir=run_dir,
-        journal_path=journal_path,
-        resumed=resumed,
-        outcomes=outcomes,
-    )
+        done = _verified_completed_shards(
+            journal, pipeline, checkpoint_dir, shards
+        )
+        todo = [index for index in range(shards) if index not in done]
+        supervisor = RunSupervisor(policy)
+        outcomes: dict[int, ShardOutcome] = {}
+
+        def on_complete(index: int) -> None:
+            shard = ShardSpec(index, shards)
+            path = pipeline.shard_checkpoint_path(checkpoint_dir, shard)
+            state = load_pipeline_state(path.read_bytes())
+            _boundary(chaos, "supervisor", f"shard-complete:{index}")
+            journal.append(
+                "shard-complete",
+                shard=index,
+                state_digest=state_digest(state),
+                checkpoint_sha256=file_sha256(path),
+            )
+            obs.counter("runner.shards_completed").inc()
+
+        if todo:
+            if policy.workers == 0:
+
+                def execute(index: int) -> None:
+                    shard = ShardSpec(index, shards)
+                    path = pipeline.shard_checkpoint_path(
+                        checkpoint_dir, shard
+                    )
+                    with obs.span(f"shard-{index}", shard=index) as shard_span:
+                        state = _load_partial_state(
+                            journal, pipeline, shard, path
+                        )
+                        _boundary(chaos, "supervisor", f"shard-start:{index}")
+                        journal.append(
+                            "shard-start",
+                            shard=index,
+                            resumed_stages=sorted(state["done"]),
+                        )
+
+                        def after_stage(stage: str, st: dict[str, Any]) -> None:
+                            _boundary(chaos, "worker", f"shard-{index}:{stage}")
+                            atomic_write_bytes(path, dump_pipeline_state(st))
+                            _boundary(
+                                chaos,
+                                "supervisor",
+                                f"stage-complete:{index}:{stage}",
+                            )
+                            journal.append(
+                                "stage-complete",
+                                shard=index,
+                                stage=stage,
+                                state_digest=state_digest(st),
+                                checkpoint_sha256=file_sha256(path),
+                            )
+
+                        pipeline.run_shard_stages(
+                            shard, state, after_stage=after_stage
+                        )
+                        shard_span.set(stages=sorted(state["done"]))
+
+                outcomes = supervisor.run_inline(
+                    todo, execute, on_complete=on_complete
+                )
+            else:
+                if dataset_path is None:
+                    raise RunFailed(
+                        "process-pool execution needs dataset_path so workers "
+                        "can reopen the dataset"
+                    )
+                chaos_seed = chaos.config.seed if chaos is not None else None
+                kill_rate = (
+                    chaos.config.kill_worker_rate if chaos is not None else 0.0
+                )
+
+                def spawn(index: int, attempt: int, heartbeats: Any) -> Any:
+                    import multiprocessing
+
+                    journal.append("shard-start", shard=index, attempt=attempt)
+                    obs.trace_event(
+                        "supervisor.spawn", shard=index, attempt=attempt
+                    )
+                    process = multiprocessing.get_context().Process(
+                        target=_shard_worker,
+                        args=(
+                            index,
+                            shards,
+                            str(dataset_path),
+                            str(whois_path) if whois_path else None,
+                            str(checkpoint_dir),
+                            mine_patterns,
+                            heartbeats,
+                            chaos_seed if attempt == 1 else None,
+                            kill_rate,
+                        ),
+                    )
+                    process.start()
+                    return process
+
+                outcomes = supervisor.run_processes(
+                    todo, spawn, on_complete=on_complete
+                )
+
+        _boundary(chaos, "supervisor", "merge-start")
+        journal.append("merge-start", shards=shards)
+        with obs.span("merge", shards=shards):
+            states = [
+                load_pipeline_state(
+                    pipeline.shard_checkpoint_path(
+                        checkpoint_dir, ShardSpec(index, shards)
+                    ).read_bytes()
+                )
+                for index in range(shards)
+            ]
+            result = pipeline.merge_shard_states(states)
+        data = pickle.dumps(result)
+        atomic_write_bytes(run_dir / RESULT_NAME, data)
+        manifest = _write_result_manifest(run_dir, run_id, data, result)
+        _boundary(chaos, "supervisor", "run-complete")
+        journal.append(
+            "run-complete",
+            run_id=run_id,
+            result_sha256=manifest["result_sha256"],
+            result_digest=manifest["result_digest"],
+        )
+        run_span.set(result_digest=str(manifest["result_digest"]))
+        if tracer is not None:
+            _write_metrics_snapshot(run_dir)
+        return SupervisedResult(
+            run_id=run_id,
+            result=result,
+            result_digest=str(manifest["result_digest"]),
+            run_dir=run_dir,
+            journal_path=journal_path,
+            resumed=resumed,
+            outcomes=outcomes,
+        )

@@ -20,8 +20,13 @@ verifying them. That split means a worker that dies after its
 checkpoint rename but before exiting cleanly costs only a redundant
 re-run, never a corrupt dataset.
 
-Timeouts use ``time.monotonic()`` — a duration source, not a wall
-clock, so it is exempt from (and invisible to) lint rule ``DET002``.
+Timeouts use the monotonic duration clock via :mod:`repro.obs.clock`
+— a duration source, not a wall clock, so it is exempt from lint rule
+``DET002``; routing it through ``repro.obs`` keeps rule ``DET009``
+(telemetry reads confined to the obs layer) satisfied. Retries, hangs,
+and heartbeats are also mirrored into the obs metrics registry and, when
+a run is traced, emitted as trace events — the journal stays the source
+of truth for durability, the trace for operational history.
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.faults.rng import stream_rng
+from repro.obs import clock, runtime
 
 
 class RunFailed(Exception):
@@ -122,12 +128,21 @@ class RunSupervisor:
                 try:
                     execute(index)
                 except Exception as error:
-                    outcome.crashes.append(f"{type(error).__name__}: {error}")
+                    reason = f"{type(error).__name__}: {error}"
+                    outcome.crashes.append(reason)
+                    runtime.counter("supervisor.crashes").inc()
                     if outcome.attempts > self.policy.max_retries:
                         raise RunFailed(
                             f"shard {index} failed after "
                             f"{outcome.attempts} attempt(s): {error}"
                         ) from error
+                    runtime.counter("supervisor.retries").inc()
+                    runtime.trace_event(
+                        "supervisor.retry",
+                        shard=index,
+                        attempt=outcome.attempts + 1,
+                        reason=reason,
+                    )
                     time.sleep(
                         self.policy.backoff_for(
                             outcome.attempts, self._jitter_rng.random()
@@ -168,7 +183,7 @@ class RunSupervisor:
         outcomes = {index: ShardOutcome(index=index) for index in indices}
         try:
             while pending or delayed or active:
-                now = time.monotonic()
+                now = clock.monotonic()
                 ready = [entry for entry in delayed if entry[0] <= now]
                 delayed = [entry for entry in delayed if entry[0] > now]
                 pending.extend((index, attempt) for _, index, attempt in ready)
@@ -183,7 +198,7 @@ class RunSupervisor:
                 self._reap(active, delayed, outcomes, on_complete)
                 if not active and not pending and delayed:
                     time.sleep(
-                        max(0.0, min(e[0] for e in delayed) - time.monotonic())
+                        max(0.0, min(e[0] for e in delayed) - clock.monotonic())
                     )
         finally:
             for entry in active.values():  # only reached when raising
@@ -207,9 +222,10 @@ class RunSupervisor:
             except (EOFError, OSError):  # pragma: no cover - queue torn down
                 return
             block = False
+            runtime.counter("supervisor.heartbeats").inc()
             entry = active.get(index)
             if entry is not None:
-                entry.last_beat = time.monotonic()
+                entry.last_beat = clock.monotonic()
 
     def _reap(
         self,
@@ -219,7 +235,7 @@ class RunSupervisor:
         on_complete: Callable[[int], None] | None,
     ) -> None:
         """Handle exits and hangs; reschedule or fail accordingly."""
-        now = time.monotonic()
+        now = clock.monotonic()
         for index in sorted(active):
             entry = active[index]
             process = entry.process
@@ -230,6 +246,7 @@ class RunSupervisor:
                     if on_complete is not None:
                         on_complete(index)
                     continue
+                runtime.counter("supervisor.crashes").inc()
                 self._schedule_retry(
                     index, entry.attempt,
                     f"exit code {process.exitcode}",
@@ -239,6 +256,10 @@ class RunSupervisor:
                 process.terminate()
                 process.join()
                 del active[index]
+                runtime.counter("supervisor.hangs").inc()
+                runtime.trace_event(
+                    "supervisor.hang", shard=index, attempt=entry.attempt
+                )
                 self._schedule_retry(
                     index, entry.attempt, "heartbeat timeout", delayed, outcomes
                 )
@@ -256,5 +277,9 @@ class RunSupervisor:
             raise RunFailed(
                 f"shard {index} failed after {attempt} attempt(s): {reason}"
             )
+        runtime.counter("supervisor.retries").inc()
+        runtime.trace_event(
+            "supervisor.retry", shard=index, attempt=attempt + 1, reason=reason
+        )
         backoff = self.policy.backoff_for(attempt, self._jitter_rng.random())
-        delayed.append((time.monotonic() + backoff, index, attempt + 1))
+        delayed.append((clock.monotonic() + backoff, index, attempt + 1))

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import runtime as obs
 from repro.store.atomic import (
     atomic_write_bytes,
     load_checked_json,
@@ -107,6 +108,7 @@ class ArtifactCache:
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -114,18 +116,30 @@ class ArtifactCache:
     def __contains__(self, key: ArtifactKey) -> bool:
         return key.digest in self._entries
 
+    def stats(self) -> dict[str, int]:
+        """This cache's hit/miss/quarantine counts as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+            "entries": len(self._entries),
+        }
+
     def get(self, key: ArtifactKey) -> Any | None:
         """The cached artifact, or None. Checks memory, then disk."""
         if key.digest in self._entries:
             self.hits += 1
+            obs.counter("artifact_cache.hits").inc()
             self._entries.move_to_end(key.digest)
             return self._entries[key.digest]
         value = self._disk_load(key)
         if value is not None:
             self.hits += 1
+            obs.counter("artifact_cache.hits").inc()
             self._remember(key, value)
             return value
         self.misses += 1
+        obs.counter("artifact_cache.misses").inc()
         return None
 
     def put(self, key: ArtifactKey, value: Any, *, memory_only: bool = False) -> None:
@@ -209,6 +223,8 @@ class ArtifactCache:
                     # quarantine both halves and recompute on miss.
                     quarantine(path)
                     quarantine(manifest_file)
+                    self.quarantined += 1
+                    obs.counter("artifact_cache.quarantined").inc()
                     return None
         try:
             return pickle.loads(payload)

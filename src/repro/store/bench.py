@@ -11,20 +11,24 @@ Measures the costs the layered dataset architecture trades between:
   unsharded versus sharded.
 
 Results land in ``BENCH_store.json`` so successive commits have a perf
-trajectory to compare against. Timings use ``time.perf_counter`` (a
-monotonic duration clock — wall-clock ``time.time`` is banned by lint
-rule DET002 and is not needed here).
+trajectory to compare against. Timings read :mod:`repro.obs.clock`
+(the sanctioned duration-clock funnel — raw ``time.perf_counter`` is
+banned outside ``repro.obs`` by lint rule DET009) and are mirrored into
+the obs metrics registry, whose snapshot rides along in the report's
+``metrics`` key. Progress lines go through the obs
+:class:`~repro.obs.reporters.TextReporter` rather than bare prints.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
-import time
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs import clock
+from repro.obs import runtime as obs
+from repro.obs.reporters import TextReporter
 from repro.store.memory import MemoryDelegationStore
 from repro.store.sqlite import SqliteDelegationStore
 
@@ -54,11 +58,12 @@ def bench_ingest(
 
     events = _synthetic_schedule(domains, days)
     db = ZoneDatabase(["biz"], store=_make_store(backend, tmp_dir))
-    started = time.perf_counter()
+    started = clock.perf_counter()
     for day, domain, ns in events:
         db.set_delegation(day, domain, [ns])
     db.flush()
-    elapsed = time.perf_counter() - started
+    elapsed = clock.perf_counter() - started
+    obs.histogram(f"bench.ingest.{backend}.duration_s").observe(elapsed)
     result = {
         "backend": backend,
         "events": len(events),
@@ -68,18 +73,19 @@ def bench_ingest(
     return result, db
 
 
-def bench_ns_records(db, *, rounds: int) -> dict[str, Any]:
+def bench_ns_records(db, *, backend: str, rounds: int) -> dict[str, Any]:
     """Per-call latency of the pipeline's hottest query."""
     nameservers = list(db.all_nameservers())
     if not nameservers:
         return {"calls": 0}
-    started = time.perf_counter()
+    started = clock.perf_counter()
     calls = 0
     for _ in range(rounds):
         for ns in nameservers:
             db.ns_records(ns)
             calls += 1
-    elapsed = time.perf_counter() - started
+    elapsed = clock.perf_counter() - started
+    obs.histogram(f"bench.ns_records.{backend}.duration_s").observe(elapsed)
     return {
         "calls": calls,
         "seconds": round(elapsed, 6),
@@ -94,20 +100,24 @@ def bench_pipeline(*, seed: int, scale: float, shards: int) -> dict[str, Any]:
 
     world = run_default_world(seed=seed, scale=scale)
 
-    def timed(run: Callable[[], Any]) -> float:
-        started = time.perf_counter()
+    def timed(label: str, run: Callable[[], Any]) -> float:
+        started = clock.perf_counter()
         run()
-        return time.perf_counter() - started
+        elapsed = clock.perf_counter() - started
+        obs.histogram(f"bench.pipeline.{label}.duration_s").observe(elapsed)
+        return elapsed
 
     unsharded = timed(
+        "unsharded",
         lambda: DetectionPipeline(
             world.zonedb, world.whois, mine_patterns=False
-        ).run()
+        ).run(),
     )
     sharded = timed(
+        "sharded",
         lambda: DetectionPipeline(
             world.zonedb, world.whois, mine_patterns=False, shards=shards
-        ).run()
+        ).run(),
     )
     return {
         "seed": seed,
@@ -128,7 +138,13 @@ def run_benchmarks(
     shards: int = 4,
     tmp_dir: Path | None = None,
 ) -> dict[str, Any]:
-    """All store benchmarks as one JSON-ready document."""
+    """All store benchmarks as one JSON-ready document.
+
+    The registry is reset first so the embedded ``metrics`` snapshot
+    covers exactly this benchmark run (bench histograms plus whatever
+    the instrumented store/pipeline hot paths record underneath).
+    """
+    obs.reset_metrics()
     report: dict[str, Any] = {
         "format": "riskybiz-bench-store/1",
         "parameters": {
@@ -147,11 +163,12 @@ def run_benchmarks(
             backend, domains=domains, days=days, tmp_dir=tmp_dir
         )
         report["ingest"].append(ingest)
-        query = bench_ns_records(db, rounds=query_rounds)
+        query = bench_ns_records(db, backend=backend, rounds=query_rounds)
         query["backend"] = backend
         report["ns_records"].append(query)
         db.close()
     report["pipeline"] = bench_pipeline(seed=seed, scale=scale, shards=shards)
+    report["metrics"] = obs.metrics().snapshot()
     return report
 
 
@@ -185,22 +202,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    print(f"Wrote {out}", file=sys.stderr)
+    reporter = TextReporter()
+    reporter.line(f"Wrote {out}")
     for entry in report["ingest"]:
-        print(
+        reporter.line(
             f"ingest[{entry['backend']}]: "
-            f"{entry['events_per_second']} events/s", file=sys.stderr,
+            f"{entry['events_per_second']} events/s"
         )
     for entry in report["ns_records"]:
-        print(
+        reporter.line(
             f"ns_records[{entry['backend']}]: "
-            f"{entry['microseconds_per_call']} us/call", file=sys.stderr,
+            f"{entry['microseconds_per_call']} us/call"
         )
     pipe = report["pipeline"]
-    print(
+    reporter.line(
         f"pipeline: unsharded {pipe['unsharded_seconds']}s, "
-        f"{pipe['shards']}-way sharded {pipe['sharded_seconds']}s",
-        file=sys.stderr,
+        f"{pipe['shards']}-way sharded {pipe['sharded_seconds']}s"
     )
     return 0
 

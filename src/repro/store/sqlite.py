@@ -28,6 +28,8 @@ import sqlite3
 from pathlib import Path
 from typing import Iterator
 
+from repro.obs import clock
+from repro.obs import runtime as obs
 from repro.simtime import Interval
 from repro.store.base import DelegationRecord
 
@@ -82,6 +84,14 @@ class SqliteDelegationStore:
         self._current: dict[str, set[str]] = {}
         #: (kind, key) -> (rowid, start) of the open presence row.
         self._open_presence: dict[tuple[str, str], tuple[int, int]] = {}
+        # Instruments are cached as attributes: the write path runs per
+        # delegation change and must not pay a registry lookup each time.
+        self._write_timer = obs.histogram("sqlite.write.duration_s")
+        self._commit_timer = obs.histogram("sqlite.txn_commit.duration_s")
+        self._query_timer = obs.histogram("sqlite.ns_records.duration_s")
+        self._write_count = obs.counter("sqlite.writes")
+        self._commit_count = obs.counter("sqlite.commits")
+        self._query_count = obs.counter("sqlite.ns_records_queries")
         self._rebuild_open_caches()
 
     def _rebuild_open_caches(self) -> None:
@@ -98,20 +108,26 @@ class SqliteDelegationStore:
     # -- transaction batching ----------------------------------------------
 
     def _write(self, sql: str, params: tuple) -> sqlite3.Cursor:
+        started = clock.perf_counter()
         if not self._in_txn:
             self._conn.execute("BEGIN")
             self._in_txn = True
         cursor = self._conn.execute(sql, params)
         self._txn_writes += 1
+        self._write_count.inc()
+        self._write_timer.observe(clock.perf_counter() - started)
         if self._txn_writes >= _TXN_BATCH:
             self._commit()
         return cursor
 
     def _commit(self) -> None:
         if self._in_txn:
+            started = clock.perf_counter()
             self._conn.execute("COMMIT")
             self._in_txn = False
             self._txn_writes = 0
+            self._commit_count.inc()
+            self._commit_timer.observe(clock.perf_counter() - started)
 
     # -- pair intervals ----------------------------------------------------
 
@@ -181,7 +197,8 @@ class SqliteDelegationStore:
         return int(row[0])
 
     def ns_records(self, ns: str) -> list[DelegationRecord]:
-        return [
+        started = clock.perf_counter()
+        records = [
             DelegationRecord(domain, ns, start, end)
             for domain, start, end in self._conn.execute(
                 "SELECT domain, start, end FROM pairs WHERE ns = ? "
@@ -189,6 +206,9 @@ class SqliteDelegationStore:
                 (ns,),
             )
         ]
+        self._query_count.inc()
+        self._query_timer.observe(clock.perf_counter() - started)
+        return records
 
     def domain_records(self, domain: str) -> list[DelegationRecord]:
         return [

@@ -129,6 +129,25 @@ def verify_dataset(dataset_path: str | Path) -> list[Issue]:
 # -- artifact caches ---------------------------------------------------------
 
 
+def artifact_entry_count(root: str | Path) -> int:
+    """Number of (non-quarantined) artifact manifests under ``root``.
+
+    The same filter :func:`verify_artifact_dir` scans with, exposed so
+    callers can summarize the cache ("N entries checked") without
+    re-verifying it.
+    """
+    directory = Path(root)
+    if not directory.is_dir():
+        return 0
+    return sum(
+        1
+        for path in directory.glob("*.json")
+        if QUARANTINE_SUFFIX not in path.name
+        and not path.name.endswith(TMP_SUFFIX)
+        and not path.name.endswith(".manifest.json")
+    )
+
+
 def verify_artifact_dir(root: str | Path) -> list[Issue]:
     """Verify every entry of an on-disk artifact cache directory.
 

@@ -89,8 +89,9 @@ class TestWallClock:
             "DET002"
         ]
 
-    def test_monotonic_clean(self):
-        assert rule_ids("import time\nt = time.monotonic()\n") == []
+    def test_monotonic_not_wall_clock(self):
+        # DET009, not DET002: a duration clock, not a wall clock.
+        assert rule_ids("import time\nt = time.monotonic()\n") == ["DET009"]
 
     def test_constructed_datetime_clean(self):
         assert rule_ids(
@@ -285,6 +286,64 @@ class TestNonAtomicWrite:
         assert result.errors == []
 
 
+class TestTelemetryRead:
+    def test_perf_counter_flagged_in_src(self):
+        assert rule_ids("import time\nt = time.perf_counter()\n") == [
+            "DET009"
+        ]
+
+    def test_from_import_monotonic_flagged(self):
+        assert rule_ids(
+            "from time import monotonic\nt = monotonic()\n"
+        ) == ["DET009"]
+
+    def test_aliased_duration_fn_flagged(self):
+        assert rule_ids(
+            "from time import perf_counter as pc\nt = pc()\n"
+        ) == ["DET009"]
+
+    def test_tracemalloc_module_flagged(self):
+        assert rule_ids(
+            "import tracemalloc\ntracemalloc.start()\n"
+        ) == ["DET009"]
+
+    def test_tracemalloc_from_import_flagged(self):
+        assert rule_ids(
+            "from tracemalloc import start\nstart()\n"
+        ) == ["DET009"]
+
+    def test_obs_layer_exempt(self):
+        assert rule_ids(
+            "import time\nt = time.perf_counter()\n",
+            path="src/repro/obs/clock.py",
+        ) == []
+
+    def test_obs_submodule_exempt(self):
+        assert rule_ids(
+            "import tracemalloc\ntracemalloc.start()\n",
+            path="src/repro/obs/profiling.py",
+        ) == []
+
+    def test_outside_scope_clean(self):
+        assert rule_ids(
+            "import time\nt = time.monotonic()\n", path="tests/test_x.py"
+        ) == []
+
+    def test_obs_clock_wrapper_clean(self):
+        assert rule_ids(
+            "from repro.obs import clock\nt = clock.monotonic()\n"
+        ) == []
+
+    def test_time_sleep_clean(self):
+        # sleep is not a clock read; backoff waits stay legal anywhere.
+        assert rule_ids("import time\ntime.sleep(0.1)\n") == []
+
+    def test_repo_tree_routes_clock_reads_through_obs(self):
+        """The real src tree carries no unbaselined DET009."""
+        result = run_lint(["src/repro"], root=REPO_ROOT, select=["DET009"])
+        assert result.errors == []
+
+
 class TestParseError:
     def test_syntax_error_reported_as_det000(self):
         assert rule_ids("def broken(:\n") == ["DET000"]
@@ -298,7 +357,7 @@ class TestCatalogue:
 
     def test_every_det_rule_documented(self):
         for rule_id in ("DET001", "DET002", "DET003", "DET004", "DET005",
-                        "DET006", "DET007", "DET008"):
+                        "DET006", "DET007", "DET008", "DET009"):
             assert rule_id in RULES
             assert RULES[rule_id].engine == "code"
 

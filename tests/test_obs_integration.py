@@ -1,0 +1,193 @@
+"""Telemetry end-to-end: tracing never changes results, traces converge.
+
+The telemetry plane's contract with the determinism story:
+
+* running detection with tracing on produces the same result digest as
+  running it with tracing off;
+* a traced run emits ``trace.jsonl`` and ``metrics.json`` that validate
+  against the telemetry schemas;
+* a kill-and-resume chaos trial converges on the same canonical trace
+  content as the uninterrupted baseline;
+* in the process-pool backend, every ``supervisor.retry`` trace event
+  matches a journaled ``shard-start`` re-attempt one-for-one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults.process import ChaosMonkey, ProcessChaosConfig
+from repro.obs.schema import validate_metrics_file, validate_trace_file
+from repro.obs.tracer import canonical_spans, read_trace, trace_content_digest
+from repro.runner.chaos_harness import run_kill_resume_trial
+from repro.runner.execution import (
+    METRICS_NAME,
+    TRACE_NAME,
+    run_supervised_detection,
+)
+from repro.runner.journal import RunJournal
+from repro.runner.supervisor import SupervisorPolicy
+
+SCALE = 0.06
+SEED = 2021
+SHARDS = 2
+
+
+@pytest.fixture(scope="module")
+def world():
+    from repro.ecosystem.config import default_scenario
+    from repro.ecosystem.world import World
+
+    return World(default_scenario(SEED).scaled(SCALE)).run()
+
+
+class TestTracingIsContentNeutral:
+    def test_trace_on_off_bit_identical(self, world, tmp_path):
+        plain = run_supervised_detection(
+            world.zonedb, world.whois, run_dir=tmp_path / "plain", shards=SHARDS
+        )
+        traced = run_supervised_detection(
+            world.zonedb,
+            world.whois,
+            run_dir=tmp_path / "traced",
+            shards=SHARDS,
+            trace=True,
+        )
+        assert traced.result_digest == plain.result_digest
+        assert not (tmp_path / "plain" / TRACE_NAME).exists()
+        assert not (tmp_path / "plain" / METRICS_NAME).exists()
+        assert (tmp_path / "traced" / TRACE_NAME).exists()
+        assert (tmp_path / "traced" / METRICS_NAME).exists()
+
+    def test_traced_artifacts_validate_and_cover_the_run(self, world, tmp_path):
+        run_supervised_detection(
+            world.zonedb,
+            world.whois,
+            run_dir=tmp_path / "run",
+            shards=SHARDS,
+            trace=True,
+            profile=True,
+        )
+        trace_path = tmp_path / "run" / TRACE_NAME
+        metrics_path = tmp_path / "run" / METRICS_NAME
+        assert validate_trace_file(trace_path) == []
+        assert validate_metrics_file(metrics_path) == []
+
+        records = read_trace(trace_path)
+        paths = [span["path"] for span in canonical_spans(records)]
+        assert "run" in paths and "run/merge" in paths
+        for shard in range(SHARDS):
+            assert f"run/shard-{shard}/candidates" in paths
+            assert f"run/shard-{shard}/match" in paths
+
+        document = json.loads(metrics_path.read_text(encoding="utf-8"))
+        counters = document["counters"]
+        assert counters["runner.shards_completed"] == SHARDS
+        assert counters["pipeline.stage_runs.candidates"] == SHARDS
+        assert any(
+            name.startswith("pipeline.stage.") for name in document["histograms"]
+        )
+        # --profile adds per-stage wall/memory gauges to the snapshot.
+        assert any(
+            name.startswith("profile.stage.") for name in document["gauges"]
+        )
+
+    def test_two_traced_runs_share_canonical_content(self, world, tmp_path):
+        for name in ("first", "second"):
+            run_supervised_detection(
+                world.zonedb,
+                world.whois,
+                run_dir=tmp_path / name,
+                shards=SHARDS,
+                trace=True,
+            )
+        first = read_trace(tmp_path / "first" / TRACE_NAME)
+        second = read_trace(tmp_path / "second" / TRACE_NAME)
+        assert trace_content_digest(first) == trace_content_digest(second)
+
+
+class TestChaosTraceConvergence:
+    def test_kill_resume_trial_traces_identical(self, tmp_path):
+        report = run_kill_resume_trial(
+            workdir=tmp_path,
+            scale=SCALE,
+            seed=SEED,
+            backend="memory",
+            shards=3,
+            chaos_seed=7,
+            max_kills=4,
+            trace=True,
+        )
+        assert report.kills >= 4
+        assert report.bit_identical
+        assert report.baseline_trace_digest is not None
+        assert report.traces_identical, (
+            report.baseline_trace_digest,
+            report.chaos_trace_digest,
+        )
+        assert report.passed, report.verify_issues
+
+
+class TestProcessPoolRetryEvents:
+    def test_journal_and_trace_agree_on_retries(self, world, tmp_path):
+        """Satellite check: every supervisor.retry event is journaled.
+
+        With a kill-everything worker chaos config, each shard's first
+        attempt dies and is respawned; the journal records the respawn
+        as a ``shard-start`` with ``attempt > 1`` and the trace records
+        a ``supervisor.retry`` event — the two must match pairwise.
+        """
+        from repro.ecosystem.config import default_scenario
+        from repro.store.artifacts import scenario_digest
+        from repro.store.dataset import open_dataset, write_dataset
+        from repro.whois.archive import WhoisArchive
+
+        config = default_scenario(SEED).scaled(SCALE)
+        dataset_path = write_dataset(
+            world.zonedb,
+            tmp_path / "dataset.sqlite",
+            scenario_digest=scenario_digest(config),
+        )
+        whois_path = tmp_path / "whois.jsonl"
+        world.whois.dump(whois_path)
+
+        run_dir = tmp_path / "run"
+        supervised = run_supervised_detection(
+            open_dataset(dataset_path),
+            WhoisArchive.load(whois_path),
+            run_dir=run_dir,
+            shards=SHARDS,
+            policy=SupervisorPolicy(
+                workers=2, max_retries=2, backoff_base_s=0.01,
+                heartbeat_timeout_s=60.0, poll_interval_s=0.01,
+            ),
+            chaos=ChaosMonkey(ProcessChaosConfig(seed=3, kill_worker_rate=1.0)),
+            dataset_path=dataset_path,
+            whois_path=whois_path,
+            trace=True,
+        )
+        assert all(o.retried for o in supervised.outcomes.values())
+
+        journal = RunJournal.open(run_dir / "journal.jsonl")
+        journaled_retries = sorted(
+            (int(r.payload["shard"]), int(r.payload["attempt"]))
+            for r in journal.records
+            if r.type == "shard-start" and int(r.payload.get("attempt", 1)) > 1
+        )
+        assert journaled_retries  # chaos actually killed something
+
+        records = read_trace(run_dir / TRACE_NAME)
+        traced_retries = sorted(
+            (int(r.payload["shard"]), int(r.payload["attempt"]))
+            for r in records
+            if r.type == "event" and r.payload["name"] == "supervisor.retry"
+        )
+        assert traced_retries == journaled_retries
+        spawns = [
+            r for r in records
+            if r.type == "event" and r.payload["name"] == "supervisor.spawn"
+        ]
+        assert len(spawns) == SHARDS + len(journaled_retries)

@@ -1,0 +1,147 @@
+"""Metrics registry: instrument semantics, bucket stability, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS_S,
+    METRICS_FORMAT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.schema import validate_metrics_snapshot
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("x")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Gauge("x")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+
+class TestHistogram:
+    def test_bucket_assignment_is_stable(self):
+        histogram = Histogram("d", (1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 99.0, 1000.0):
+            histogram.observe(value)
+        # bisect_right semantics: a value equal to an edge falls into
+        # the bucket above it; 1000.0 lands in the overflow bucket.
+        assert histogram.counts == [1, 2, 2, 1]
+        assert histogram.count == 6
+        assert histogram.total == pytest.approx(1115.5)
+
+    def test_boundaries_must_be_sorted_and_non_empty(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", ())
+        with pytest.raises(ValueError):
+            Histogram("bad", (2.0, 1.0))
+
+    def test_to_dict_shape(self):
+        histogram = Histogram("d", DURATION_BUCKETS_S)
+        histogram.observe(0.003)
+        document = histogram.to_dict()
+        assert document["boundaries"] == list(DURATION_BUCKETS_S)
+        assert len(document["counts"]) == len(DURATION_BUCKETS_S) + 1
+        assert sum(document["counts"]) == document["count"] == 1
+
+    def test_fixed_default_boundaries_unchanged(self):
+        # The boundary tuples are part of the snapshot contract: changing
+        # them silently would make metrics.json files incomparable.
+        assert DURATION_BUCKETS_S[0] == 0.0001
+        assert DURATION_BUCKETS_S[-1] == 60.0
+        assert len(DURATION_BUCKETS_S) == 16
+        assert COUNT_BUCKETS == (
+            1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 50_000,
+        )
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_boundary_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", DURATION_BUCKETS_S)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("h", COUNT_BUCKETS)
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        counter.inc(3)
+        histogram.observe(0.5)
+        registry.reset()
+        # Cached instrument objects stay live after a reset.
+        assert counter is registry.counter("c")
+        assert counter.value == 0
+        assert histogram.count == 0
+        assert all(bucket == 0 for bucket in histogram.counts)
+
+    def test_snapshot_is_valid_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc(2)
+        registry.gauge("g").set(9)
+        registry.histogram("h").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["format"] == METRICS_FORMAT
+        assert list(snapshot["counters"]) == ["a.first", "z.last"]
+        assert validate_metrics_snapshot(snapshot) == []
+
+
+class TestRuntimeHelpers:
+    def test_global_registry_roundtrip(self):
+        obs.reset_metrics()
+        obs.counter("test.runtime.counter").inc(2)
+        snapshot = obs.metrics().snapshot()
+        assert snapshot["counters"]["test.runtime.counter"] == 2
+
+    def test_timed_records_one_observation(self):
+        obs.reset_metrics()
+        with obs.timed("test.runtime.duration_s"):
+            pass
+        histogram = obs.histogram("test.runtime.duration_s")
+        assert histogram.count == 1
+        assert histogram.total >= 0
+
+    def test_timed_records_even_on_exception(self):
+        obs.reset_metrics()
+        with pytest.raises(RuntimeError):
+            with obs.timed("test.runtime.exc_s"):
+                raise RuntimeError("boom")
+        assert obs.histogram("test.runtime.exc_s").count == 1
+
+    def test_count_histogram_uses_count_buckets(self):
+        obs.reset_metrics()
+        histogram = obs.count_histogram("test.runtime.sizes")
+        assert histogram.boundaries == COUNT_BUCKETS
+
+    def test_span_and_event_are_noops_without_tracer(self):
+        assert obs.active_tracer() is None
+        with obs.span("anything", shard=1) as span:
+            span.set(records=3)
+            assert span.span_id == ""
+        obs.trace_event("nothing.listens")  # must not raise
