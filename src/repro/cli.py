@@ -52,6 +52,7 @@ actually run:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -545,10 +546,56 @@ def cmd_faults_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the static-analysis gate (code + scenario engines)."""
+    """Run the static-analysis gate (code + scenario + project engines)."""
     from repro.lint.baseline import Baseline
     from repro.lint.reporters import render_json, render_text
     from repro.lint.runner import run_lint
+
+    if args.graph:
+        from repro.lint.callgraph import CallGraph
+        from repro.lint.config import load_config
+        from repro.lint.project import ProjectGraph
+
+        config = load_config(args.root)
+        call_graph = CallGraph.build(ProjectGraph.build(config))
+        print(json.dumps(call_graph.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.fix or args.fix_diff:
+        from repro.lint.fixes import apply_fixes, plan_fixes
+
+        try:
+            fixes = plan_fixes(
+                args.paths,
+                root=args.root,
+                use_baseline=not args.no_baseline,
+            )
+        except (FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        changed = [fix for fix in fixes if fix.changed]
+        if args.fix_diff:
+            for fix in changed:
+                print(fix.unified_diff(), end="")
+            print(
+                f"{len(changed)} file(s) would change "
+                f"({sum(len(f.applied) for f in changed)} fix(es))",
+                file=sys.stderr,
+            )
+            return 0
+        apply_fixes(changed)
+        for fix in changed:
+            print(f"fixed {fix.path}: {len(fix.applied)} finding(s)")
+        for fix in fixes:
+            for diagnostic, reason in fix.skipped:
+                print(
+                    f"skipped {diagnostic.rule_id} at {fix.path}:"
+                    f"{diagnostic.line}: {reason}",
+                    file=sys.stderr,
+                )
+        print(f"fixed {len(changed)} file(s)", file=sys.stderr)
+        # Fall through to a fresh lint run so the exit code reflects
+        # what remains after the rewrite.
 
     try:
         result = run_lint(
@@ -557,10 +604,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
             use_baseline=not args.no_baseline,
             select=args.select.split(",") if args.select else (),
             ignore=args.ignore.split(",") if args.ignore else (),
+            jobs=args.jobs,
         )
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    if args.prune_baseline:
+        from repro.lint.config import load_config
+
+        config = load_config(args.root)
+        stale = {entry.fingerprint for entry in result.stale_baseline_entries}
+        if stale:
+            current = Baseline.load(config.baseline_path())
+            kept = Baseline(
+                entries=tuple(
+                    entry for entry in current.entries
+                    if entry.fingerprint not in stale
+                )
+            )
+            kept.save(config.baseline_path())
+        print(
+            f"Pruned {len(stale)} stale entr(y/ies) from "
+            f"{config.baseline_path()}",
+            file=sys.stderr,
+        )
+        remaining = [d for d in result.errors if d.rule_id != "DET012"]
+        return 1 if remaining else 0
     if args.write_baseline:
         from repro.lint.config import load_config
 
@@ -768,6 +837,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline", action="store_true",
         help="record current errors into the baseline file instead of "
              "failing on them",
+    )
+    lint.add_argument(
+        "--fix", action="store_true",
+        help="apply the mechanical fixes (DET004/DET006/DET007), then "
+             "re-lint; baselined findings are never rewritten",
+    )
+    lint.add_argument(
+        "--fix-diff", action="store_true",
+        help="print the unified diff --fix would apply, without writing",
+    )
+    lint.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop baseline entries flagged stale by DET012",
+    )
+    lint.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="lint files across N supervised worker processes "
+             "(default: 1, inline)",
+    )
+    lint.add_argument(
+        "--graph", choices=("json",),
+        help="dump the project import/call graph instead of linting",
     )
     lint.set_defaults(func=cmd_lint)
 

@@ -4,15 +4,25 @@ Engine 1 (:mod:`repro.lint.code_engine`) enforces determinism
 discipline on the Python tree — seeded named RNG streams, simtime-only
 clocks, order-stable iteration. Engine 2
 (:mod:`repro.lint.scenario_engine`) verifies EPP referential integrity
-(RFC 5731/5732) in scenario and world JSON before anything runs. Both
-share one diagnostic model, rule registry, pyproject config, and
-baseline-suppression file; ``riskybiz lint`` is the CLI front end.
+(RFC 5731/5732) in scenario and world JSON before anything runs.
+Engine 3 (:mod:`repro.lint.flow`) is whole-program: it builds an
+import/symbol graph (:mod:`repro.lint.project`) and a conservative
+call graph (:mod:`repro.lint.callgraph`) over the configured project
+roots and runs the interprocedural fork-safety and digest-taint rules
+across module boundaries. All engines share one diagnostic model, rule
+registry, pyproject config, and baseline-suppression file;
+``riskybiz lint`` is the CLI front end and :mod:`repro.lint.fixes`
+supplies the ``--fix`` rewrite engine.
 """
 
 from repro.lint.baseline import Baseline, BaselineEntry
-from repro.lint.code_engine import CodeContext, lint_code_source
+from repro.lint.callgraph import CallGraph
+from repro.lint.code_engine import CodeContext, FixCandidate, lint_code_source
 from repro.lint.config import LintConfig, load_config
 from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.fixes import FileFix, apply_fixes, fix_source, plan_fixes
+from repro.lint.flow import run_project_analysis, stale_baseline_diagnostics
+from repro.lint.project import ProjectGraph
 from repro.lint.registry import (
     RULES,
     Rule,
@@ -33,24 +43,33 @@ from repro.lint.scenario_engine import (
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "CodeContext",
     "Diagnostic",
+    "FileFix",
+    "FixCandidate",
     "LintConfig",
     "LintResult",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "ScenarioContext",
     "Severity",
     "WORLD_FORMAT",
+    "apply_fixes",
     "catalogue",
     "classify_document",
     "code_checker",
+    "fix_source",
     "lint_code_source",
     "lint_scenario_data",
     "load_config",
+    "plan_fixes",
     "render_json",
     "render_text",
     "rule",
     "run_lint",
+    "run_project_analysis",
     "scenario_checker",
+    "stale_baseline_diagnostics",
 ]

@@ -146,6 +146,25 @@ class CodeContext:
         return self.config.path_in(self.path, self.config.telemetry_modules)
 
 
+@dataclass(frozen=True)
+class FixCandidate:
+    """One mechanically fixable finding, with the AST nodes the fixer needs.
+
+    ``data`` is rule-specific:
+
+    * DET004 — ``{"wrap": expr}``: the set-valued expression to wrap in
+      ``sorted(...)``;
+    * DET006 — ``{"func": def_node, "default": expr, "arg": name}``: one
+      mutable default and the parameter it belongs to;
+    * DET007 — ``{"name": name_node}``: the ``hash`` name to replace
+      with ``stable_hash``.
+    """
+
+    rule_id: str
+    diagnostic: Diagnostic
+    data: dict[str, object]
+
+
 @dataclass
 class _Aliases:
     """Import bindings relevant to the determinism rules."""
@@ -208,6 +227,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.ctx = ctx
         self.aliases = aliases
         self.diagnostics: list[Diagnostic] = []
+        self.fix_candidates: list[FixCandidate] = []
         self._symbols: list[str] = []
         #: Per-function scopes mapping local names to "is set-valued".
         self._set_scopes: list[dict[str, bool]] = [{}]
@@ -218,16 +238,23 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def symbol(self) -> str:
         return ".".join(self._symbols) if self._symbols else "<module>"
 
-    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
-        self.diagnostics.append(
-            make(
-                rule_id,
-                self.ctx.path,
-                getattr(node, "lineno", 0),
-                getattr(node, "col_offset", 0),
-                message,
-                self.symbol,
-            )
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> Diagnostic:
+        diagnostic = make(
+            rule_id,
+            self.ctx.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+            self.symbol,
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def _fixable(
+        self, diagnostic: Diagnostic, **data: object
+    ) -> None:
+        self.fix_candidates.append(
+            FixCandidate(diagnostic.rule_id, diagnostic, data)
         )
 
     def _is_setish(self, node: ast.expr) -> bool:
@@ -448,12 +475,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
             return
         if "__hash__" in self._symbols:
             return  # defining object identity in-process is the one valid use
-        self._emit(
+        diagnostic = self._emit(
             "DET007", node,
             "builtin hash() is randomized per process for str/bytes "
             "(PYTHONHASHSEED); derive values from a stable digest such as "
             "repro.faults.rng.stable_hash",
         )
+        self._fixable(diagnostic, name=func)
 
     # -- DET008: raw writes in the durability layer -------------------------
 
@@ -516,11 +544,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
             return
         arg = node.args[0]
         if self._is_setish(arg):
-            self._emit(
+            diagnostic = self._emit(
                 "DET004", node,
                 f"{sink}() materializes the iteration order of a set "
                 f"({self._describe(arg)}); wrap it in sorted()",
             )
+            self._fixable(diagnostic, wrap=arg)
 
     # -- DET004: loops and comprehensions ----------------------------------
 
@@ -544,11 +573,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def _check_iteration(self, iter_node: ast.expr) -> None:
         if self._is_setish(iter_node):
-            self._emit(
+            diagnostic = self._emit(
                 "DET004", iter_node,
                 f"iterating a set ({self._describe(iter_node)}) leaks "
                 "hash-randomized order into the result; wrap it in sorted()",
             )
+            self._fixable(diagnostic, wrap=iter_node)
 
     # -- DET005: float equality ---------------------------------------------
 
@@ -573,19 +603,30 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def _check_mutable_defaults(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> None:
-        defaults: list[ast.expr] = list(node.args.defaults)
-        defaults.extend(d for d in node.args.kw_defaults if d is not None)
-        for default in defaults:
+        positional = [*node.args.posonlyargs, *node.args.args]
+        pairs: list[tuple[ast.arg, ast.expr]] = list(
+            zip(positional[len(positional) - len(node.args.defaults):],
+                node.args.defaults)
+        )
+        pairs.extend(
+            (arg, default)
+            for arg, default in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            if default is not None
+        )
+        for arg, default in pairs:
             mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
                 isinstance(default, ast.Call)
                 and isinstance(default.func, ast.Name)
                 and default.func.id in ("list", "dict", "set")
             )
             if mutable:
-                self._emit(
+                diagnostic = self._emit(
                     "DET006", default,
                     f"mutable default argument in {node.name}(); defaults are "
                     "shared across calls — use None and create inside",
+                )
+                self._fixable(
+                    diagnostic, func=node, default=default, arg=arg.arg
                 )
 
 
@@ -618,6 +659,27 @@ def lint_code_source(
     for checker in CODE_CHECKERS:
         diagnostics.extend(checker(tree, ctx))
     return diagnostics
+
+
+def collect_fix_candidates(
+    source: str, path: str, config: LintConfig | None = None
+) -> list[FixCandidate]:
+    """The mechanically fixable findings in one module's source text.
+
+    Unlike :func:`lint_code_source` this runs only the built-in
+    determinism pack (plugins do not describe their fixes) and returns
+    candidates carrying live AST nodes, so callers must keep the parsed
+    source around while applying them.
+    """
+    cfg = config or LintConfig()
+    ctx = CodeContext(path=path, config=cfg)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return []
+    visitor = _DeterminismVisitor(ctx, _collect_aliases(tree))
+    visitor.visit(tree)
+    return visitor.fix_candidates
 
 
 def lint_code_file(

@@ -62,6 +62,25 @@ class LintConfig:
     #: The modules (prefix match) allowed to read duration clocks and
     #: tracemalloc directly: the obs layer itself.
     telemetry_modules: tuple[str, ...] = ("src/repro/obs",)
+    #: Roots (relative to ``root``) the project graph is built from. The
+    #: interprocedural rules (DET010–DET012) see exactly these trees.
+    project_paths: tuple[str, ...] = ("src",)
+    #: Worker-process entry points, as ``module:qualname`` specs. DET010
+    #: polices everything reachable from these through the call graph.
+    worker_entry_points: tuple[str, ...] = (
+        "repro.runner.execution:_shard_worker",
+        "repro.lint.runner:_lint_shard_worker",
+    )
+    #: Paths (prefix match) exempt from DET010: the modules that *are*
+    #: the process-global state, with their own fork-safety discipline.
+    worker_safe_modules: tuple[str, ...] = ("src/repro/obs",)
+    #: Dotted project functions treated as digest/manifest sinks by
+    #: DET011, in addition to ``hashlib`` constructors.
+    digest_sinks: tuple[str, ...] = (
+        "repro.faults.rng.stable_hash",
+        "repro.store.atomic.write_checked_json",
+        "repro.store.artifacts.content_digest",
+    )
 
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
@@ -128,6 +147,10 @@ def load_config(root: Path | str | None = None) -> LintConfig:
         ("atomic-write-modules", "atomic_write_modules"),
         ("telemetry-paths", "telemetry_paths"),
         ("telemetry-modules", "telemetry_modules"),
+        ("project-paths", "project_paths"),
+        ("worker-entry-points", "worker_entry_points"),
+        ("worker-safe-modules", "worker_safe_modules"),
+        ("digest-sinks", "digest_sinks"),
     ):
         if option in table:
             updates[attr] = _as_str_tuple(table[option], option)

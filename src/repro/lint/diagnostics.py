@@ -59,6 +59,19 @@ class Diagnostic:
             "severity": self.severity.value,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict` (worker-process round-trip)."""
+        return cls(
+            rule_id=str(data["rule"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            message=str(data["message"]),
+            symbol=str(data.get("symbol", "")),
+            severity=Severity(str(data.get("severity", "error"))),
+        )
+
     def render(self) -> str:
         """Text-reporter form: ``path:line:col RULE message [symbol]``."""
         where = f"{self.path}:{self.line}:{self.col}"

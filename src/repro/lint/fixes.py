@@ -1,0 +1,413 @@
+"""The ``lint --fix`` engine: span-precise, idempotent source rewrites.
+
+Three rules describe fixes precise enough to apply mechanically:
+
+* **DET004** — wrap the set-valued expression in ``sorted(...)``;
+* **DET006** — replace a mutable default with ``None`` and insert an
+  ``if arg is None: arg = <original>`` guard at the top of the body;
+* **DET007** — replace builtin ``hash`` with ``stable_hash`` and add
+  the ``from repro.faults.rng import stable_hash`` import if missing.
+
+Edits are computed as byte-range replacements — ``ast`` column offsets
+are UTF-8 byte offsets, so all span arithmetic happens on the encoded
+source. Overlapping edits drop the inner one; a file whose rewritten
+text fails to re-parse is left untouched and reported. Every fix
+removes the pattern its rule matches, so a second ``--fix`` pass is a
+no-op by construction (and the test suite asserts it).
+
+Baselined findings are never fixed: an entry in the baseline is a
+human judgement that the flagged code is correct as written (e.g. a
+test asserting the ``__hash__`` protocol), which a mechanical rewrite
+would overrule.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.baseline import Baseline
+from repro.lint.code_engine import FixCandidate, collect_fix_candidates
+from repro.lint.config import LintConfig, load_config
+from repro.lint.diagnostics import Diagnostic
+
+#: Rules the fixer knows how to rewrite.
+FIXABLE_RULES = frozenset({"DET004", "DET006", "DET007"})
+
+#: The import the DET007 fix introduces.
+_STABLE_HASH_IMPORT = "from repro.faults.rng import stable_hash"
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One byte-range replacement: ``source[start:end] -> replacement``."""
+
+    start: int
+    end: int
+    replacement: bytes
+
+    def overlaps(self, other: "Edit") -> bool:
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass
+class FileFix:
+    """Everything ``--fix`` did (or would do) to one file."""
+
+    path: str  # root-relative posix path
+    absolute: Path
+    before: str
+    after: str
+    applied: list[Diagnostic] = field(default_factory=list)
+    #: Fix candidates dropped with the reason (overlap, parse failure...).
+    skipped: list[tuple[Diagnostic, str]] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return self.after != self.before
+
+    def unified_diff(self) -> str:
+        """A unified diff of the rewrite, for ``--fix-diff``."""
+        return "".join(
+            difflib.unified_diff(
+                self.before.splitlines(keepends=True),
+                self.after.splitlines(keepends=True),
+                fromfile=f"a/{self.path}",
+                tofile=f"b/{self.path}",
+            )
+        )
+
+
+def _line_starts(source: bytes) -> list[int]:
+    """Byte offset of the start of each 1-indexed line."""
+    starts = [0]
+    for index, byte in enumerate(source):
+        if byte == 0x0A:
+            starts.append(index + 1)
+    return starts
+
+
+def _span(
+    starts: list[int], node: ast.AST
+) -> tuple[int, int] | None:
+    """The (start, end) byte range of ``node``, if fully located."""
+    lineno = getattr(node, "lineno", None)
+    col = getattr(node, "col_offset", None)
+    end_lineno = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if None in (lineno, col, end_lineno, end_col):
+        return None
+    assert lineno is not None and end_lineno is not None
+    assert col is not None and end_col is not None
+    if lineno > len(starts) or end_lineno > len(starts):
+        return None
+    return (starts[lineno - 1] + col, starts[end_lineno - 1] + end_col)
+
+
+def _module_binds_stable_hash(tree: ast.Module) -> bool:
+    """Is ``stable_hash`` already a module-level name?"""
+    for node in tree.body:
+        if isinstance(node, ast.ImportFrom):
+            for name in node.names:
+                if (name.asname or name.name) == "stable_hash":
+                    return True
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == "stable_hash":
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "stable_hash":
+                    return True
+    return False
+
+
+def _import_insertion_offset(
+    tree: ast.Module, starts: list[int], source: bytes
+) -> int:
+    """Byte offset where a new top-level import belongs.
+
+    After the last existing top-level import; else after the module
+    docstring; else at the very top (but below ``from __future__``,
+    which the import scan already covers).
+    """
+    last_import_end: int | None = None
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            end_lineno = getattr(node, "end_lineno", node.lineno)
+            if end_lineno <= len(starts):
+                line_end = (
+                    starts[end_lineno]
+                    if end_lineno < len(starts)
+                    else len(source)
+                )
+                last_import_end = line_end
+    if last_import_end is not None:
+        return last_import_end
+    if (
+        tree.body
+        and isinstance(tree.body[0], ast.Expr)
+        and isinstance(tree.body[0].value, ast.Constant)
+        and isinstance(tree.body[0].value.value, str)
+    ):
+        docstring_end = getattr(
+            tree.body[0], "end_lineno", tree.body[0].lineno
+        )
+        if docstring_end < len(starts):
+            return starts[docstring_end]
+        return len(source)
+    return 0
+
+
+def _guard_insertion_point(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    starts: list[int],
+    source: bytes,
+) -> tuple[int, bytes] | None:
+    """(byte offset, indent) where ``if arg is None`` guards go.
+
+    Guards land before the first non-docstring body statement. A body
+    that starts on the ``def`` line itself (``def f(x=[]): return x``)
+    has no clean insertion line, so the fix is skipped there.
+    """
+    body = list(func.body)
+    first = body[0]
+    if (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+        and len(body) > 1
+    ):
+        first = body[1]
+    if first.lineno == func.lineno:
+        return None
+    if first.lineno > len(starts):
+        return None
+    offset = starts[first.lineno - 1]
+    indent = source[offset : offset + first.col_offset]
+    if indent.strip():  # the "indent" contains code: same-line statements
+        return None
+    return (offset, indent)
+
+
+def _plan_file_edits(
+    source: bytes,
+    tree_candidates: list[FixCandidate],
+    starts: list[int],
+) -> tuple[list[tuple[Edit, Diagnostic]], list[tuple[Diagnostic, str]]]:
+    """Translate candidates into byte edits (plus skipped ones)."""
+    edits: list[tuple[Edit, Diagnostic]] = []
+    skipped: list[tuple[Diagnostic, str]] = []
+    #: One guard insertion per function, keyed by the def node.
+    guards: dict[ast.AST, list[tuple[str, bytes, Diagnostic]]] = {}
+    guard_points: dict[ast.AST, tuple[int, bytes]] = {}
+    needs_import = False
+    tree: ast.Module | None = None
+
+    for candidate in tree_candidates:
+        diagnostic = candidate.diagnostic
+        if candidate.rule_id == "DET004":
+            wrap = candidate.data["wrap"]
+            assert isinstance(wrap, ast.expr)
+            span = _span(starts, wrap)
+            if span is None:
+                skipped.append((diagnostic, "expression has no location"))
+                continue
+            start, end = span
+            edits.append(
+                (Edit(start, start, b"sorted("), diagnostic)
+            )
+            edits.append((Edit(end, end, b")"), diagnostic))
+        elif candidate.rule_id == "DET006":
+            func = candidate.data["func"]
+            default = candidate.data["default"]
+            arg = candidate.data["arg"]
+            assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            assert isinstance(default, ast.expr)
+            assert isinstance(arg, str)
+            span = _span(starts, default)
+            if span is None:
+                skipped.append((diagnostic, "default has no location"))
+                continue
+            if func not in guard_points:
+                point = _guard_insertion_point(func, starts, source)
+                if point is None:
+                    skipped.append(
+                        (diagnostic, "function body has no insertion line")
+                    )
+                    continue
+                guard_points[func] = point
+            start, end = span
+            edits.append((Edit(start, end, b"None"), diagnostic))
+            guards.setdefault(func, []).append(
+                (arg, source[start:end], diagnostic)
+            )
+        elif candidate.rule_id == "DET007":
+            name = candidate.data["name"]
+            assert isinstance(name, ast.expr)
+            span = _span(starts, name)
+            if span is None:
+                skipped.append((diagnostic, "call has no location"))
+                continue
+            start, end = span
+            edits.append((Edit(start, end, b"stable_hash"), diagnostic))
+            needs_import = True
+        else:
+            skipped.append((diagnostic, "no fix strategy"))
+
+    for func, triples in guards.items():
+        offset, indent = guard_points[func]
+        lines = b""
+        for arg, original, _ in triples:
+            arg_b = arg.encode("utf-8")
+            lines += (
+                indent + b"if " + arg_b + b" is None:\n"
+                + indent + b"    " + arg_b + b" = " + original + b"\n"
+            )
+        # Anchor the insertion to this function's first flagged default.
+        edits.append((Edit(offset, offset, lines), triples[0][2]))
+
+    if needs_import:
+        tree = ast.parse(source.decode("utf-8"))
+        if not _module_binds_stable_hash(tree):
+            offset = _import_insertion_offset(tree, starts, source)
+            edits.append(
+                (
+                    Edit(
+                        offset, offset,
+                        _STABLE_HASH_IMPORT.encode("utf-8") + b"\n",
+                    ),
+                    next(d for _, d in edits if d.rule_id == "DET007"),
+                )
+            )
+    return edits, skipped
+
+
+def _apply_edits(
+    source: bytes, edits: list[tuple[Edit, Diagnostic]]
+) -> tuple[bytes, list[Diagnostic], list[tuple[Diagnostic, str]]]:
+    """Apply non-overlapping edits right-to-left; report dropped ones."""
+    # Sort by (start, end); insertions at the same point apply in plan
+    # order. Detect overlaps on the sorted sequence.
+    ordered = sorted(
+        enumerate(edits), key=lambda item: (item[1][0].start, item[1][0].end, item[0])
+    )
+    accepted: list[tuple[int, Edit, Diagnostic]] = []
+    skipped: list[tuple[Diagnostic, str]] = []
+    last_end = -1
+    for index, (edit, diagnostic) in ordered:
+        if edit.start < last_end:
+            skipped.append((diagnostic, "overlaps an earlier fix"))
+            continue
+        accepted.append((index, edit, diagnostic))
+        last_end = max(last_end, edit.end)
+    result = source
+    for _, edit, _ in sorted(
+        accepted, key=lambda item: (item[1].start, item[1].end, item[0]),
+        reverse=True,
+    ):
+        result = result[: edit.start] + edit.replacement + result[edit.end :]
+    applied: list[Diagnostic] = []
+    seen: set[tuple[str, str, int, int]] = set()
+    for _, _, diagnostic in accepted:
+        key = (diagnostic.rule_id, diagnostic.path, diagnostic.line, diagnostic.col)
+        if key not in seen:
+            seen.add(key)
+            applied.append(diagnostic)
+    return result, applied, skipped
+
+
+def fix_source(
+    source: str,
+    path: str,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+) -> tuple[str, list[Diagnostic], list[tuple[Diagnostic, str]]]:
+    """Fix one module's source text; returns (new text, applied, skipped)."""
+    cfg = config or LintConfig()
+    suppressions = baseline or Baseline()
+    candidates = collect_fix_candidates(source, path, cfg)
+    fixable: list[FixCandidate] = []
+    skipped: list[tuple[Diagnostic, str]] = []
+    for candidate in candidates:
+        if not cfg.rule_enabled(candidate.rule_id):
+            continue
+        if suppressions.suppresses(candidate.diagnostic):
+            skipped.append(
+                (candidate.diagnostic, "baselined — accepted as written")
+            )
+            continue
+        fixable.append(candidate)
+    if not fixable:
+        return (source, [], skipped)
+    encoded = source.encode("utf-8")
+    starts = _line_starts(encoded)
+    edits, plan_skipped = _plan_file_edits(encoded, fixable, starts)
+    skipped.extend(plan_skipped)
+    rewritten, applied, apply_skipped = _apply_edits(encoded, edits)
+    skipped.extend(apply_skipped)
+    if not applied:
+        return (source, [], skipped)
+    text = rewritten.decode("utf-8")
+    try:
+        ast.parse(text)
+    except SyntaxError:
+        return (
+            source,
+            [],
+            skipped + [(applied[0], "rewritten source failed to parse")],
+        )
+    return (text, applied, skipped)
+
+
+def plan_fixes(
+    paths: Iterable[Path | str],
+    *,
+    root: Path | str | None = None,
+    config: LintConfig | None = None,
+    baseline: Baseline | None = None,
+    use_baseline: bool = True,
+) -> list[FileFix]:
+    """Compute fixes for every Python file under ``paths`` (no writes)."""
+    from repro.lint.runner import _iter_lintable, _relativize
+
+    cfg = config or load_config(root)
+    if baseline is None and use_baseline:
+        baseline = Baseline.load(cfg.baseline_path())
+    elif baseline is None:
+        baseline = Baseline()
+    fixes: list[FileFix] = []
+    for file_path in _iter_lintable((Path(p) for p in paths), cfg):
+        if file_path.suffix != ".py":
+            continue
+        rel = _relativize(file_path, cfg.root)
+        try:
+            before = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue  # the lint run reports unreadable files as DET000
+        after, applied, skipped = fix_source(before, rel, cfg, baseline)
+        if applied or skipped:
+            fixes.append(
+                FileFix(
+                    path=rel,
+                    absolute=file_path,
+                    before=before,
+                    after=after,
+                    applied=applied,
+                    skipped=skipped,
+                )
+            )
+    return fixes
+
+
+def apply_fixes(fixes: Iterable[FileFix]) -> list[FileFix]:
+    """Write every changed file; returns the fixes actually written."""
+    written: list[FileFix] = []
+    for fix in fixes:
+        if not fix.changed:
+            continue
+        fix.absolute.write_text(fix.after, encoding="utf-8")
+        written.append(fix)
+    return written

@@ -1,0 +1,922 @@
+"""Engine 3: interprocedural flow analysis over the project graph.
+
+Where DET001–DET009 are per-file and syntactic, these rules follow
+calls across modules:
+
+========  =======================  ==========================================
+DET010    worker-global-mutation   worker-reachable code mutating
+                                   module-level state / touching the
+                                   process-global obs plane without detach
+DET011    digest-taint             nondeterminism sources (builtin ``hash``,
+                                   duration clocks) flowing transitively
+                                   into sha256/checksum/manifest sinks
+DET012    stale-baseline           baseline entries whose (path, symbol) no
+                                   longer exists or no longer fires
+========  =======================  ==========================================
+
+DET010 is the fork-safety rule: a function reachable from a supervisor
+worker entry point (``LintConfig.worker_entry_points``) that mutates
+module-level state behaves differently between inline and sharded
+execution — exactly the class of bug that silently diverges parallel
+runs. Modules under ``worker_safe_modules`` (the obs plane, which owns
+the process-global registry and its ``detach()`` discipline) are
+exempt; calls *into* them from worker code are legal only when the
+entry point calls ``detach()`` itself.
+
+DET011 is a taint pass with per-function summaries, iterated to a
+fixpoint over the call graph: a function's return value is *tainted*
+when it derives from a nondeterminism source, and a *sink* is any
+``hashlib`` constructor/update, a configured ``digest_sinks`` callable,
+or a call into a function whose parameters are known to reach a sink.
+The analysis is deliberately name-level and over-approximating: a
+tainted name anywhere inside an expression taints the expression.
+Accepted over-approximations go in the baseline with a reason, like
+every other rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.callgraph import CallGraph, _dotted_base
+from repro.lint.config import LintConfig
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    split_function_id,
+)
+from repro.lint.registry import make, rule
+
+rule(
+    "DET010", "worker-global-mutation", "project",
+    "worker-reachable function mutates module-level state (fork safety)",
+)
+rule(
+    "DET011", "digest-taint", "project",
+    "nondeterministic value flows into a digest/checksum/manifest sink",
+)
+rule(
+    "DET012", "stale-baseline", "project",
+    "baseline entry whose (path, symbol) no longer exists or fires",
+)
+
+#: Container methods that mutate their receiver in place.
+_MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft", "popleft",
+})
+
+#: ``hashlib`` constructors whose input becomes a digest.
+_HASHLIB_CTORS = frozenset({
+    "sha256", "sha224", "sha384", "sha512", "sha1", "md5",
+    "blake2b", "blake2s", "sha3_256", "sha3_512", "new",
+})
+
+#: ``time`` duration-clock reads (mirrors the DET009 list).
+_DURATION_FNS = frozenset({
+    "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
+    "process_time", "process_time_ns", "thread_time", "thread_time_ns",
+})
+
+
+# ---------------------------------------------------------------------------
+# shared per-function bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _own_statements(func: FunctionInfo) -> Iterable[ast.stmt]:
+    """The function's body, excluding nested def/class bodies."""
+    stack: list[ast.stmt] = list(func.node.body)
+    while stack:
+        statement = stack.pop(0)
+        if isinstance(
+            statement,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+        ):
+            continue
+        yield statement
+        # Blocks (if/for/while/try/with) carry their nested statements
+        # in stmt-typed child fields; except handlers and match cases
+        # interpose a non-stmt node that must be descended through.
+        for child in ast.iter_child_nodes(statement):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                stack.extend(child.body)
+
+
+def _walk_own(func: FunctionInfo) -> Iterable[ast.AST]:
+    """Every AST node in the function body, excluding nested defs."""
+    for statement in _own_statements(func):
+        for node in ast.walk(statement):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                break
+            yield node
+
+
+def _local_names(func: FunctionInfo) -> set[str]:
+    """Names bound locally inside the function (shadowing globals)."""
+    names: set[str] = set()
+    args = func.node.args
+    for arg in (
+        *args.posonlyargs, *args.args, *args.kwonlyargs,
+        *( [args.vararg] if args.vararg else [] ),
+        *( [args.kwarg] if args.kwarg else [] ),
+    ):
+        names.add(arg.arg)
+    for node in _walk_own(func):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            names.add(node.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            for target in ast.walk(node.optional_vars):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.comprehension):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _global_decls(func: FunctionInfo) -> set[str]:
+    """Names the function explicitly declares ``global``."""
+    declared: set[str] = set()
+    for node in _walk_own(func):
+        if isinstance(node, ast.Global):
+            declared.update(node.names)
+    return declared
+
+
+# ---------------------------------------------------------------------------
+# DET010: worker-global-mutation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Det010Context:
+    graph: ProjectGraph
+    call_graph: CallGraph
+    config: LintConfig
+    #: function ident -> True when the function returns a module global.
+    returns_global: dict[str, bool] = field(default_factory=dict)
+
+
+def _path_in(config: LintConfig, rel_path: str, prefixes: tuple[str, ...]) -> bool:
+    return config.path_in(rel_path, prefixes)
+
+
+def _compute_returns_global(ctx: _Det010Context) -> None:
+    """Which functions hand out a reference to a module-level object."""
+    for func in ctx.graph.iter_functions():
+        module = ctx.graph.modules[func.module]
+        locals_ = _local_names(func)
+        declared = _global_decls(func)
+        returns = False
+        for node in _walk_own(func):
+            if isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Name
+            ):
+                name = node.value.id
+                if name in module.global_names and (
+                    name in declared or name not in locals_
+                ):
+                    returns = True
+                    break
+        ctx.returns_global[func.ident] = returns
+
+
+def _module_global_ref(
+    module: ModuleInfo, name: str, locals_: set[str], declared: set[str]
+) -> bool:
+    """Does a bare ``name`` inside this function denote a module global?"""
+    if name in declared:
+        return True
+    return name in module.global_names and name not in locals_
+
+
+def _function_mutations(
+    ctx: _Det010Context, func: FunctionInfo
+) -> list[tuple[ast.AST, str]]:
+    """(node, description) for every module-state mutation in ``func``."""
+    module = ctx.graph.modules[func.module]
+    locals_ = _local_names(func)
+    declared = _global_decls(func)
+
+    #: locals aliased to module globals via ``x = default_thing()``.
+    global_aliases: set[str] = set()
+    for node in _walk_own(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            value = node.value
+            if isinstance(target, ast.Name) and isinstance(value, ast.Call):
+                if isinstance(value.func, ast.Name):
+                    resolved = ctx.graph.resolve_symbol(module, value.func.id)
+                elif isinstance(value.func, ast.Attribute):
+                    dotted = _dotted_base(value.func.value)
+                    resolved = None
+                    if dotted is not None:
+                        owner = ctx.graph.resolve_dotted(module, dotted)
+                        if owner is not None:
+                            resolved = (owner, value.func.attr)
+                else:
+                    resolved = None
+                if resolved is not None:
+                    owner_module, symbol = resolved
+                    owner_info = ctx.graph.modules.get(owner_module)
+                    if owner_info is not None and ctx.returns_global.get(
+                        f"{owner_module}:{symbol}", False
+                    ):
+                        global_aliases.add(target.id)
+
+    def is_global_name(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Name):
+            if _module_global_ref(module, expr.id, locals_, declared):
+                return expr.id
+            if expr.id in global_aliases:
+                return expr.id
+        return None
+
+    mutations: list[tuple[ast.AST, str]] = []
+    for node in _walk_own(func):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets: Sequence[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            else:
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    if target.id in declared:
+                        mutations.append(
+                            (node, f"assigns module global {target.id!r}")
+                        )
+                elif isinstance(target, (ast.Subscript, ast.Attribute)):
+                    base = target.value
+                    name = is_global_name(base)
+                    if name is not None:
+                        kind = (
+                            "item" if isinstance(target, ast.Subscript)
+                            else "attribute"
+                        )
+                        mutations.append(
+                            (node, f"writes an {kind} of module global {name!r}")
+                        )
+                    elif isinstance(target, ast.Attribute):
+                        dotted = _dotted_base(base)
+                        if dotted is not None and ctx.graph.resolve_dotted(
+                            module, dotted
+                        ):
+                            mutations.append(
+                                (
+                                    node,
+                                    f"assigns {dotted}.{target.attr} on "
+                                    "another module",
+                                )
+                            )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    mutations.append(
+                        (node, f"deletes module global {target.id!r}")
+                    )
+                elif isinstance(
+                    target, (ast.Subscript, ast.Attribute)
+                ) and is_global_name(target.value):
+                    mutations.append(
+                        (node, "deletes part of a module global")
+                    )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATING_METHODS:
+                name = is_global_name(node.func.value)
+                if name is not None:
+                    mutations.append(
+                        (
+                            node,
+                            f".{node.func.attr}() mutates module global "
+                            f"{name!r} in place",
+                        )
+                    )
+    return mutations
+
+
+def _entry_calls_detach(ctx: _Det010Context, entry: FunctionInfo) -> bool:
+    """Does the worker entry call a safe-module ``detach()`` itself?"""
+    module = ctx.graph.modules[entry.module]
+    for node in _walk_own(entry):
+        if not (isinstance(node, ast.Call)):
+            continue
+        func = node.func
+        target: tuple[str, str] | None = None
+        if isinstance(func, ast.Name):
+            target = ctx.graph.resolve_symbol(module, func.id)
+        elif isinstance(func, ast.Attribute):
+            dotted = _dotted_base(func.value)
+            if dotted is not None:
+                owner = ctx.graph.resolve_dotted(module, dotted)
+                if owner is not None:
+                    target = (owner, func.attr)
+        if target is None:
+            continue
+        owner_module, symbol = target
+        owner_info = ctx.graph.modules.get(owner_module)
+        if (
+            owner_info is not None
+            and symbol == "detach"
+            and _path_in(ctx.config, owner_info.path, ctx.config.worker_safe_modules)
+        ):
+            return True
+    return False
+
+
+def _safe_module_touches(
+    ctx: _Det010Context, func: FunctionInfo
+) -> list[tuple[ast.AST, str]]:
+    """Calls from ``func`` into the process-global (safe-module) plane."""
+    module = ctx.graph.modules[func.module]
+    touches: list[tuple[ast.AST, str]] = []
+    for node in _walk_own(func):
+        if not isinstance(node, ast.Call):
+            continue
+        call_func = node.func
+        target: tuple[str, str] | None = None
+        if isinstance(call_func, ast.Name):
+            target = ctx.graph.resolve_symbol(module, call_func.id)
+        elif isinstance(call_func, ast.Attribute):
+            dotted = _dotted_base(call_func.value)
+            if dotted is not None:
+                owner = ctx.graph.resolve_dotted(module, dotted)
+                if owner is not None:
+                    target = (owner, call_func.attr)
+        if target is None:
+            continue
+        owner_module, symbol = target
+        owner_info = ctx.graph.modules.get(owner_module)
+        if (
+            owner_info is not None
+            and symbol != "detach"
+            and symbol in owner_info.functions
+            and _path_in(ctx.config, owner_info.path, ctx.config.worker_safe_modules)
+        ):
+            touches.append((node, f"{owner_module}.{symbol}"))
+    return touches
+
+
+def check_worker_global_mutation(
+    graph: ProjectGraph, call_graph: CallGraph, config: LintConfig
+) -> list[Diagnostic]:
+    """DET010 over every configured worker entry point."""
+    ctx = _Det010Context(graph=graph, call_graph=call_graph, config=config)
+    _compute_returns_global(ctx)
+
+    diagnostics: list[Diagnostic] = []
+    entry_idents: list[str] = []
+    for spec in config.worker_entry_points:
+        ident = call_graph.resolve_entry(spec)
+        if ident is not None:
+            entry_idents.append(ident)
+    if not entry_idents:
+        return []
+    parents = call_graph.reachable_from(entry_idents)
+
+    flagged: set[tuple[str, str, int]] = set()
+    for ident in sorted(parents):
+        func = graph.function(ident)
+        if func is None:
+            continue
+        module = graph.modules[func.module]
+        if _path_in(config, module.path, config.worker_safe_modules):
+            continue
+        for node, description in _function_mutations(ctx, func):
+            line = getattr(node, "lineno", func.lineno)
+            key = (module.path, func.qualname, line)
+            if key in flagged:
+                continue
+            flagged.add(key)
+            chain = call_graph.chain_to(parents, ident)
+            via = " -> ".join(
+                split_function_id(link)[1] for link in chain[-3:]
+            )
+            diagnostics.append(
+                make(
+                    "DET010", module.path, line,
+                    getattr(node, "col_offset", 0),
+                    f"{description}; reachable from worker entry via "
+                    f"{via} — shared-state writes diverge sharded runs "
+                    "(hand state in explicitly or gate behind "
+                    "runtime.detach()-style fork isolation)",
+                    func.qualname,
+                )
+            )
+
+    # Obs-plane touches are legal exactly when the entry detaches first.
+    for entry_ident in entry_idents:
+        entry = graph.function(entry_ident)
+        if entry is None or _entry_calls_detach(ctx, entry):
+            continue
+        entry_module = graph.modules[entry.module]
+        for ident in sorted(parents):
+            func = graph.function(ident)
+            if func is None:
+                continue
+            module = graph.modules[func.module]
+            if _path_in(config, module.path, config.worker_safe_modules):
+                continue
+            touches = _safe_module_touches(ctx, func)
+            if touches:
+                node, touched = touches[0]
+                diagnostics.append(
+                    make(
+                        "DET010", entry_module.path, entry.lineno, 0,
+                        f"worker entry {entry.qualname} reaches "
+                        f"process-global state ({touched} at "
+                        f"{module.path}:{getattr(node, 'lineno', 0)}) but "
+                        "never calls detach(); a forked worker inherits "
+                        "the parent's registry/tracer",
+                        entry.qualname,
+                    )
+                )
+                break
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# DET011: digest-taint
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _TaintSummary:
+    """Cross-call facts about one function."""
+
+    returns_taint: bool = False  # return derives from a source
+    param_to_sink: bool = False  # some parameter reaches a sink inside
+    param_to_return: bool = False  # parameters flow into the return value
+
+
+@dataclass
+class _ModuleAliases:
+    """hashlib / time import bindings for one module."""
+
+    hashlib_modules: set[str] = field(default_factory=set)
+    hashlib_functions: set[str] = field(default_factory=set)
+    time_modules: set[str] = field(default_factory=set)
+    duration_functions: set[str] = field(default_factory=set)
+
+
+def _module_taint_aliases(module: ModuleInfo) -> _ModuleAliases:
+    aliases = _ModuleAliases()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                if name.name == "hashlib":
+                    aliases.hashlib_modules.add(local)
+                elif name.name == "time":
+                    aliases.time_modules.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "hashlib":
+                for name in node.names:
+                    if name.name in _HASHLIB_CTORS:
+                        aliases.hashlib_functions.add(name.asname or name.name)
+            elif node.module == "time":
+                for name in node.names:
+                    if name.name in _DURATION_FNS:
+                        aliases.duration_functions.add(
+                            name.asname or name.name
+                        )
+    return aliases
+
+
+class _TaintPass:
+    """One function's name-level forward taint propagation."""
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        func: FunctionInfo,
+        aliases: _ModuleAliases,
+        summaries: dict[str, _TaintSummary],
+        config: LintConfig,
+        params_tainted: bool,
+    ) -> None:
+        self.graph = graph
+        self.func = func
+        self.module = graph.modules[func.module]
+        self.aliases = aliases
+        self.summaries = summaries
+        self.config = config
+        self.tainted: dict[str, str] = {}  # name -> provenance
+        self.digest_locals: set[str] = set()
+        self.returns_taint = False
+        self.sink_hits: list[tuple[ast.Call, str, str]] = []
+        if params_tainted:
+            args = func.node.args
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                self.tainted[arg.arg] = f"parameter {arg.arg!r}"
+
+    # -- resolution helpers -------------------------------------------------
+
+    def _resolve_call(self, call: ast.Call) -> tuple[str, str] | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            nested = f"{self.func.qualname}.{func.id}"
+            if nested in self.module.functions:
+                return (self.module.name, nested)
+            return self.graph.resolve_symbol(self.module, func.id)
+        if isinstance(func, ast.Attribute):
+            dotted = _dotted_base(func.value)
+            if dotted is not None:
+                owner = self.graph.resolve_dotted(self.module, dotted)
+                if owner is not None:
+                    return (owner, func.attr)
+        return None
+
+    def _summary_for(self, call: ast.Call) -> _TaintSummary | None:
+        resolved = self._resolve_call(call)
+        if resolved is None:
+            return None
+        owner_module, symbol = resolved
+        owner = self.graph.modules.get(owner_module)
+        if owner is None:
+            return None
+        if symbol in owner.classes:
+            return None
+        return self.summaries.get(f"{owner_module}:{symbol}")
+
+    def _source_provenance(self, call: ast.Call) -> str | None:
+        """Why this call is a nondeterminism source, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "hash" and "__hash__" not in self.func.qualname:
+                if self.graph.resolve_symbol(self.module, func.id) is None:
+                    return "builtin hash()"
+            if func.id in self.aliases.duration_functions:
+                return f"duration clock {func.id}()"
+        elif isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base = func.value.id
+            if base in self.aliases.time_modules and (
+                func.attr in _DURATION_FNS
+            ):
+                return f"duration clock time.{func.attr}()"
+        summary = self._summary_for(call)
+        if summary is not None and summary.returns_taint:
+            resolved = self._resolve_call(call)
+            assert resolved is not None
+            return f"tainted return of {resolved[0]}.{resolved[1]}()"
+        return None
+
+    def _sink_name(self, call: ast.Call) -> str | None:
+        """The sink this call feeds, or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.aliases.hashlib_functions:
+                return f"hashlib.{func.id}"
+        elif isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.aliases.hashlib_modules
+                and func.attr in _HASHLIB_CTORS
+            ):
+                return f"hashlib.{func.attr}"
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.digest_locals
+                and func.attr == "update"
+            ):
+                return "digest.update"
+        resolved = self._resolve_call(call)
+        if resolved is not None:
+            dotted = f"{resolved[0]}.{resolved[1]}"
+            if dotted in self.config.digest_sinks:
+                return dotted
+        summary = self._summary_for(call)
+        if summary is not None and summary.param_to_sink:
+            resolved = self._resolve_call(call)
+            assert resolved is not None
+            return f"{resolved[0]}.{resolved[1]} (reaches a digest sink)"
+        return None
+
+    def _is_hashlib_ctor(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id in self.aliases.hashlib_functions
+        return (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.aliases.hashlib_modules
+            and func.attr in _HASHLIB_CTORS
+        )
+
+    # -- expression taint ---------------------------------------------------
+
+    def expr_taint(self, expr: ast.expr) -> str | None:
+        """Provenance when any part of ``expr`` is tainted, else None."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in self.tainted:
+                    return self.tainted[node.id]
+            elif isinstance(node, ast.Call):
+                provenance = self._source_provenance(node)
+                if provenance is not None:
+                    return provenance
+                summary = self._summary_for(node)
+                if (
+                    summary is not None
+                    and summary.param_to_return
+                    and any(
+                        self._name_taint_only(arg) for arg in node.args
+                    )
+                ):
+                    return self._first_arg_taint(node)
+        return None
+
+    def _name_taint_only(self, expr: ast.expr) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in self.tainted:
+                return True
+        return False
+
+    def _first_arg_taint(self, call: ast.Call) -> str | None:
+        for arg in call.args:
+            for node in ast.walk(arg):
+                if isinstance(node, ast.Name) and node.id in self.tainted:
+                    return self.tainted[node.id]
+        return None
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self) -> None:
+        # Two passes give loop-carried taint a chance to stabilize.
+        for _ in range(2):
+            changed = self._pass()
+            if not changed:
+                break
+
+    def _pass(self) -> bool:
+        before = dict(self.tainted)
+        self.sink_hits = []
+        for statement in _own_statements(self.func):
+            self._statement(statement)
+        return self.tainted != before
+
+    def _assign_names(self, target: ast.expr, provenance: str | None) -> None:
+        # Only plain-name targets (and their tuple/list unpackings) take
+        # taint. Tainting the base of ``obj.attr = value`` would smear a
+        # single tainted field over the whole receiver.
+        if isinstance(target, ast.Name):
+            if provenance is not None:
+                self.tainted[target.id] = provenance
+            else:
+                self.tainted.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+            children = (
+                [target.value]
+                if isinstance(target, ast.Starred)
+                else target.elts
+            )
+            for element in children:
+                self._assign_names(element, provenance)
+
+    def _statement(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            provenance = self.expr_taint(statement.value)
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and isinstance(
+                    statement.value, ast.Call
+                ) and self._is_hashlib_ctor(statement.value):
+                    self.digest_locals.add(target.id)
+                self._assign_names(target, provenance)
+            self._scan_calls(statement.value)
+        elif isinstance(statement, ast.AnnAssign) and statement.value:
+            provenance = self.expr_taint(statement.value)
+            self._assign_names(statement.target, provenance)
+            self._scan_calls(statement.value)
+        elif isinstance(statement, ast.AugAssign):
+            provenance = self.expr_taint(statement.value) or (
+                self.expr_taint(statement.target)
+            )
+            if provenance is not None:
+                self._assign_names(statement.target, provenance)
+            self._scan_calls(statement.value)
+        elif isinstance(statement, (ast.For, ast.AsyncFor)):
+            provenance = self.expr_taint(statement.iter)
+            if provenance is not None:
+                self._assign_names(statement.target, provenance)
+            self._scan_calls(statement.iter)
+        elif isinstance(statement, ast.Return):
+            if statement.value is not None:
+                if self.expr_taint(statement.value) is not None:
+                    self.returns_taint = True
+                self._scan_calls(statement.value)
+        elif isinstance(statement, (ast.Expr, ast.Assert)):
+            value = (
+                statement.value
+                if isinstance(statement, ast.Expr)
+                else statement.test
+            )
+            self._scan_calls(value)
+        elif isinstance(statement, (ast.If, ast.While)):
+            self._scan_calls(statement.test)
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                provenance = self.expr_taint(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_names(item.optional_vars, provenance)
+                self._scan_calls(item.context_expr)
+        elif isinstance(statement, ast.Raise) and statement.exc is not None:
+            self._scan_calls(statement.exc)
+
+    def _scan_calls(self, expr: ast.expr) -> None:
+        """Record every sink call inside ``expr`` fed by tainted input."""
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = self._sink_name(node)
+            if sink is None:
+                continue
+            arguments = list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]
+            for argument in arguments:
+                provenance = self.expr_taint(argument)
+                if provenance is not None:
+                    self.sink_hits.append((node, sink, provenance))
+                    break
+
+
+def check_digest_taint(
+    graph: ProjectGraph, call_graph: CallGraph, config: LintConfig
+) -> list[Diagnostic]:
+    """DET011: fixpoint summaries, then per-function reporting."""
+    module_aliases = {
+        name: _module_taint_aliases(info)
+        for name, info in graph.modules.items()
+    }
+    summaries: dict[str, _TaintSummary] = {
+        func.ident: _TaintSummary() for func in graph.iter_functions()
+    }
+    for _ in range(10):
+        changed = False
+        for func in graph.iter_functions():
+            aliases = module_aliases[func.module]
+            intrinsic = _TaintPass(
+                graph, func, aliases, summaries, config, params_tainted=False
+            )
+            intrinsic.run()
+            parametric = _TaintPass(
+                graph, func, aliases, summaries, config, params_tainted=True
+            )
+            parametric.run()
+            summary = summaries[func.ident]
+            updated = _TaintSummary(
+                returns_taint=intrinsic.returns_taint,
+                param_to_sink=bool(parametric.sink_hits),
+                param_to_return=parametric.returns_taint,
+            )
+            if updated != summary:
+                summaries[func.ident] = updated
+                changed = True
+        if not changed:
+            break
+
+    diagnostics: list[Diagnostic] = []
+    for func in graph.iter_functions():
+        aliases = module_aliases[func.module]
+        final = _TaintPass(
+            graph, func, aliases, summaries, config, params_tainted=False
+        )
+        final.run()
+        module = graph.modules[func.module]
+        seen: set[tuple[int, str]] = set()
+        for node, sink, provenance in final.sink_hits:
+            line = getattr(node, "lineno", func.lineno)
+            key = (line, sink)
+            if key in seen:
+                continue
+            seen.add(key)
+            diagnostics.append(
+                make(
+                    "DET011", module.path, line,
+                    getattr(node, "col_offset", 0),
+                    f"value derived from {provenance} flows into digest "
+                    f"sink {sink}; digests over nondeterministic inputs "
+                    "diverge across reruns — derive the input from stable "
+                    "content instead",
+                    func.qualname,
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# DET012: stale-baseline
+# ---------------------------------------------------------------------------
+
+
+def _file_symbols(path: Path) -> set[str] | None:
+    """Every def/class qualname in ``path`` (None when unparseable)."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, UnicodeDecodeError, SyntaxError):
+        return None
+    symbols: set[str] = {"<module>"}
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                symbols.add(qualname)
+                walk(child, qualname)
+            else:
+                walk(child, prefix)
+
+    walk(tree, "")
+    return symbols
+
+
+def stale_baseline_diagnostics(
+    baseline: Baseline,
+    all_diagnostics: Iterable[Diagnostic],
+    scanned_paths: set[str],
+    config: LintConfig,
+) -> tuple[list[Diagnostic], list[BaselineEntry]]:
+    """DET012: entries that no longer anchor to anything real.
+
+    An entry is stale when its path is gone, its symbol is no longer
+    defined in the file, or the file was scanned in this run and the
+    finding did not fire. Entries for files outside this run's scope
+    are left alone — ``riskybiz lint one_file.py`` must not condemn
+    the rest of the baseline.
+    """
+    fired = {diag.fingerprint for diag in all_diagnostics}
+    diagnostics: list[Diagnostic] = []
+    stale: list[BaselineEntry] = []
+    symbol_cache: dict[str, set[str] | None] = {}
+    for entry in baseline.entries:
+        if entry.fingerprint in fired:
+            continue
+        reason: str | None = None
+        absolute = config.root / entry.path
+        if not absolute.exists():
+            reason = "the path no longer exists"
+        elif entry.path.endswith(".py") and entry.symbol not in ("", "<module>"):
+            if entry.path not in symbol_cache:
+                symbol_cache[entry.path] = _file_symbols(absolute)
+            symbols = symbol_cache[entry.path]
+            if symbols is not None and entry.symbol not in symbols:
+                reason = f"symbol {entry.symbol!r} is no longer defined there"
+        if reason is None and entry.path in scanned_paths:
+            reason = "the finding no longer fires"
+        if reason is None:
+            continue
+        stale.append(entry)
+        diagnostics.append(
+            make(
+                "DET012", entry.path, 0, 0,
+                f"stale baseline entry ({entry.rule}): {reason}; run "
+                "`riskybiz lint --prune-baseline` to drop it",
+                entry.symbol,
+            )
+        )
+    return diagnostics, stale
+
+
+# ---------------------------------------------------------------------------
+# entry point used by the runner
+# ---------------------------------------------------------------------------
+
+
+def run_project_analysis(
+    config: LintConfig, graph: ProjectGraph | None = None
+) -> tuple[list[Diagnostic], ProjectGraph, CallGraph]:
+    """Build the graphs and run DET010 + DET011 over the project."""
+    project = graph or ProjectGraph.build(config)
+    call_graph = CallGraph.build(project)
+    diagnostics = check_worker_global_mutation(project, call_graph, config)
+    diagnostics.extend(check_digest_taint(project, call_graph, config))
+    return diagnostics, project, call_graph

@@ -31,7 +31,7 @@ class Rule:
 
     rule_id: str
     slug: str
-    engine: str  # "code" | "scenario"
+    engine: str  # "code" | "scenario" | "project"
     summary: str
     severity: Severity = Severity.ERROR
 
@@ -69,7 +69,7 @@ def rule(
     severity: Severity = Severity.ERROR,
 ) -> Rule:
     """Register one rule in the catalogue (idempotent per id)."""
-    if engine not in ("code", "scenario"):
+    if engine not in ("code", "scenario", "project"):
         raise ValueError(f"unknown lint engine {engine!r}")
     entry = Rule(rule_id, slug, engine, summary, severity)
     existing = RULES.get(rule_id)

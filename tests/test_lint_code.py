@@ -402,7 +402,10 @@ class TestRunner:
         ).save(tmp_path / "lint-baseline.json")
         result = run_lint([tmp_path], root=tmp_path)
         assert len(result.stale_baseline_entries) == 1
-        assert result.exit_code == 0
+        # Since DET012, a dead entry is itself an error until pruned
+        # (riskybiz lint --prune-baseline drops it).
+        assert [d.rule_id for d in result.diagnostics] == ["DET012"]
+        assert result.exit_code == 1
 
 
 class TestCli:
