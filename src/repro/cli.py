@@ -287,6 +287,54 @@ def _detect_supervised(args: argparse.Namespace, zonedb, whois):
     return supervised.result
 
 
+def _detect_incremental(args: argparse.Namespace, zonedb, whois):
+    """Run detection by folding recorded day deltas into a standing engine.
+
+    The engine's durable state lives in ``--run-dir``; each invocation
+    folds exactly the day batches past the journaled watermark and
+    reconstructs the batch-identical result. ``--since-watermark``
+    auto-resumes the standing run (run ID read from its journal) and
+    commits the dataset-side consumer watermark after each durable day.
+    """
+    from repro.detection.incremental import IncrementalDetectionEngine
+    from repro.runner import RunFailed, run_incremental_detection
+
+    resume = args.resume
+    consumer = None
+    if args.since_watermark:
+        from repro.runner.execution import JOURNAL_NAME
+        from repro.runner.journal import RunJournal
+
+        journal_path = Path(args.run_dir) / JOURNAL_NAME
+        if resume is None and journal_path.exists():
+            resume = RunJournal.open(journal_path).run_id
+        consumer = IncrementalDetectionEngine.CONSUMER
+    try:
+        outcome = run_incremental_detection(
+            zonedb,
+            whois,
+            run_dir=args.run_dir,
+            mine_patterns=args.mine_patterns,
+            options={"gap_bridge": args.gap_bridge, "strict": args.strict},
+            resume=resume,
+            consumer=consumer,
+            trace=args.trace,
+            profile=args.profile,
+        )
+    except RunFailed as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+    verb = "Resumed" if outcome.resumed else "Started"
+    print(
+        f"{verb} incremental run {outcome.run_id}: advanced "
+        f"{outcome.days_advanced} day(s) ({outcome.deltas_applied} "
+        f"delta(s)), watermark {outcome.watermark}; journal at "
+        f"{outcome.journal_path}",
+        file=sys.stderr,
+    )
+    return outcome.result
+
+
 def cmd_detect(args: argparse.Namespace) -> int:
     """Run the detection methodology against an on-disk dataset/archive."""
     if not args.dataset and not args.archive:
@@ -302,6 +350,24 @@ def cmd_detect(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.since_watermark and not args.incremental:
+        print("error: --since-watermark requires --incremental", file=sys.stderr)
+        return 2
+    if args.incremental:
+        if not args.run_dir:
+            print(
+                "error: --incremental requires --run-dir (the standing "
+                "engine state lives there)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.shards != 1 or args.workers > 0:
+            print(
+                "error: --incremental folds deltas in one process; drop "
+                "--shards/--workers",
+                file=sys.stderr,
+            )
+            return 2
     zonedb = _detect_zonedb(args)
     if zonedb is None:
         return 1
@@ -309,6 +375,11 @@ def cmd_detect(args: argparse.Namespace) -> int:
         print("error: data set contains no delegations", file=sys.stderr)
         return 1
     whois = WhoisArchive.load(args.whois) if args.whois else WhoisArchive()
+    if args.incremental:
+        result = _detect_incremental(args, zonedb, whois)
+        if result is None:
+            return 1
+        return _render_detect(args, result, zonedb, whois)
     if args.run_dir:
         result = _detect_supervised(args, zonedb, whois)
         if result is None:
@@ -369,6 +440,68 @@ def _render_detect(args: argparse.Namespace, result, zonedb, whois) -> int:
     print(render_table2(study))
     print()
     print(render_table3(study))
+    return 0
+
+
+def cmd_advance(args: argparse.Namespace) -> int:
+    """Fold new dataset days into a standing incremental detection run.
+
+    The daily-update entry point: point it at the same dataset and run
+    directory every day and exactly the day batches recorded past the
+    run's durable watermark are folded in — the result is bit-identical
+    to re-running ``riskybiz detect`` from scratch, without re-reading
+    history. The run ID is read from the journal, so no ``--resume``
+    bookkeeping is needed; the dataset's per-consumer watermark is
+    committed after every durably folded day.
+    """
+    from repro.detection.incremental import IncrementalDetectionEngine
+    from repro.runner import JournalCorruption, RunFailed, run_incremental_detection
+    from repro.runner.execution import JOURNAL_NAME
+    from repro.runner.journal import RunJournal
+    from repro.store.dataset import open_dataset
+
+    try:
+        zonedb = open_dataset(args.dataset)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    whois = WhoisArchive.load(args.whois) if args.whois else WhoisArchive()
+    run_dir = Path(args.run_dir)
+    journal_path = run_dir / JOURNAL_NAME
+    try:
+        resume = (
+            RunJournal.open(journal_path).run_id
+            if journal_path.exists()
+            else None
+        )
+        outcome = run_incremental_detection(
+            zonedb,
+            whois,
+            run_dir=run_dir,
+            until=args.until,
+            backend=args.engine_backend,
+            mine_patterns=args.mine_patterns,
+            resume=resume,
+            consumer=IncrementalDetectionEngine.CONSUMER,
+        )
+    except (RunFailed, JournalCorruption) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if outcome.days_advanced:
+        print(
+            f"Run {outcome.run_id}: advanced {outcome.days_advanced} day(s), "
+            f"{outcome.deltas_applied} delta(s); watermark now "
+            f"{outcome.watermark}",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"Run {outcome.run_id}: already current at watermark "
+            f"{outcome.watermark}; nothing to fold",
+            file=sys.stderr,
+        )
+    print(render_funnel(outcome.result))
+    print(f"\nResult digest: {outcome.result_digest}")
     return 0
 
 
@@ -760,7 +893,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="also record per-stage wall time and tracemalloc peaks "
              "into the metrics snapshot (needs --run-dir; adds overhead)",
     )
+    detect.add_argument(
+        "--incremental", action="store_true",
+        help="fold the dataset's recorded day deltas into a standing "
+             "engine journaled in --run-dir instead of re-running the "
+             "batch pipeline (result is bit-identical)",
+    )
+    detect.add_argument(
+        "--since-watermark", action="store_true",
+        help="with --incremental: auto-resume the standing run at its "
+             "durable watermark (run ID read from the journal) and "
+             "commit the dataset-side consumer watermark per folded day",
+    )
     detect.set_defaults(func=cmd_detect)
+
+    advance = subparsers.add_parser(
+        "advance",
+        help="fold new dataset days into a standing incremental "
+             "detection run (daily update; batch-identical result)",
+    )
+    advance.add_argument(
+        "--dataset", required=True, metavar="FILE",
+        help="SQLite dataset written by `riskybiz simulate` (its "
+             "recorded delta stream drives the fold)",
+    )
+    advance.add_argument("--whois", help="WHOIS JSON-lines file")
+    advance.add_argument(
+        "--run-dir", required=True, metavar="DIR",
+        help="the standing run's directory (journal + engine checkpoint); "
+             "created on first use, resumed automatically after",
+    )
+    advance.add_argument(
+        "--until", type=int, metavar="DAY",
+        help="fold only batches recorded up to DAY (default: drain the "
+             "whole stream)",
+    )
+    advance.add_argument(
+        "--engine-backend", choices=("memory", "sqlite"), default="memory",
+        help="delegation store backend for the engine's private replay "
+             "store (default: memory)",
+    )
+    advance.add_argument(
+        "--mine-patterns", action="store_true",
+        help="also maintain the substring pattern miner's standing counts",
+    )
+    advance.set_defaults(func=cmd_advance)
 
     experiment = subparsers.add_parser(
         "experiment", help="run the controlled hijack experiment (§6.1)"

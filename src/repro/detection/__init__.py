@@ -16,6 +16,9 @@ Identifies sacrificial nameservers from longitudinal zone data alone:
    registered-domain substring test — :mod:`repro.detection.matching`.
 7. **Idiom classification and registrar attribution** —
    :mod:`repro.detection.idioms`, :mod:`repro.detection.pipeline`.
+8. **Incremental engine** — the same stages as watermarked streaming
+   operators over the recorded delta log, with batch-identical results —
+   :mod:`repro.detection.incremental`.
 
 The pipeline consumes only the observable data sets (zone database and
 WHOIS archive) — never the simulator's ground truth.
@@ -23,6 +26,14 @@ WHOIS archive) — never the simulator's ground truth.
 
 from repro.detection.candidates import CandidateNameserver, build_candidate_set
 from repro.detection.idioms import IdiomClass, IdiomClassifier, known_classifiers
+from repro.detection.incremental import (
+    IncrementalDetectionEngine,
+    IncrementalStage,
+    StageContext,
+    build_stages,
+    dump_engine_state,
+    load_engine_state,
+)
 from repro.detection.matching import MatchResult, OriginalNameserverMatcher
 from repro.detection.pipeline import (
     CoverageAnnotations,
@@ -32,7 +43,12 @@ from repro.detection.pipeline import (
 )
 from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilter
 from repro.detection.resolvability import ResolvabilityAnalyzer
-from repro.detection.substrings import SubstringPattern, mine_substrings
+from repro.detection.substrings import (
+    SubstringCounter,
+    SubstringPattern,
+    mine_substrings,
+    mine_substrings_cached,
+)
 from repro.detection.testns import TestNameserverFilter
 
 __all__ = [
@@ -41,6 +57,12 @@ __all__ = [
     "IdiomClass",
     "IdiomClassifier",
     "known_classifiers",
+    "IncrementalDetectionEngine",
+    "IncrementalStage",
+    "StageContext",
+    "build_stages",
+    "dump_engine_state",
+    "load_engine_state",
     "MatchResult",
     "OriginalNameserverMatcher",
     "CoverageAnnotations",
@@ -50,7 +72,9 @@ __all__ = [
     "RepositoryMap",
     "SingleRepositoryFilter",
     "ResolvabilityAnalyzer",
+    "SubstringCounter",
     "SubstringPattern",
     "mine_substrings",
+    "mine_substrings_cached",
     "TestNameserverFilter",
 ]

@@ -60,17 +60,29 @@ class OriginalNameserverMatcher:
         self.zonedb = zonedb
         self.whois = whois
         self.psl = psl or default_psl()
+        # PSL suffix walks are pure per name but the join re-asks them for
+        # every (candidate, witness, previous_ns) triple; the same handful
+        # of nameserver names recur across candidates, so memoize.
+        self._registered: dict[str, str | None] = {}
+
+    def _registered_domain(self, name: str) -> str | None:
+        try:
+            return self._registered[name]
+        except KeyError:
+            registered = self.psl.registered_domain(name)
+            self._registered[name] = registered
+            return registered
 
     def match(self, candidate: CandidateNameserver) -> MatchResult | None:
         """Find the original nameserver for one candidate, if any."""
-        candidate_registered = self.psl.registered_domain(candidate.name)
+        candidate_registered = self._registered_domain(candidate.name)
         if candidate_registered is None:
             return None
         candidate_sld = candidate_registered.split(".", 1)[0]
         day = candidate.first_seen
         for domain in candidate.referencing_domains:
             for previous_ns in sorted(self.zonedb.nameservers_removed_on(domain, day)):
-                original_domain = self.psl.registered_domain(previous_ns)
+                original_domain = self._registered_domain(previous_ns)
                 if original_domain is None:
                     continue
                 original_sld = original_domain.split(".", 1)[0]

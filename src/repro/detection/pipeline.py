@@ -26,19 +26,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.dnscore.names import Name
-from repro.dnscore.psl import PublicSuffixList, default_psl
-from repro.detection.candidates import CandidateNameserver, build_candidate_set
-from repro.detection.idioms import (
-    IdiomClass,
-    IdiomClassifier,
-    classify_match,
-    known_classifiers,
-)
-from repro.detection.matching import MatchResult, OriginalNameserverMatcher
-from repro.detection.repository_check import RepositoryMap, SingleRepositoryFilter
-from repro.detection.resolvability import ResolvabilityAnalyzer
-from repro.detection.substrings import SubstringPattern, mine_substrings
+from repro.dnscore.psl import PublicSuffixList
+from repro.detection.candidates import CandidateNameserver
+from repro.detection.idioms import IdiomClassifier
+from repro.detection.matching import MatchResult
+from repro.detection.repository_check import RepositoryMap
+from repro.detection.substrings import SubstringPattern, mine_substrings_cached
 from repro.detection.testns import TestNameserverFilter
 from repro.obs import profiling
 from repro.obs import runtime as obs
@@ -258,16 +251,33 @@ class DetectionPipeline:
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        # Imported here, not at module top: the incremental module builds
+        # on this module's result types, so the dependency runs one way
+        # at import time and closes into a pair only at construction.
+        from repro.detection.incremental import StageContext, build_stages
+
         self.zonedb = zonedb
         self.whois = whois
-        self.psl = psl or default_psl()
-        self.classifiers = classifiers or known_classifiers()
-        self.test_filter = test_filter or TestNameserverFilter()
-        self.repo_filter = SingleRepositoryFilter(zonedb, repo_map or RepositoryMap())
-        self.matcher = OriginalNameserverMatcher(zonedb, whois, psl=self.psl)
-        self.analyzer = ResolvabilityAnalyzer(zonedb, psl=self.psl)
+        self.context = StageContext.build(
+            zonedb,
+            whois,
+            psl=psl,
+            classifiers=classifiers,
+            test_filter=test_filter,
+            repo_map=repo_map,
+            mine_patterns=mine_patterns,
+        )
+        self.psl = self.context.psl
+        self.classifiers = self.context.classifiers
+        self.test_filter = self.context.test_filter
+        self.repo_filter = self.context.repo_filter
+        self.matcher = self.context.matcher
+        self.analyzer = self.context.analyzer
         self.mine_patterns = mine_patterns
         self.shards = shards
+        #: Stage operators by name; batch runs execute their
+        #: ``run_batch`` bodies, the incremental engine their ``advance``.
+        self.ops = {stage.name: stage for stage in build_stages()}
         #: The whole-dataset view (shard views are derived from it).
         self.view = DatasetView(zonedb, whois)
 
@@ -275,50 +285,15 @@ class DetectionPipeline:
 
     def _was_registered_before(self, registered_domain: str, day: int) -> bool:
         """Collision check: did the domain exist before the rename?"""
-        record = self.whois.current(registered_domain, day)
-        if record is not None and record.created < day:
-            return True
-        return self.zonedb.domain_present(registered_domain, max(0, day - 1))
+        return self.context.was_registered_before(registered_domain, day)
 
     def _classify_pattern(
         self, name: str, classifier: IdiomClassifier
     ) -> SacrificialNameserver:
-        first_seen = self.zonedb.first_seen(name) or 0
-        registered = self.psl.registered_domain(name)
-        collision = False
-        if classifier.klass is IdiomClass.RANDOM and registered is not None:
-            collision = self._was_registered_before(registered, first_seen)
-        return SacrificialNameserver(
-            name=name,
-            created_day=first_seen,
-            idiom_id=classifier.idiom_id,
-            hijackable=classifier.hijackable,
-            registrar=classifier.registrar_hint,
-            registered_domain=registered,
-            source="pattern",
-            collision=collision,
-        )
+        return self.context.classify_pattern(name, classifier)
 
     def _classify_match(self, match: MatchResult) -> SacrificialNameserver | None:
-        idiom_id = classify_match(match)
-        if idiom_id is None:
-            return None
-        registered = self.psl.registered_domain(match.candidate)
-        collision = False
-        if registered is not None:
-            collision = self._was_registered_before(registered, match.first_seen)
-        return SacrificialNameserver(
-            name=match.candidate,
-            created_day=match.first_seen,
-            idiom_id=idiom_id,
-            hijackable=True,
-            registrar=match.registrar,
-            registered_domain=registered,
-            source="match",
-            original_ns=match.original_ns,
-            original_domain=match.original_domain,
-            collision=collision,
-        )
+        return self.context.classify_match(match)
 
     # -- the run -----------------------------------------------------------------
 
@@ -467,7 +442,7 @@ class DetectionPipeline:
         )
         mined: list[SubstringPattern] = []
         if self.mine_patterns:
-            mined = mine_substrings(
+            mined = mine_substrings_cached(
                 (c.name for c in stage1), min_support=MINE_MIN_SUPPORT
             )
         candidates = sorted(
@@ -500,68 +475,35 @@ class DetectionPipeline:
             return
         atomic_write_bytes(Path(path), dump_pipeline_state(state))
 
+    # The stage bodies live on the IncrementalStage operators (see
+    # repro.detection.incremental) — one code path for both schedules;
+    # these methods keep the stage names the checkpoints and tests know.
+
     # Stage 1: unresolvable-at-first-reference candidates.
     def _stage_candidates(self, view: DatasetView, state: dict[str, Any]) -> None:
-        funnel = state["funnel"]
-        funnel.total_nameservers = view.nameserver_count()
-        candidates = build_candidate_set(
-            view.zonedb, self.analyzer, nameservers=view.nameservers()
-        )
-        funnel.candidates = len(candidates)
-        state["candidates"] = candidates
+        self.ops["candidates"].run_batch(self.context, view, state)
 
     # Stage 2: pattern discovery (for the record; confirmation is
     # encoded in the classifier list, as manual confirmation was in the
     # paper).
     def _stage_mine(self, view: DatasetView, state: dict[str, Any]) -> None:
-        mined: list[SubstringPattern] = []
-        if self.mine_patterns:
-            mined = mine_substrings(
-                (c.name for c in state["candidates"]),
-                min_support=MINE_MIN_SUPPORT,
-            )
-        state["mined"] = mined
+        self.ops["mine"].run_batch(self.context, view, state)
 
     # Stage 3: drop registry test nameservers.
     def _stage_test_filter(self, view: DatasetView, state: dict[str, Any]) -> None:
-        candidates, test_removed = self.test_filter.partition(state["candidates"])
-        state["funnel"].test_removed = len(test_removed)
-        state["candidates"] = candidates
+        self.ops["test-filter"].run_batch(self.context, view, state)
 
     # Stage 4: confirmed-pattern sweep over the view's population.
     def _stage_pattern_sweep(self, view: DatasetView, state: dict[str, Any]) -> None:
-        sacrificial: dict[str, SacrificialNameserver] = {}
-        for name in view.nameservers():
-            if self.test_filter.is_test_nameserver(name):
-                continue
-            for classifier in self.classifiers:
-                if classifier.matches_name(name):
-                    sacrificial[name] = self._classify_pattern(name, classifier)
-                    break
-        state["funnel"].pattern_classified = len(sacrificial)
-        state["sacrificial"] = sacrificial
+        self.ops["pattern-sweep"].run_batch(self.context, view, state)
 
     # Stage 5: single-repository filter on the remaining candidates.
     def _stage_single_repo(self, view: DatasetView, state: dict[str, Any]) -> None:
-        remaining = [
-            c for c in state["candidates"] if c.name not in state["sacrificial"]
-        ]
-        remaining, eliminated = self.repo_filter.partition(remaining)
-        state["funnel"].single_repo_removed = len(eliminated)
-        state["remaining"] = remaining
+        self.ops["single-repo"].run_batch(self.context, view, state)
 
     # Stage 6: original-nameserver matching and classification.
     def _stage_match(self, view: DatasetView, state: dict[str, Any]) -> None:
-        funnel = state["funnel"]
-        sacrificial = state["sacrificial"]
-        matches, _unmatched = self.matcher.match_all(state["remaining"])
-        funnel.history_matched = len(matches)
-        for match in matches:
-            entry = self._classify_match(match)
-            if entry is not None and entry.name not in sacrificial:
-                sacrificial[entry.name] = entry
-        funnel.match_classified = len(sacrificial) - funnel.pattern_classified
-        state["matches"] = matches
+        self.ops["match"].run_batch(self.context, view, state)
 
     def _finalize(self, state: dict[str, Any]) -> PipelineResult:
         funnel = state["funnel"]

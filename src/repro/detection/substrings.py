@@ -11,13 +11,24 @@ names (each name contributes each distinct substring once), keeps those
 above a support threshold, and suppresses non-maximal substrings: a
 substring contained in a longer surviving pattern with (nearly) the same
 support adds no information and is dropped.
+
+Counting and selection are split so the incremental engine can maintain
+a standing :class:`SubstringCounter` — day-over-day candidate churn
+adjusts per-name counts in place instead of re-scanning the full
+candidate set — while the batch miner builds the same counter in one
+pass. Selection is a pure function of the counts, so both schedules
+produce identical patterns for identical name multisets.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
+
+#: Default mining parameters (the values the pipeline uses).
+DEFAULT_MIN_LENGTH = 5
+DEFAULT_MAX_LENGTH = 24
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,28 +51,20 @@ def _substrings_of(name: str, min_len: int, max_len: int) -> set[str]:
     return found
 
 
-def mine_substrings(
-    names: Iterable[str],
+def _select_patterns(
+    counts: "Counter[str]",
     *,
-    min_length: int = 5,
-    max_length: int = 24,
-    min_support: int = 5,
-    top: int = 50,
-    containment_slack: float = 0.9,
+    min_support: int,
+    top: int,
+    containment_slack: float,
 ) -> list[SubstringPattern]:
-    """Mine the most common substrings across ``names``.
+    """Pure pattern selection over a substring-support counter.
 
-    Returns up to ``top`` patterns ordered by (support, length) with
-    non-maximal substrings removed: a pattern is dropped when some longer
-    surviving pattern contains it and retains at least
+    Keeps substrings above ``min_support``, ordered by (support,
+    length), with non-maximal substrings removed: a pattern is dropped
+    when some longer surviving pattern contains it and retains at least
     ``containment_slack`` of its support.
     """
-    counts: Counter[str] = Counter()
-    total = 0
-    for raw in names:
-        total += 1
-        name = raw.lower()
-        counts.update(_substrings_of(name, min_length, max_length))
     frequent = [
         (substring, support)
         for substring, support in counts.items()
@@ -86,6 +89,152 @@ def mine_substrings(
             break
     kept.sort(key=lambda item: (-item[1], -len(item[0]), item[0]))
     return [SubstringPattern(s, c) for s, c in kept[:top]]
+
+
+class SubstringCounter:
+    """Standing substring-support counts over a mutable name multiset.
+
+    The incremental miner's operator state: :meth:`add` and
+    :meth:`discard` adjust counts by one name's substring set, so a
+    day's candidate churn costs O(changed names), not O(all names).
+    The counter is a pure fold — any add/discard sequence reaching the
+    same multiset yields the same counts the batch scan produces.
+    """
+
+    __slots__ = ("min_length", "max_length", "counts", "names", "revision")
+
+    def __init__(
+        self,
+        *,
+        min_length: int = DEFAULT_MIN_LENGTH,
+        max_length: int = DEFAULT_MAX_LENGTH,
+    ) -> None:
+        self.min_length = min_length
+        self.max_length = max_length
+        self.counts: Counter[str] = Counter()
+        #: The name multiset folded in so far (lower-cased).
+        self.names: Counter[str] = Counter()
+        #: Bumped on every mutation; lets consumers memoize selections.
+        self.revision = 0
+
+    @property
+    def total(self) -> int:
+        """Number of names (with multiplicity) folded in."""
+        return sum(self.names.values())
+
+    def add(self, name: str) -> None:
+        """Fold one name occurrence into the counts."""
+        lowered = name.lower()
+        self.revision += 1
+        self.names[lowered] += 1
+        for substring in _substrings_of(lowered, self.min_length, self.max_length):
+            self.counts[substring] += 1
+
+    def discard(self, name: str) -> None:
+        """Remove one name occurrence; unknown names raise ``KeyError``."""
+        lowered = name.lower()
+        if self.names[lowered] <= 0:
+            raise KeyError(f"name not in counter: {name!r}")
+        self.revision += 1
+        self.names[lowered] -= 1
+        if self.names[lowered] == 0:
+            del self.names[lowered]
+        for substring in _substrings_of(lowered, self.min_length, self.max_length):
+            remaining = self.counts[substring] - 1
+            if remaining <= 0:
+                del self.counts[substring]
+            else:
+                self.counts[substring] = remaining
+
+    def select(
+        self,
+        *,
+        min_support: int = 5,
+        top: int = 50,
+        containment_slack: float = 0.9,
+    ) -> list[SubstringPattern]:
+        """The mined patterns for the current multiset."""
+        return _select_patterns(
+            self.counts,
+            min_support=min_support,
+            top=top,
+            containment_slack=containment_slack,
+        )
+
+    def state_key(self) -> dict[str, Any]:
+        """A digestible value view of the multiset (for memoization)."""
+        return {
+            "min_length": self.min_length,
+            "max_length": self.max_length,
+            "names": sorted(self.names.elements()),
+        }
+
+
+def mine_substrings(
+    names: Iterable[str],
+    *,
+    min_length: int = DEFAULT_MIN_LENGTH,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    min_support: int = 5,
+    top: int = 50,
+    containment_slack: float = 0.9,
+) -> list[SubstringPattern]:
+    """Mine the most common substrings across ``names``.
+
+    Returns up to ``top`` patterns ordered by (support, length) with
+    non-maximal substrings removed (see :func:`_select_patterns`).
+    """
+    counter = SubstringCounter(min_length=min_length, max_length=max_length)
+    for raw in names:
+        counter.add(raw)
+    return counter.select(
+        min_support=min_support, top=top, containment_slack=containment_slack
+    )
+
+
+def mine_substrings_cached(
+    names: Iterable[str],
+    *,
+    cache: Any | None = None,
+    min_length: int = DEFAULT_MIN_LENGTH,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    min_support: int = 5,
+    top: int = 50,
+    containment_slack: float = 0.9,
+) -> list[SubstringPattern]:
+    """:func:`mine_substrings` memoized through the artifact cache.
+
+    Mining is a pure function of the name multiset and the parameters,
+    so results are content-addressed: repeated folds over an unchanged
+    candidate set (the common case for daily incremental advances) hit
+    the cache instead of re-scanning every name.
+    """
+    from repro.store.artifacts import ArtifactKey, content_digest, default_cache
+
+    name_list = sorted(raw.lower() for raw in names)
+    options = {
+        "min_length": min_length,
+        "max_length": max_length,
+        "min_support": min_support,
+        "top": top,
+        "containment_slack": containment_slack,
+    }
+    key = ArtifactKey.build(
+        "mined-patterns", content_digest({"names": name_list}), options
+    )
+    store = cache if cache is not None else default_cache()
+    return store.get_or_create(
+        key,
+        lambda: mine_substrings(
+            name_list,
+            min_length=min_length,
+            max_length=max_length,
+            min_support=min_support,
+            top=top,
+            containment_slack=containment_slack,
+        ),
+        memory_only=True,
+    )
 
 
 def patterns_matching(

@@ -81,6 +81,11 @@ class LintConfig:
         "repro.store.atomic.write_checked_json",
         "repro.store.artifacts.content_digest",
     )
+    #: The only functions (``module:qualname`` specs) allowed to write
+    #: the incremental engine's ``state["watermarks"]`` mapping (DET013).
+    watermark_commit_functions: tuple[str, ...] = (
+        "repro.detection.incremental:commit_watermark",
+    )
 
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
@@ -151,6 +156,7 @@ def load_config(root: Path | str | None = None) -> LintConfig:
         ("worker-entry-points", "worker_entry_points"),
         ("worker-safe-modules", "worker_safe_modules"),
         ("digest-sinks", "digest_sinks"),
+        ("watermark-commit-functions", "watermark_commit_functions"),
     ):
         if option in table:
             updates[attr] = _as_str_tuple(table[option], option)

@@ -12,6 +12,8 @@ DET011    digest-taint             nondeterminism sources (builtin ``hash``,
                                    into sha256/checksum/manifest sinks
 DET012    stale-baseline           baseline entries whose (path, symbol) no
                                    longer exists or no longer fires
+DET013    watermark-bypass         stage/engine state watermarks written
+                                   outside the sanctioned commit path
 ========  =======================  ==========================================
 
 DET010 is the fork-safety rule: a function reachable from a supervisor
@@ -64,6 +66,10 @@ rule(
 rule(
     "DET012", "stale-baseline", "project",
     "baseline entry whose (path, symbol) no longer exists or fires",
+)
+rule(
+    "DET013", "watermark-bypass", "project",
+    "watermark state mutated outside the sanctioned commit path",
 )
 
 #: Container methods that mutate their receiver in place.
@@ -907,6 +913,114 @@ def stale_baseline_diagnostics(
 
 
 # ---------------------------------------------------------------------------
+# DET013: watermark-bypass
+# ---------------------------------------------------------------------------
+
+#: The stage-state key holding per-stage watermarks. The incremental
+#: engine's correctness proof hinges on watermarks moving only through
+#: the never-backwards commit helper; any other write can silently
+#: rewind or skip a day.
+_WATERMARK_KEY = "watermarks"
+
+
+def _watermark_subscript(node: ast.expr, aliases: set[str]) -> bool:
+    """``<expr>["watermarks"]`` or a local alias bound to one."""
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        return isinstance(index, ast.Constant) and index.value == _WATERMARK_KEY
+    return isinstance(node, ast.Name) and node.id in aliases
+
+
+def _watermark_aliases(func: FunctionInfo) -> set[str]:
+    """Locals assigned from a ``<expr>["watermarks"]`` subscript."""
+    aliases: set[str] = set()
+    for node in _walk_own(func):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and _watermark_subscript(node.value, aliases)
+        ):
+            aliases.add(node.targets[0].id)
+    return aliases
+
+
+def check_watermark_bypass(
+    graph: ProjectGraph, config: LintConfig
+) -> list[Diagnostic]:
+    """DET013: flag watermark-map writes outside the commit functions.
+
+    The sanctioned writers are configured as ``module:qualname`` specs
+    (``watermark_commit_functions``); every other function that assigns
+    into, replaces, deletes from, or calls a mutating method on a
+    ``state["watermarks"]`` mapping — directly or through a local alias
+    — is reported. Purely syntactic by design: the commit path's
+    never-backwards guard is the invariant, so any bypass is a finding
+    regardless of reachability.
+    """
+    allowed = set(config.watermark_commit_functions)
+    diagnostics: list[Diagnostic] = []
+    for func in graph.iter_functions():
+        if func.ident in allowed:
+            continue
+        module = graph.modules[func.module]
+        aliases = _watermark_aliases(func)
+        hits: list[tuple[ast.AST, str]] = []
+        for node in _walk_own(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets: Sequence[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                else:
+                    targets = [node.target]
+                for target in targets:
+                    if not isinstance(target, ast.Subscript):
+                        continue
+                    if _watermark_subscript(target, set()):
+                        hits.append((node, "replaces the watermark map"))
+                    elif _watermark_subscript(target.value, aliases):
+                        hits.append((node, "writes a watermark entry"))
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and (
+                        _watermark_subscript(target, set())
+                        or _watermark_subscript(target.value, aliases)
+                    ):
+                        hits.append((node, "deletes watermark state"))
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATING_METHODS and _watermark_subscript(
+                    node.func.value, aliases
+                ):
+                    hits.append(
+                        (
+                            node,
+                            f".{node.func.attr}() mutates the watermark map "
+                            "in place",
+                        )
+                    )
+        for node, description in hits:
+            diagnostics.append(
+                make(
+                    "DET013", module.path,
+                    getattr(node, "lineno", func.lineno),
+                    getattr(node, "col_offset", 0),
+                    f"{description} outside the sanctioned commit path; "
+                    "watermarks may only advance through "
+                    + (
+                        ", ".join(sorted(allowed))
+                        if allowed
+                        else "a configured commit function"
+                    )
+                    + " (the never-backwards guard lives there)",
+                    func.qualname,
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
 # entry point used by the runner
 # ---------------------------------------------------------------------------
 
@@ -914,9 +1028,10 @@ def stale_baseline_diagnostics(
 def run_project_analysis(
     config: LintConfig, graph: ProjectGraph | None = None
 ) -> tuple[list[Diagnostic], ProjectGraph, CallGraph]:
-    """Build the graphs and run DET010 + DET011 over the project."""
+    """Build the graphs and run DET010, DET011, and DET013 over the project."""
     project = graph or ProjectGraph.build(config)
     call_graph = CallGraph.build(project)
     diagnostics = check_worker_global_mutation(project, call_graph, config)
     diagnostics.extend(check_digest_taint(project, call_graph, config))
+    diagnostics.extend(check_watermark_bypass(project, config))
     return diagnostics, project, call_graph

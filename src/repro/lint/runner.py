@@ -263,7 +263,9 @@ def run_lint(
         run_project = (
             project_analysis
             if project_analysis is not None
-            else (enabled("DET010") or enabled("DET011"))
+            else (
+                enabled("DET010") or enabled("DET011") or enabled("DET013")
+            )
             and _covers_project_roots(targets, cfg)
         )
         if run_project:

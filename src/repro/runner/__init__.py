@@ -13,7 +13,10 @@ it:
   hang detection, and retry-with-exponential-backoff on crash;
 * :mod:`repro.runner.execution` — the supervised detection run:
   journaled shard execution, checkpoint digests, and
-  ``riskybiz detect --resume <run-id>`` semantics;
+  ``riskybiz detect --resume <run-id>`` semantics — plus the
+  incremental run (``riskybiz advance``), which folds per-day delta
+  batches into a journaled standing engine instead of re-running the
+  batch pipeline;
 * :mod:`repro.runner.chaos_harness` — the seeded kill-and-resume
   harness proving a run killed at randomized boundaries and resumed is
   bit-identical to an uninterrupted one.
@@ -37,15 +40,18 @@ from repro.runner.supervisor import (
     SupervisorPolicy,
 )
 from repro.runner.execution import (
+    IncrementalRunResult,
     SupervisedResult,
     compute_run_id,
     result_fingerprint,
+    run_incremental_detection,
     run_supervised_detection,
 )
 from repro.runner.chaos_harness import ChaosTrialReport, run_kill_resume_trial
 
 __all__ = [
     "ChaosTrialReport",
+    "IncrementalRunResult",
     "JournalCorruption",
     "JournalRecord",
     "RunFailed",
@@ -56,6 +62,7 @@ __all__ = [
     "SupervisorPolicy",
     "compute_run_id",
     "result_fingerprint",
+    "run_incremental_detection",
     "run_kill_resume_trial",
     "run_supervised_detection",
 ]

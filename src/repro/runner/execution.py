@@ -37,6 +37,12 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.detection.incremental import (
+    ENGINE_WATERMARK,
+    IncrementalDetectionEngine,
+    dump_engine_state,
+    load_engine_state,
+)
 from repro.detection.pipeline import (
     DetectionPipeline,
     PipelineResult,
@@ -61,7 +67,7 @@ from repro.store.atomic import (
     quarantine,
     write_checked_json,
 )
-from repro.store.dataset import SCENARIO_DIGEST_KEY, ShardSpec
+from repro.store.dataset import SCENARIO_DIGEST_KEY, DeltaView, ShardSpec
 
 if TYPE_CHECKING:
     from repro.faults.process import ChaosMonkey
@@ -78,6 +84,8 @@ RESULT_MANIFEST_NAME = "result.json"
 CHECKPOINT_DIR_NAME = "checkpoints"
 TRACE_NAME = "trace.jsonl"
 METRICS_NAME = "metrics.json"
+ENGINE_CHECKPOINT_NAME = "engine-state.pkl"
+ENGINE_STORE_NAME = "engine-store.sqlite"
 
 
 def compute_run_id(fingerprint: dict[str, Any]) -> str:
@@ -696,4 +704,347 @@ def _execute_supervised(
             journal_path=journal_path,
             resumed=resumed,
             outcomes=outcomes,
+        )
+
+
+# -- the incremental run -----------------------------------------------------
+
+
+@dataclass
+class IncrementalRunResult:
+    """What an incremental run produced, plus how far it advanced."""
+
+    run_id: str
+    result: PipelineResult
+    result_digest: str
+    run_dir: Path
+    journal_path: Path
+    #: The engine watermark after draining (last folded batch day).
+    watermark: int | None
+    #: Day batches folded by *this* invocation (0 when already current).
+    days_advanced: int = 0
+    #: Delta events applied by this invocation.
+    deltas_applied: int = 0
+    resumed: bool = False
+    #: The watermark adopted from the durable checkpoint on resume.
+    restored_watermark: int | None = None
+
+
+def _note_engine_reset(reason: str) -> None:
+    """Mirror a journaled engine-reset into metrics and the trace."""
+    obs.counter("runner.engine_resets").inc()
+    obs.trace_event("runner.engine-reset", reason=reason)
+
+
+def _restore_engine(
+    journal: RunJournal,
+    engine: IncrementalDetectionEngine,
+    zonedb: "ZoneDatabase",
+    path: Path,
+) -> int | None:
+    """Adopt the durable engine checkpoint, reconciled with the journal.
+
+    The checkpoint is written before its ``day-advanced`` record, so it
+    is the source of truth and the journal is cross-checked against it:
+
+    * checkpoint ahead of the journal (crash in the append window) —
+      journal the day the checkpoint proves folded (``reconciled``);
+    * checkpoint behind the journal, unreadable, or missing while the
+      journal claims days, or hashing differently from what the journal
+      recorded for the same day — the durable artifact is gone or
+      lying; quarantine it, journal an ``engine-reset``, and refold the
+      whole stream (advancing is deterministic, so redoing is safe).
+
+    Returns the restored watermark (None when starting from scratch).
+    The engine is only mutated once the checkpoint has fully verified,
+    so every reset path leaves it fresh.
+    """
+    reset_after = -1
+    for record in journal.events("engine-reset"):
+        reset_after = record.seq
+    journaled_day: int | None = None
+    journaled_sha: str | None = None
+    for record in journal.events("day-advanced"):
+        if record.seq > reset_after:
+            journaled_day = int(record.payload["day"])
+            journaled_sha = record.payload.get("checkpoint_sha256")
+    if not path.exists():
+        if journaled_day is not None:
+            journal.append("engine-reset", reason="checkpoint-missing")
+            _note_engine_reset("checkpoint-missing")
+        return None
+    try:
+        data = path.read_bytes()
+        watermark = load_engine_state(data)["watermarks"].get(ENGINE_WATERMARK)
+    except Exception:
+        quarantine(path)
+        journal.append("engine-reset", reason="checkpoint-unreadable")
+        _note_engine_reset("checkpoint-unreadable")
+        return None
+    if journaled_day is not None:
+        if watermark is None or watermark < journaled_day:
+            quarantine(path)
+            journal.append("engine-reset", reason="checkpoint-behind-journal")
+            _note_engine_reset("checkpoint-behind-journal")
+            return None
+        if watermark == journaled_day and file_sha256(path) != journaled_sha:
+            quarantine(path)
+            journal.append("engine-reset", reason="checkpoint-mismatch")
+            _note_engine_reset("checkpoint-mismatch")
+            return None
+    elif watermark is None:
+        return None
+    engine.restore(zonedb, data)
+    if journaled_day is None or watermark > journaled_day:
+        journal.append(
+            "day-advanced",
+            day=watermark,
+            checkpoint_sha256=file_sha256(path),
+            reconciled=True,
+        )
+    return watermark
+
+
+def run_incremental_detection(
+    zonedb: "ZoneDatabase",
+    whois: "WhoisArchive",
+    *,
+    run_dir: str | Path,
+    until: int | None = None,
+    backend: str = "memory",
+    mine_patterns: bool = True,
+    options: dict[str, Any] | None = None,
+    chaos: "ChaosMonkey | None" = None,
+    resume: str | None = None,
+    consumer: str | None = None,
+    trace: bool = False,
+    profile: bool = False,
+) -> IncrementalRunResult:
+    """Advance an incremental detection run to the end of the delta stream.
+
+    Instead of re-running the batch pipeline, an
+    :class:`~repro.detection.incremental.IncrementalDetectionEngine`
+    folds every recorded day batch past its watermark into standing
+    state, journaled per day::
+
+        fold day  →  atomic engine checkpoint  →  journal day-advanced
+
+    so a crash anywhere resumes at the last durable day, never earlier
+    (and never refolds a day twice). The run directory holds one
+    engine checkpoint (``checkpoints/engine-state.pkl``) that always
+    describes the journal's newest ``day-advanced`` record — the same
+    checkpoint-ahead reconciliation the batch runner uses.
+
+    Unlike a batch run, an incremental run is durable *across*
+    invocations: call again (with ``resume=<run-id>``) after the source
+    dataset grows and exactly the new days are folded. ``until`` caps
+    the horizon without entering the run fingerprint, so one standing
+    run can advance day by day. With ``consumer`` set, the source
+    store's per-consumer watermark is committed after each durable day.
+
+    The produced result is bit-identical (same result digest) to a
+    fresh batch run over the same history — that invariant is what the
+    ``incremental-equivalence`` CI job asserts on both backends.
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    journal_path = run_dir / JOURNAL_NAME
+    checkpoint_dir = run_dir / CHECKPOINT_DIR_NAME
+    checkpoint_dir.mkdir(parents=True, exist_ok=True)
+    checkpoint_path = checkpoint_dir / ENGINE_CHECKPOINT_NAME
+    options = dict(options or {})
+    run_id = compute_run_id(
+        {
+            "scenario_digest": zonedb.store.get_meta(SCENARIO_DIGEST_KEY),
+            "mode": "incremental",
+            "backend": backend,
+            "mine_patterns": mine_patterns,
+            "options": options,
+        }
+    )
+
+    resumed = journal_path.exists()
+    if resumed:
+        if resume is None:
+            raise RunFailed(
+                f"{run_dir} already holds a journal; pass resume=<run-id> "
+                "(or point at a fresh run directory)"
+            )
+        journal = RunJournal.open(journal_path)
+        if journal.run_id != resume:
+            raise RunFailed(
+                f"journal belongs to {journal.run_id}, not {resume}"
+            )
+        if journal.run_id != run_id:
+            raise RunFailed(
+                f"run inputs changed: journal is {journal.run_id}, these "
+                f"inputs fingerprint to {run_id}"
+            )
+    else:
+        if resume is not None:
+            raise RunFailed(f"nothing to resume in {run_dir}")
+        journal = RunJournal.create(journal_path, run_id)
+    if chaos is not None:
+        journal.torn_writer = chaos.torn_write
+    if journal.last("run-config") is None:
+        journal.append(
+            "run-config",
+            mode="incremental",
+            backend=backend,
+            mine_patterns=mine_patterns,
+            options=options,
+        )
+
+    tracer = (
+        Tracer.open_or_create(run_dir / TRACE_NAME, run_id) if trace else None
+    )
+    if trace or profile:
+        obs.reset_metrics()
+    if profile:
+        profiling.enable()
+    try:
+        with obs.observing(tracer):
+            return _execute_incremental(
+                zonedb=zonedb,
+                whois=whois,
+                journal=journal,
+                run_dir=run_dir,
+                journal_path=journal_path,
+                checkpoint_path=checkpoint_path,
+                run_id=run_id,
+                until=until,
+                backend=backend,
+                mine_patterns=mine_patterns,
+                chaos=chaos,
+                consumer=consumer,
+                resumed=resumed,
+                tracer=tracer,
+            )
+    finally:
+        if profile:
+            profiling.disable()
+        if tracer is not None:
+            tracer.close()
+
+
+def _execute_incremental(
+    *,
+    zonedb: "ZoneDatabase",
+    whois: "WhoisArchive",
+    journal: RunJournal,
+    run_dir: Path,
+    journal_path: Path,
+    checkpoint_path: Path,
+    run_id: str,
+    until: int | None,
+    backend: str,
+    mine_patterns: bool,
+    chaos: "ChaosMonkey | None",
+    consumer: str | None,
+    resumed: bool,
+    tracer: Tracer | None,
+) -> IncrementalRunResult:
+    """The journal-driven drain loop of :func:`run_incremental_detection`."""
+    with obs.span("run", mode="incremental") as run_span:
+        store_path: Path | None = None
+        if backend == "sqlite":
+            # The private store is rebuilt by deterministic replay; only
+            # the engine-state checkpoint is a durable artifact. A stale
+            # store from an earlier invocation must not be replayed into.
+            store_path = run_dir / ENGINE_STORE_NAME
+            for leftover in (
+                store_path,
+                store_path.with_name(store_path.name + "-wal"),
+                store_path.with_name(store_path.name + "-shm"),
+            ):
+                leftover.unlink(missing_ok=True)
+        engine = IncrementalDetectionEngine(
+            whois,
+            backend=backend,
+            store_path=store_path,
+            mine_patterns=mine_patterns,
+        )
+        restored = (
+            _restore_engine(journal, engine, zonedb, checkpoint_path)
+            if resumed
+            else None
+        )
+        days = 0
+        deltas = 0
+        # The source-side watermark is shared by consumer *name*, so a
+        # fresh run directory refolding already-consumed days must not
+        # drag it backwards — only ever advance it.
+        source_mark = (
+            zonedb.watermark(consumer) if consumer is not None else None
+        )
+        view = DeltaView(zonedb, since=engine.watermark, until=until)
+        for batch_day, events in view.batches():
+            applied = engine.advance(batch_day, events)
+            _boundary(chaos, "worker", f"day:{batch_day}")
+            atomic_write_bytes(checkpoint_path, dump_engine_state(engine))
+            _boundary(chaos, "supervisor", f"day-advanced:{batch_day}")
+            journal.append(
+                "day-advanced",
+                day=batch_day,
+                deltas_applied=applied,
+                checkpoint_sha256=file_sha256(checkpoint_path),
+            )
+            if consumer is not None and (
+                source_mark is None or batch_day > source_mark
+            ):
+                zonedb.commit_watermark(consumer, batch_day)
+                source_mark = batch_day
+            days += 1
+            deltas += applied
+        if days == 0:
+            complete = journal.run_complete
+            if (
+                complete is not None
+                and complete.payload.get("watermark") == engine.watermark
+            ):
+                replayed = _load_completed_result(run_dir, complete.payload)
+                if replayed is not None:
+                    digest = str(complete.payload["result_digest"])
+                    run_span.set(result_digest=digest, days=0)
+                    if tracer is not None:
+                        _write_metrics_snapshot(run_dir)
+                    return IncrementalRunResult(
+                        run_id=run_id,
+                        result=replayed,
+                        result_digest=digest,
+                        run_dir=run_dir,
+                        journal_path=journal_path,
+                        watermark=engine.watermark,
+                        resumed=True,
+                        restored_watermark=restored,
+                    )
+        result = engine.result()
+        data = pickle.dumps(result)
+        atomic_write_bytes(run_dir / RESULT_NAME, data)
+        manifest = _write_result_manifest(run_dir, run_id, data, result)
+        _boundary(chaos, "supervisor", "run-complete")
+        journal.append(
+            "run-complete",
+            run_id=run_id,
+            watermark=engine.watermark,
+            days_advanced=days,
+            result_sha256=manifest["result_sha256"],
+            result_digest=manifest["result_digest"],
+        )
+        run_span.set(
+            result_digest=str(manifest["result_digest"]), days=days
+        )
+        if tracer is not None:
+            _write_metrics_snapshot(run_dir)
+        return IncrementalRunResult(
+            run_id=run_id,
+            result=result,
+            result_digest=str(manifest["result_digest"]),
+            run_dir=run_dir,
+            journal_path=journal_path,
+            watermark=engine.watermark,
+            days_advanced=days,
+            deltas_applied=deltas,
+            resumed=resumed,
+            restored_watermark=restored,
         )

@@ -17,6 +17,9 @@ Layering (see ``docs/ARCHITECTURE.md``)::
 * :mod:`repro.store.memory` — dict-of-intervals backend (the seed
   implementation, moved behind the interface);
 * :mod:`repro.store.sqlite` — SQLite-backed on-disk backend;
+* :mod:`repro.store.changelog` — the append-only, checksummed delta
+  log (``riskybiz-changelog/1``) with per-consumer watermarks that the
+  incremental detection engine consumes;
 * :mod:`repro.store.dataset` — dataset files + manifests, and the
   :class:`~repro.store.dataset.DatasetView`/:class:`~repro.store.dataset.ShardSpec`
   pair the sharded detection pipeline consumes;
@@ -50,9 +53,18 @@ from repro.store.atomic import (
     write_checked_json,
 )
 from repro.store.base import DelegationRecord, DelegationStore, PresenceHistory
+from repro.store.changelog import (
+    CHANGELOG_FORMAT,
+    ChangeLog,
+    ChangelogCorruption,
+    DELTA_KINDS,
+    DeltaEvent,
+    group_batches,
+)
 from repro.store.dataset import (
     DATASET_FORMAT,
     DatasetView,
+    DeltaView,
     ShardSpec,
     load_manifest,
     open_dataset,
@@ -71,12 +83,19 @@ from repro.store.verify import (
 __all__ = [
     "ArtifactCache",
     "ArtifactKey",
+    "CHANGELOG_FORMAT",
+    "ChangeLog",
+    "ChangelogCorruption",
     "DATASET_FORMAT",
+    "DELTA_KINDS",
     "DatasetView",
     "DelegationRecord",
     "DelegationStore",
+    "DeltaEvent",
+    "DeltaView",
     "IntegrityError",
     "Issue",
+    "group_batches",
     "MemoryDelegationStore",
     "PresenceHistory",
     "ShardSpec",

@@ -14,9 +14,12 @@ hosts, ``"domain"`` for in-zone domain presence.
 
 from __future__ import annotations
 
-from typing import Iterator, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
 
 from repro.simtime import Interval
+
+if TYPE_CHECKING:
+    from repro.store.changelog import DeltaEvent
 
 #: Presence-history kinds every backend must support.
 GLUE = "glue"
@@ -93,6 +96,10 @@ class PresenceHistory:
         else:
             self._closed.setdefault(key, []).append(Interval(start, end))
 
+    def is_open(self, key: str) -> bool:
+        """True if ``key`` has an interval still open."""
+        return key in self._open
+
     def is_present(self, key: str, day: int) -> bool:
         start = self._open.get(key)
         if start is not None and start <= day:
@@ -109,6 +116,35 @@ class PresenceHistory:
     def keys(self) -> Iterator[str]:
         seen = set(self._closed) | set(self._open)
         return iter(sorted(seen))
+
+
+def dispatch_delta(store: "DelegationStore", event: "DeltaEvent") -> None:
+    """Apply one delta event's mutation through the store primitives.
+
+    The shared dispatcher both backends' ``apply_delta`` use, so a
+    replayed event performs *exactly* the primitive call the original
+    mutation did — which is what makes delta replay reproduce a store
+    bit-for-bit. ``tld-cover`` events carry no store mutation (coverage
+    is façade metadata) and fall through.
+    """
+    from repro.store import changelog as cl
+
+    if event.kind == cl.DELEGATION_ADD:
+        assert event.ns is not None
+        store.open_pair(event.name, event.ns, event.day)
+    elif event.kind == cl.DELEGATION_REMOVE:
+        assert event.ns is not None
+        store.close_pair(event.name, event.ns, event.day)
+    elif event.kind == cl.GLUE_ADD:
+        store.open_presence(GLUE, event.name, event.day)
+    elif event.kind == cl.GLUE_REMOVE:
+        store.close_presence(GLUE, event.name, event.day)
+    elif event.kind == cl.DOMAIN_APPEAR:
+        store.open_presence(DOMAIN, event.name, event.day)
+    elif event.kind == cl.DOMAIN_EXPIRE:
+        store.close_presence(DOMAIN, event.name, event.day)
+    elif event.kind != cl.TLD_COVER:
+        raise ValueError(f"unknown delta kind {event.kind!r}")
 
 
 @runtime_checkable
@@ -191,6 +227,34 @@ class DelegationStore(Protocol):
 
     def presence_keys(self, kind: str) -> Iterator[str]:
         """Every key ever present, in sorted order."""
+
+    def presence_open(self, kind: str, key: str) -> bool:
+        """True if ``key`` currently has an open presence interval.
+
+        The façade uses this to emit delta events only for *effective*
+        mutations: daily glue re-assertion is a store no-op and must
+        not flood the delta stream.
+        """
+
+    # -- delta tracking ----------------------------------------------------
+
+    def apply_delta(self, event: "DeltaEvent", batch_day: int) -> None:
+        """Apply one delta event and record it under ``batch_day``.
+
+        The single write path incremental consumers rely on: the
+        mutation and its record are inseparable, so ``deltas_since``
+        reproduces exactly the mutations performed.
+        """
+
+    def record_delta(self, event: "DeltaEvent", batch_day: int) -> None:
+        """Record a delta without applying it (bulk dataset copying)."""
+
+    def deltas_since(self, day: int | None) -> list[tuple[int, "DeltaEvent"]]:
+        """Recorded (batch_day, event) pairs with ``batch_day > day``.
+
+        ``None`` means "everything". Pairs come back in the order they
+        were recorded; batch days are non-decreasing.
+        """
 
     # -- metadata / lifecycle ----------------------------------------------
 

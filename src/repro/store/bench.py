@@ -128,6 +128,96 @@ def bench_pipeline(*, seed: int, scale: float, shards: int) -> dict[str, Any]:
     }
 
 
+def bench_incremental(
+    *, seed: int, scale: float, tmp_dir: Path | None
+) -> dict[str, Any]:
+    """Final-day incremental advance versus a full batch re-run.
+
+    The daily-update cost model: with N days of history already folded
+    into a standing engine, what does folding day N+1 and reproducing
+    the result cost, compared to re-running the whole batch pipeline?
+    Runs on both engine backends and records the batch/incremental
+    result digests, so the report doubles as an equivalence check.
+    """
+    from repro.detection.incremental import IncrementalDetectionEngine
+    from repro.detection.pipeline import DetectionPipeline
+    from repro.ecosystem.world import run_default_world
+    from repro.runner.execution import result_digest
+    from repro.store.dataset import DeltaView
+
+    world = run_default_world(seed=seed, scale=scale)
+    zonedb, whois = world.zonedb, world.whois
+
+    started = clock.perf_counter()
+    batch = DetectionPipeline(zonedb, whois, mine_patterns=False).run()
+    batch_seconds = clock.perf_counter() - started
+    obs.histogram("bench.incremental.batch.duration_s").observe(batch_seconds)
+    batch_digest = result_digest(batch)
+
+    batches = DeltaView(zonedb).batches()
+    final_day, final_events = batches[-1]
+    backends: list[dict[str, Any]] = []
+    for backend in ("memory", "sqlite"):
+        if backend == "sqlite":
+            store_path = (
+                tmp_dir / f"bench-engine-{backend}.sqlite"
+                if tmp_dir is not None
+                else ":memory:"
+            )
+        else:
+            store_path = None
+        engine = IncrementalDetectionEngine(
+            whois, backend=backend, store_path=store_path, mine_patterns=False
+        )
+        started = clock.perf_counter()
+        for day, events in batches[:-1]:
+            engine.advance(day, events)
+        history_seconds = clock.perf_counter() - started
+        engine.result()  # the standing run folds daily, so arrive warm
+        started = clock.perf_counter()
+        engine.advance(final_day, final_events)
+        incremental = engine.result()
+        final_day_seconds = clock.perf_counter() - started
+        obs.histogram(
+            f"bench.incremental.{backend}.final_day_s"
+        ).observe(final_day_seconds)
+        backends.append({
+            "backend": backend,
+            "days": len(batches),
+            "history_seconds": round(history_seconds, 3),
+            "final_day_seconds": round(final_day_seconds, 6),
+            "speedup_vs_batch": (
+                round(batch_seconds / final_day_seconds, 1)
+                if final_day_seconds
+                else None
+            ),
+            "digest_matches_batch": result_digest(incremental) == batch_digest,
+        })
+    return {
+        "seed": seed,
+        "scale": scale,
+        "batch_seconds": round(batch_seconds, 3),
+        "batch_digest": batch_digest,
+        "backends": backends,
+    }
+
+
+def run_incremental_benchmarks(
+    *, seed: int = 2021, scale: float = 0.1, tmp_dir: Path | None = None
+) -> dict[str, Any]:
+    """The incremental-engine benchmark as one JSON-ready document."""
+    obs.reset_metrics()
+    report: dict[str, Any] = {
+        "format": "riskybiz-bench-incremental/1",
+        "parameters": {"seed": seed, "scale": scale},
+    }
+    report["incremental"] = bench_incremental(
+        seed=seed, scale=scale, tmp_dir=tmp_dir
+    )
+    report["metrics"] = obs.metrics().snapshot()
+    return report
+
+
 def run_benchmarks(
     *,
     domains: int = 200,
@@ -178,7 +268,16 @@ def main(argv: list[str] | None = None) -> int:
         description="Benchmark the delegation-store backends and the "
         "sharded detection pipeline; write BENCH_store.json.",
     )
-    parser.add_argument("--out", default="BENCH_store.json", help="output path")
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: BENCH_store.json, or "
+        "BENCH_incremental.json with --incremental)",
+    )
+    parser.add_argument(
+        "--incremental", action="store_true",
+        help="benchmark the incremental engine's final-day advance "
+        "against a full batch re-run instead of the store benchmarks",
+    )
     parser.add_argument("--domains", type=int, default=200)
     parser.add_argument("--days", type=int, default=30)
     parser.add_argument("--query-rounds", type=int, default=20)
@@ -191,6 +290,26 @@ def main(argv: list[str] | None = None) -> int:
         "(default: in-memory SQLite)",
     )
     args = parser.parse_args(argv)
+    if args.incremental:
+        report = run_incremental_benchmarks(
+            seed=args.seed,
+            scale=args.scale,
+            tmp_dir=Path(args.sqlite_dir) if args.sqlite_dir else None,
+        )
+        out = Path(args.out or "BENCH_incremental.json")
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        reporter = TextReporter()
+        reporter.line(f"Wrote {out}")
+        section = report["incremental"]
+        reporter.line(f"batch: {section['batch_seconds']}s")
+        for entry in section["backends"]:
+            reporter.line(
+                f"incremental[{entry['backend']}]: final day "
+                f"{entry['final_day_seconds']}s "
+                f"({entry['speedup_vs_batch']}x vs batch, digest match: "
+                f"{entry['digest_matches_batch']})"
+            )
+        return 0
     report = run_benchmarks(
         domains=args.domains,
         days=args.days,
@@ -200,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         shards=args.shards,
         tmp_dir=Path(args.sqlite_dir) if args.sqlite_dir else None,
     )
-    out = Path(args.out)
+    out = Path(args.out or "BENCH_store.json")
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     reporter = TextReporter()
     reporter.line(f"Wrote {out}")

@@ -25,6 +25,7 @@ from repro.store.atomic import (
     write_checked_json,
 )
 from repro.store.base import DOMAIN, GLUE
+from repro.store.changelog import DeltaEvent, group_batches
 from repro.store.sqlite import SqliteDelegationStore
 
 if TYPE_CHECKING:
@@ -108,6 +109,47 @@ class DatasetView:
         """Digest of the scenario this dataset was produced from."""
         return self.zonedb.store.get_meta(SCENARIO_DIGEST_KEY)
 
+    def delta_view(
+        self, *, since: int | None = None, until: int | None = None
+    ) -> "DeltaView":
+        """The windowed delta stream of this view's dataset."""
+        return DeltaView(self.zonedb, since=since, until=until)
+
+
+@dataclass(frozen=True)
+class DeltaView:
+    """A windowed, batched view over a dataset's recorded delta stream.
+
+    The incremental engine consumes history through this: per-day
+    batches of :class:`~repro.store.changelog.DeltaEvent`, restricted
+    to batch days in ``(since, until]``. ``since`` is a consumer
+    watermark — ``None`` means "from the beginning"; ``until=None``
+    runs to the end of the recorded stream.
+    """
+
+    zonedb: "ZoneDatabase"
+    since: int | None = None
+    until: int | None = None
+
+    def deltas(self) -> list[tuple[int, DeltaEvent]]:
+        """The raw (batch_day, event) pairs inside the window."""
+        deltas = self.zonedb.store.deltas_since(self.since)
+        if self.until is not None:
+            deltas = [(d, event) for d, event in deltas if d <= self.until]
+        return deltas
+
+    def batches(self) -> list[tuple[int, list[DeltaEvent]]]:
+        """Per-day event batches inside the window, in day order."""
+        return group_batches(self.deltas())
+
+    def last_batch_day(self) -> int | None:
+        """The final batch day inside the window, if any."""
+        deltas = self.deltas()
+        return deltas[-1][0] if deltas else None
+
+    def __len__(self) -> int:
+        return len(self.deltas())
+
 
 def manifest_path(dataset_path: str | Path) -> Path:
     """The manifest sidecar path for a dataset file."""
@@ -141,6 +183,12 @@ def write_dataset(
         for key in source.presence_keys(kind):
             for interval in source.presence_intervals(kind, key):
                 target.add_presence(kind, key, interval.start, interval.end)
+    # Carry the delta stream across so incremental consumers can replay
+    # the dataset's history (record-only: the intervals are copied above).
+    delta_count = 0
+    for batch_day, event in source.deltas_since(None):
+        target.record_delta(event, batch_day)
+        delta_count += 1
     # The façade's flush() serializes its state into its own store's
     # metadata; route that serialization into the target store.
     zonedb.flush()
@@ -158,6 +206,7 @@ def write_dataset(
         "nameservers": zonedb.nameserver_count(),
         "horizon": zonedb.horizon,
         "tlds": sorted(zonedb.covered_tlds),
+        "deltas": delta_count,
     }
     target.close()
     # Hash after close: the WAL is truncated into the main file, so the
@@ -191,6 +240,7 @@ def rebuild_manifest(dataset_path: str | Path) -> dict[str, Any]:
             "nameservers": zonedb.nameserver_count(),
             "horizon": zonedb.horizon,
             "tlds": sorted(zonedb.covered_tlds),
+            "deltas": len(store.deltas_since(None)),
         }
     finally:
         store.close()

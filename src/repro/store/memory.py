@@ -9,10 +9,19 @@ keep open order.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.simtime import Interval
-from repro.store.base import DOMAIN, GLUE, DelegationRecord, PresenceHistory
+from repro.store.base import (
+    DOMAIN,
+    GLUE,
+    DelegationRecord,
+    PresenceHistory,
+    dispatch_delta,
+)
+
+if TYPE_CHECKING:
+    from repro.store.changelog import DeltaEvent
 
 
 class MemoryDelegationStore:
@@ -30,6 +39,7 @@ class MemoryDelegationStore:
             DOMAIN: PresenceHistory(),
         }
         self._meta: dict[str, str] = {}
+        self._deltas: list[tuple[int, "DeltaEvent"]] = []
 
     # -- pair intervals ----------------------------------------------------
 
@@ -123,6 +133,23 @@ class MemoryDelegationStore:
 
     def presence_keys(self, kind: str) -> Iterator[str]:
         return self._presence[kind].keys()
+
+    def presence_open(self, kind: str, key: str) -> bool:
+        return self._presence[kind].is_open(key)
+
+    # -- delta tracking ----------------------------------------------------
+
+    def apply_delta(self, event: "DeltaEvent", batch_day: int) -> None:
+        self.record_delta(event, batch_day)
+        dispatch_delta(self, event)
+
+    def record_delta(self, event: "DeltaEvent", batch_day: int) -> None:
+        self._deltas.append((batch_day, event))
+
+    def deltas_since(self, day: int | None) -> list[tuple[int, "DeltaEvent"]]:
+        if day is None:
+            return list(self._deltas)
+        return [(d, event) for d, event in self._deltas if d > day]
 
     # -- metadata / lifecycle ----------------------------------------------
 

@@ -31,7 +31,8 @@ from typing import Iterator
 from repro.obs import clock
 from repro.obs import runtime as obs
 from repro.simtime import Interval
-from repro.store.base import DelegationRecord
+from repro.store.base import DelegationRecord, dispatch_delta
+from repro.store.changelog import DeltaEvent
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
@@ -52,6 +53,15 @@ CREATE TABLE IF NOT EXISTS presence (
     end INTEGER
 );
 CREATE INDEX IF NOT EXISTS presence_key ON presence (kind, key);
+CREATE TABLE IF NOT EXISTS deltas (
+    seq INTEGER PRIMARY KEY,
+    batch_day INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    day INTEGER NOT NULL,
+    name TEXT NOT NULL,
+    ns TEXT
+);
+CREATE INDEX IF NOT EXISTS deltas_batch ON deltas (batch_day);
 """
 
 #: Commit at most this many buffered writes per transaction.
@@ -290,6 +300,38 @@ class SqliteDelegationStore:
             (kind,),
         ):
             yield key
+
+    def presence_open(self, kind: str, key: str) -> bool:
+        return (kind, key) in self._open_presence
+
+    # -- delta tracking ----------------------------------------------------
+
+    def apply_delta(self, event: DeltaEvent, batch_day: int) -> None:
+        self.record_delta(event, batch_day)
+        dispatch_delta(self, event)
+
+    def record_delta(self, event: DeltaEvent, batch_day: int) -> None:
+        self._write(
+            "INSERT INTO deltas (batch_day, kind, day, name, ns) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (batch_day, event.kind, event.day, event.name, event.ns),
+        )
+
+    def deltas_since(self, day: int | None) -> list[tuple[int, DeltaEvent]]:
+        if day is None:
+            rows = self._conn.execute(
+                "SELECT batch_day, kind, day, name, ns FROM deltas ORDER BY seq"
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT batch_day, kind, day, name, ns FROM deltas "
+                "WHERE batch_day > ? ORDER BY seq",
+                (day,),
+            )
+        return [
+            (int(batch_day), DeltaEvent(kind=kind, day=d, name=name, ns=ns))
+            for batch_day, kind, d, name, ns in rows
+        ]
 
     # -- metadata / lifecycle ----------------------------------------------
 

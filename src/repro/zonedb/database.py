@@ -23,18 +23,36 @@ policies, and DZDB-style gap bridging — so backends stay interchangeable.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Iterable, Iterator
 
 from repro.dnscore.errors import NameError_
 from repro.dnscore.names import Name
 from repro.simtime import Interval
-from repro.store.base import DOMAIN, GLUE, DelegationRecord, DelegationStore
+from repro.store.base import (
+    DOMAIN,
+    GLUE,
+    DelegationRecord,
+    DelegationStore,
+    dispatch_delta,
+)
+from repro.store.changelog import (
+    DELEGATION_ADD,
+    DELEGATION_REMOVE,
+    DOMAIN_APPEAR,
+    DOMAIN_EXPIRE,
+    GLUE_ADD,
+    GLUE_REMOVE,
+    TLD_COVER,
+    ChangeLog,
+    DeltaEvent,
+)
 from repro.store.memory import MemoryDelegationStore
 from repro.zonedb.snapshot import ZoneSnapshot
 
 __all__ = [
     "DelegationRecord",
+    "FinalizeReport",
     "IngestError",
     "IngestPolicy",
     "IngestReport",
@@ -101,6 +119,29 @@ class IngestReport:
         )
 
 
+@dataclass
+class FinalizeReport:
+    """What one :meth:`ZoneDatabase.finalize_pending` call actually did.
+
+    The IngestReport-style summary of the horizon sweep: how many
+    pending gap-bridge verdicts were closed, which domains they were,
+    and how many synthesized bridging deltas landed in the delta stream
+    (incremental consumers fold these exactly like ingest-time deltas).
+    """
+
+    #: Delegations closed at the day they were first observed absent.
+    closed: int = 0
+    #: Delta events the synthesized closes emitted.
+    deltas_emitted: int = 0
+    #: The closed domains, in the (sorted) order they were processed.
+    domains: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True if nothing was pending (the archive ended cleanly)."""
+        return self.closed == 0
+
+
 class ZoneDatabase:
     """Interval histories of delegations and glue across TLD zones.
 
@@ -108,6 +149,13 @@ class ZoneDatabase:
     :class:`~repro.store.base.DelegationStore` backend. The façade keeps
     only ingest bookkeeping (policy, reports, per-TLD last-ingest days,
     pending gap-bridge verdicts) that has meaning mid-ingest.
+
+    Every mutation flows through one write path (:meth:`_emit`) as a
+    typed :class:`~repro.store.changelog.DeltaEvent`: the store applies
+    and records it, and an attached :class:`~repro.store.changelog.ChangeLog`
+    mirrors it durably. Events are grouped under *batch days* — the day
+    the mutation was performed, which can exceed its effective day when
+    gap bridging rewrites history retroactively.
     """
 
     def __init__(
@@ -116,6 +164,7 @@ class ZoneDatabase:
         *,
         ingest_policy: IngestPolicy | None = None,
         store: DelegationStore | None = None,
+        changelog: ChangeLog | None = None,
     ) -> None:
         self.store: DelegationStore = store if store is not None else MemoryDelegationStore()
         self.covered_tlds: set[str] = {Name(t).text for t in covered_tlds}
@@ -126,13 +175,69 @@ class ZoneDatabase:
         #: Domains absent from recent snapshots, awaiting the bridge
         #: window's verdict: domain -> first day observed absent.
         self._pending_close: dict[str, int] = {}
+        #: Mirrors every emitted delta when attached.
+        self.changelog: ChangeLog | None = changelog
+        #: Explicit batch-day context (set during ingest/finalize so
+        #: retroactive rewrites batch under the day that caused them).
+        self._batch_day: int | None = None
+        #: Batch days never decrease, even across unordered multi-TLD
+        #: archives (sequence order is what replay preserves).
+        self._batch_floor: int = 0
+        #: Running count of emitted deltas (cheap finalize accounting).
+        self._deltas_emitted: int = 0
         self._load_meta()
+
+    # -- the delta write path -----------------------------------------------
+
+    def attach_changelog(self, changelog: ChangeLog) -> None:
+        """Mirror every subsequently emitted delta into ``changelog``."""
+        self.changelog = changelog
+
+    def _emit(self, event: DeltaEvent) -> None:
+        """Apply one mutation and record it as a delta.
+
+        The *only* mutation path: the store applies-and-records the
+        event under the current batch day, and the attached change log
+        (if any) mirrors it durably.
+        """
+        batch_day = self._batch_day if self._batch_day is not None else self.horizon
+        batch_day = max(batch_day, self._batch_floor)
+        self._batch_floor = batch_day
+        self.store.apply_delta(event, batch_day)
+        self._deltas_emitted += 1
+        if self.changelog is not None:
+            self.changelog.record(batch_day, event)
+
+    def apply_delta(self, event: DeltaEvent) -> None:
+        """Replay one recorded delta into this database (no re-emission).
+
+        The incremental engine grows its own store by replaying a
+        recorded delta stream; events mutate through the exact same
+        primitives that produced them, so replay is bit-faithful.
+        """
+        self.horizon = max(self.horizon, event.day)
+        if event.kind == TLD_COVER:
+            self.covered_tlds.add(event.name)
+            return
+        dispatch_delta(self.store, event)
+
+    def apply_deltas(self, events: Iterable[DeltaEvent]) -> int:
+        """Replay a sequence of deltas; returns how many were applied."""
+        count = 0
+        for event in events:
+            self.apply_delta(event)
+            count += 1
+        return count
 
     # -- write path ---------------------------------------------------------
 
     def cover(self, tld: str) -> None:
         """Declare that this database receives data for ``tld``."""
-        self.covered_tlds.add(Name(tld).text)
+        tld_text = Name(tld).text
+        if tld_text in self.covered_tlds:
+            return
+        self.covered_tlds.add(tld_text)
+        self._emit(DeltaEvent(kind=TLD_COVER, day=self.horizon, name=tld_text))
 
     def covers(self, name: str) -> bool:
         """True if the TLD of ``name`` is inside the data set."""
@@ -156,28 +261,40 @@ class ZoneDatabase:
         if new_set == old_set:
             return
         for ns in sorted(old_set - new_set):
-            self.store.close_pair(domain_text, ns, day)
+            self._emit(
+                DeltaEvent(kind=DELEGATION_REMOVE, day=day, name=domain_text, ns=ns)
+            )
         for ns in sorted(new_set - old_set):
-            self.store.open_pair(domain_text, ns, day)
-        self.store.open_presence(DOMAIN, domain_text, day)
+            self._emit(
+                DeltaEvent(kind=DELEGATION_ADD, day=day, name=domain_text, ns=ns)
+            )
+        if not self.store.presence_open(DOMAIN, domain_text):
+            self._emit(DeltaEvent(kind=DOMAIN_APPEAR, day=day, name=domain_text))
 
     def remove_delegation(self, day: int, domain: str) -> None:
         """Record that ``domain`` left the zone on ``day``."""
         self.advance(max(self.horizon, day))
         domain_text = Name(domain).text
-        for ns in self.store.current_nameservers(domain_text):
-            self.store.close_pair(domain_text, ns, day)
-        self.store.close_presence(DOMAIN, domain_text, day)
+        for ns in sorted(self.store.current_nameservers(domain_text)):
+            self._emit(
+                DeltaEvent(kind=DELEGATION_REMOVE, day=day, name=domain_text, ns=ns)
+            )
+        if self.store.presence_open(DOMAIN, domain_text):
+            self._emit(DeltaEvent(kind=DOMAIN_EXPIRE, day=day, name=domain_text))
 
     def set_glue(self, day: int, host: str) -> None:
         """Record that ``host`` has glue from ``day`` on."""
         self.advance(max(self.horizon, day))
-        self.store.open_presence(GLUE, Name(host).text, day)
+        host_text = Name(host).text
+        if not self.store.presence_open(GLUE, host_text):
+            self._emit(DeltaEvent(kind=GLUE_ADD, day=day, name=host_text))
 
     def remove_glue(self, day: int, host: str) -> None:
         """Record that ``host`` lost its glue on ``day``."""
         self.advance(max(self.horizon, day))
-        self.store.close_presence(GLUE, Name(host).text, day)
+        host_text = Name(host).text
+        if self.store.presence_open(GLUE, host_text):
+            self._emit(DeltaEvent(kind=GLUE_REMOVE, day=day, name=host_text))
 
     def ingest_snapshot(self, snapshot: ZoneSnapshot) -> IngestReport:
         """Diff one daily snapshot against current state (DZDB mode).
@@ -196,6 +313,18 @@ class ZoneDatabase:
         """
         policy = self.ingest_policy
         report = IngestReport(day=snapshot.day, tld=snapshot.tld)
+        # Everything this ingest does — including retroactive gap-bridge
+        # closes whose effective day is in the past — batches under the
+        # snapshot day, so delta consumers see one batch per ingest.
+        self._batch_day = max(snapshot.day, self._batch_floor)
+        try:
+            return self._ingest_snapshot_batched(snapshot, policy, report)
+        finally:
+            self._batch_day = None
+
+    def _ingest_snapshot_batched(
+        self, snapshot: ZoneSnapshot, policy: IngestPolicy, report: IngestReport
+    ) -> IngestReport:
         self.cover(snapshot.tld)
         day = snapshot.day
         suffix = "." + snapshot.tld
@@ -298,21 +427,30 @@ class ZoneDatabase:
         if valid:
             self.set_delegation(day, domain, valid)
 
-    def finalize_pending(self) -> int:
+    def finalize_pending(self) -> FinalizeReport:
         """Close every delegation still awaiting its gap-bridge verdict.
 
         Call once after the last snapshot of an archive: domains that
         disappeared near the end of the data and never came back are
         closed at the day they were first observed absent (exactly what
-        a bridging DZDB does at its horizon). Returns the number of
-        domains closed.
+        a bridging DZDB does at its horizon). The synthesized bridging
+        closes are emitted as deltas batched under the horizon day, so
+        incremental consumers see them like any other rewrite. Returns
+        a :class:`FinalizeReport` summary.
         """
-        count = 0
-        for domain, absent_since in sorted(self._pending_close.items()):
-            self.remove_delegation(absent_since, domain)
-            count += 1
-        self._pending_close.clear()
-        return count
+        report = FinalizeReport()
+        emitted_before = self._deltas_emitted
+        self._batch_day = max(self.horizon, self._batch_floor)
+        try:
+            for domain, absent_since in sorted(self._pending_close.items()):
+                self.remove_delegation(absent_since, domain)
+                report.closed += 1
+                report.domains.append(domain)
+            self._pending_close.clear()
+        finally:
+            self._batch_day = None
+        report.deltas_emitted = self._deltas_emitted - emitted_before
+        return report
 
     # -- metadata persistence ------------------------------------------------
 
@@ -345,6 +483,30 @@ class ZoneDatabase:
         """Flush and release the underlying store."""
         self.flush()
         self.store.close()
+
+    # -- delta queries / watermarks -------------------------------------------
+
+    _WATERMARK_PREFIX = "watermark:"
+
+    def deltas_since(self, day: int | None) -> list[tuple[int, DeltaEvent]]:
+        """Recorded (batch_day, event) pairs with ``batch_day > day``."""
+        return self.store.deltas_since(day)
+
+    def watermark(self, consumer: str) -> int | None:
+        """The last batch day ``consumer`` committed against this store."""
+        raw = self.store.get_meta(self._WATERMARK_PREFIX + consumer)
+        return None if raw is None else int(raw)
+
+    def commit_watermark(self, consumer: str, day: int) -> None:
+        """Durably record that ``consumer`` processed through ``day``."""
+        current = self.watermark(consumer)
+        if current is not None and day < current:
+            raise ValueError(
+                f"watermark for {consumer!r} cannot move backwards: "
+                f"{day} < {current}"
+            )
+        self.store.set_meta(self._WATERMARK_PREFIX + consumer, str(day))
+        self.store.flush()
 
     # -- queries: nameservers -----------------------------------------------
 

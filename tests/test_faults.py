@@ -427,7 +427,11 @@ class TestIngestGapBridging:
         db = ZoneDatabase(ingest_policy=IngestPolicy(gap_bridge_days=30))
         db.ingest_snapshot(self._snapshot(0, {"victim.biz": ["ns1.host.com"]}))
         db.ingest_snapshot(self._snapshot(10, {}))
-        assert db.finalize_pending() == 1
+        report = db.finalize_pending()
+        assert report.closed == 1
+        assert report.domains == ["victim.biz"]
+        assert report.deltas_emitted >= 1
+        assert not report.clean
         records = db.domain_records("victim.biz")
         assert [(r.start, r.end) for r in records] == [(0, 10)]
 

@@ -13,6 +13,7 @@ from repro.lint.callgraph import CallGraph
 from repro.lint.config import LintConfig
 from repro.lint.flow import (
     check_digest_taint,
+    check_watermark_bypass,
     check_worker_global_mutation,
     run_project_analysis,
     stale_baseline_diagnostics,
@@ -406,6 +407,90 @@ class TestDet011DigestTaint:
         diagnostics = _analyze(tmp_path, config)
         det011 = [d for d in diagnostics if d.rule_id == "DET011"]
         assert [(d.symbol, d.line) for d in det011] == [("record", 7)]
+
+
+class TestDet013WatermarkBypass:
+    def _findings(self, tmp_path: Path, source: str, **overrides: object):
+        _write_project(tmp_path, {
+            "src/pkg/__init__.py": "",
+            "src/pkg/stages.py": source,
+        })
+        config = _config(
+            tmp_path,
+            worker_entry_points=(),
+            watermark_commit_functions=("pkg.stages:commit",),
+            **overrides,
+        )
+        graph = ProjectGraph.build(config)
+        return check_watermark_bypass(graph, config)
+
+    def test_direct_entry_write_flagged(self, tmp_path: Path) -> None:
+        findings = self._findings(tmp_path, """\
+            def sneaky(state, day):
+                state["watermarks"]["mine"] = day
+        """)
+        assert [(d.rule_id, d.symbol, d.line) for d in findings] == [
+            ("DET013", "sneaky", 2)
+        ]
+        assert "writes a watermark entry" in findings[0].message
+        assert "pkg.stages:commit" in findings[0].message
+
+    def test_commit_function_is_allowed(self, tmp_path: Path) -> None:
+        findings = self._findings(tmp_path, """\
+            def commit(state, stage, day):
+                state["watermarks"][stage] = day
+        """)
+        assert findings == []
+
+    def test_alias_writes_and_mutating_methods_flagged(
+        self, tmp_path: Path
+    ) -> None:
+        findings = self._findings(tmp_path, """\
+            def drift(state, day):
+                marks = state["watermarks"]
+                marks["engine"] = day
+                marks.update(engine=day)
+                del marks["mine"]
+        """)
+        descriptions = sorted(d.message.split(" outside")[0] for d in findings)
+        assert descriptions == [
+            ".update() mutates the watermark map in place",
+            "deletes watermark state",
+            "writes a watermark entry",
+        ]
+
+    def test_map_replacement_flagged(self, tmp_path: Path) -> None:
+        findings = self._findings(tmp_path, """\
+            def reset(state):
+                state["watermarks"] = {}
+        """)
+        assert len(findings) == 1
+        assert "replaces the watermark map" in findings[0].message
+
+    def test_reads_are_not_flagged(self, tmp_path: Path) -> None:
+        findings = self._findings(tmp_path, """\
+            def peek(state, stage):
+                marks = state["watermarks"]
+                return marks.get(stage), state["watermarks"].get("engine")
+        """)
+        assert findings == []
+
+    def test_runner_gates_project_pass_on_det013(self, tmp_path: Path) -> None:
+        _write_project(tmp_path, {
+            "src/pkg/__init__.py": "",
+            "src/pkg/stages.py": """\
+                def sneaky(state, day):
+                    state["watermarks"]["mine"] = day
+            """,
+        })
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.riskybiz.lint]
+            select = ["DET013"]
+            watermark-commit-functions = ["pkg.stages:commit"]
+        """), encoding="utf-8")
+        result = run_lint([tmp_path / "src"], root=tmp_path)
+        assert result.project_analyzed
+        assert [d.rule_id for d in result.diagnostics] == ["DET013"]
 
 
 class TestDet012StaleBaseline:

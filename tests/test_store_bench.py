@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 
-from repro.store.bench import main, run_benchmarks
+from repro.store.bench import main, run_benchmarks, run_incremental_benchmarks
 
 
 def test_run_benchmarks_shape(tmp_path):
@@ -26,6 +26,35 @@ def test_run_benchmarks_shape(tmp_path):
     assert pipeline["unsharded_seconds"] > 0
     assert pipeline["sharded_seconds"] > 0
     assert pipeline["shards"] == 2
+
+
+def test_run_incremental_benchmarks_shape(tmp_path):
+    report = run_incremental_benchmarks(scale=0.1, tmp_dir=tmp_path)
+    assert report["format"] == "riskybiz-bench-incremental/1"
+    section = report["incremental"]
+    assert section["batch_seconds"] > 0
+    assert [entry["backend"] for entry in section["backends"]] == [
+        "memory", "sqlite"
+    ]
+    for entry in section["backends"]:
+        # The incremental engine's reason to exist: the final-day fold
+        # must be far cheaper than a batch re-run, with the same result.
+        assert entry["digest_matches_batch"] is True
+        assert entry["speedup_vs_batch"] >= 5
+        assert entry["days"] > 1
+
+
+def test_cli_writes_incremental_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_incremental.json"
+    code = main([
+        "--incremental", "--out", str(out), "--scale", "0.1",
+        "--sqlite-dir", str(tmp_path),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["format"] == "riskybiz-bench-incremental/1"
+    err = capsys.readouterr().err
+    assert "incremental[sqlite]" in err and "digest match: True" in err
 
 
 def test_cli_writes_json(tmp_path, capsys):
