@@ -684,7 +684,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.reporters import render_json, render_text
     from repro.lint.runner import run_lint
 
-    if args.graph:
+    if args.graph == "json":
         from repro.lint.callgraph import CallGraph
         from repro.lint.config import load_config
         from repro.lint.project import ProjectGraph
@@ -692,6 +692,32 @@ def cmd_lint(args: argparse.Namespace) -> int:
         config = load_config(args.root)
         call_graph = CallGraph.build(ProjectGraph.build(config))
         print(json.dumps(call_graph.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    if args.graph == "cfg":
+        import ast as _ast
+        from pathlib import Path as _Path
+
+        from repro.lint.cfg import function_cfgs
+        from repro.lint.config import load_config
+        from repro.lint.runner import _iter_lintable, _relativize
+
+        config = load_config(args.root)
+        dump: dict[str, dict[str, object]] = {}
+        for file_path in _iter_lintable(
+            [_Path(p) for p in args.paths], config
+        ):
+            if file_path.suffix != ".py":
+                continue
+            rel = _relativize(file_path, config.root)
+            try:
+                tree = _ast.parse(file_path.read_text(encoding="utf-8"))
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue
+            graphs = {g.name: g.to_dict() for g in function_cfgs(tree)}
+            if graphs:
+                dump[rel] = graphs
+        print(json.dumps(dump, indent=2, sort_keys=True))
         return 0
 
     if args.fix or args.fix_diff:
@@ -1034,8 +1060,10 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 1, inline)",
     )
     lint.add_argument(
-        "--graph", choices=("json",),
-        help="dump the project import/call graph instead of linting",
+        "--graph", choices=("json", "cfg"),
+        help="dump a graph instead of linting: 'json' is the project "
+             "import/call graph, 'cfg' the per-function control-flow "
+             "graphs (with exception edges) of the target files",
     )
     lint.set_defaults(func=cmd_lint)
 

@@ -15,7 +15,6 @@ killed sweep resumes where it stopped and produces identical tables.
 
 from __future__ import annotations
 
-import os
 import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -24,6 +23,7 @@ from typing import Iterable, Sequence
 from repro.detection.pipeline import DetectionPipeline
 from repro.faults.apply import degrade_world
 from repro.faults.config import FaultConfig
+from repro.store.atomic import atomic_write_bytes
 
 
 @dataclass(frozen=True)
@@ -162,10 +162,7 @@ def run_degradation_sweep(
                 world_result, truth, rate, every=every, checkpoint_dir=directory
             )
             if point_path is not None:
-                temp = point_path.with_suffix(".tmp")
-                with open(temp, "wb") as handle:
-                    pickle.dump(point, handle)
-                os.replace(temp, point_path)
+                atomic_write_bytes(point_path, pickle.dumps(point))
         report.points.append(point)
     return report
 

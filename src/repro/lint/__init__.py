@@ -9,14 +9,21 @@ Engine 3 (:mod:`repro.lint.flow`) is whole-program: it builds an
 import/symbol graph (:mod:`repro.lint.project`) and a conservative
 call graph (:mod:`repro.lint.callgraph`) over the configured project
 roots and runs the interprocedural fork-safety and digest-taint rules
-across module boundaries. All engines share one diagnostic model, rule
-registry, pyproject config, and baseline-suppression file;
-``riskybiz lint`` is the CLI front end and :mod:`repro.lint.fixes`
-supplies the ``--fix`` rewrite engine.
+across module boundaries. Engine 4 (:mod:`repro.lint.typestate`) is
+path-sensitive: it builds per-function control-flow graphs with
+exception and ``finally`` edges (:mod:`repro.lint.cfg`) and runs a
+worklist fixpoint over the declarative protocol automata in
+:mod:`repro.lint.protocols` — span/tracer lifecycles, journal
+discipline, the temp→fsync→rename atomic-write order, and the
+checkpoint-before-watermark-commit invariant. All engines share one
+diagnostic model, rule registry, pyproject config, and
+baseline-suppression file; ``riskybiz lint`` is the CLI front end and
+:mod:`repro.lint.fixes` supplies the ``--fix`` rewrite engine.
 """
 
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.callgraph import CallGraph
+from repro.lint.cfg import CFG, CFGNode, build_cfg, function_cfgs
 from repro.lint.code_engine import CodeContext, FixCandidate, lint_code_source
 from repro.lint.config import LintConfig, load_config
 from repro.lint.diagnostics import Diagnostic, Severity
@@ -30,7 +37,15 @@ from repro.lint.registry import (
     code_checker,
     rule,
     scenario_checker,
+    typestate_checker,
 )
+from repro.lint.typestate import (
+    ProtocolAutomaton,
+    TrackedObject,
+    TypestateContext,
+    lint_typestate_source,
+)
+from repro.lint import protocols as _protocols  # noqa: F401  (registers DET014-017)
 from repro.lint.reporters import render_json, render_text
 from repro.lint.runner import LintResult, run_lint
 from repro.lint.scenario_engine import (
@@ -43,6 +58,8 @@ from repro.lint.scenario_engine import (
 __all__ = [
     "Baseline",
     "BaselineEntry",
+    "CFG",
+    "CFGNode",
     "CallGraph",
     "CodeContext",
     "Diagnostic",
@@ -51,18 +68,24 @@ __all__ = [
     "LintConfig",
     "LintResult",
     "ProjectGraph",
+    "ProtocolAutomaton",
     "RULES",
     "Rule",
     "ScenarioContext",
     "Severity",
+    "TrackedObject",
+    "TypestateContext",
     "WORLD_FORMAT",
     "apply_fixes",
+    "build_cfg",
     "catalogue",
     "classify_document",
     "code_checker",
     "fix_source",
+    "function_cfgs",
     "lint_code_source",
     "lint_scenario_data",
+    "lint_typestate_source",
     "load_config",
     "plan_fixes",
     "render_json",
@@ -72,4 +95,5 @@ __all__ = [
     "run_project_analysis",
     "scenario_checker",
     "stale_baseline_diagnostics",
+    "typestate_checker",
 ]

@@ -86,6 +86,54 @@ class LintConfig:
     watermark_commit_functions: tuple[str, ...] = (
         "repro.detection.incremental:commit_watermark",
     )
+    #: Span-context factory names (bare or attribute calls) whose
+    #: results DET014 tracks through enter/exit.
+    span_factories: tuple[str, ...] = ("span",)
+    #: Tracer class names: construction (or a classmethod constructor)
+    #: starts a DET014 open/closed lifecycle.
+    tracer_classes: tuple[str, ...] = ("Tracer",)
+    #: Journal class names for the DET015 open/closed lifecycle.
+    journal_classes: tuple[str, ...] = ("RunJournal",)
+    #: Method names that close a tracked handle (DET014/DET015).
+    protocol_close_methods: tuple[str, ...] = ("close",)
+    #: Journal event names that rewrite resume history; appending them
+    #: outside the reconcile functions below is a DET015 finding.
+    journal_reconcile_events: tuple[str, ...] = (
+        "engine-reset",
+        "shard-reset",
+    )
+    #: The functions (``module:qualname`` specs) sanctioned to append
+    #: reconcile events: the resume/verify paths that own recovery.
+    journal_reconcile_functions: tuple[str, ...] = (
+        "repro.runner.execution:_load_partial_state",
+        "repro.runner.execution:_verified_completed_shards",
+        "repro.runner.execution:_restore_engine",
+    )
+    #: Paths where DET016 polices manual temp-file dances. Wider than
+    #: ``atomic_paths``: a hand-rolled temp write anywhere in the
+    #: package must follow the full protocol or route through
+    #: :mod:`repro.store.atomic`.
+    atomic_protocol_paths: tuple[str, ...] = ("src/repro",)
+    #: Names/suffixes that mark an expression as a temp-file path:
+    #: entries starting with ``.`` match string-literal suffixes, the
+    #: rest match variable names.
+    atomic_temp_markers: tuple[str, ...] = ("TMP_SUFFIX", ".tmp")
+    #: Calls DET016 accepts as the durability barrier (dotted specs
+    #: require the full attribute chain).
+    protocol_fsync_functions: tuple[str, ...] = ("os.fsync",)
+    #: Calls DET016/the atomic protocol accept as the publishing rename.
+    protocol_rename_functions: tuple[str, ...] = ("os.replace",)
+    #: Calls that durably write the incremental engine checkpoint;
+    #: DET017 requires one on every path before a watermark commit.
+    checkpoint_write_functions: tuple[str, ...] = ("atomic_write_bytes",)
+    #: Method names that commit a consumer watermark (DET017 tracks
+    #: attribute calls only; the module-level DET013 helper is exempt).
+    watermark_commit_methods: tuple[str, ...] = ("commit_watermark",)
+    #: Paths where the DET017 checkpoint-before-commit ordering holds.
+    incremental_runner_paths: tuple[str, ...] = (
+        "src/repro/runner",
+        "src/repro/detection",
+    )
 
     def baseline_path(self) -> Path:
         """Absolute path of the configured baseline file."""
@@ -157,6 +205,19 @@ def load_config(root: Path | str | None = None) -> LintConfig:
         ("worker-safe-modules", "worker_safe_modules"),
         ("digest-sinks", "digest_sinks"),
         ("watermark-commit-functions", "watermark_commit_functions"),
+        ("span-factories", "span_factories"),
+        ("tracer-classes", "tracer_classes"),
+        ("journal-classes", "journal_classes"),
+        ("protocol-close-methods", "protocol_close_methods"),
+        ("journal-reconcile-events", "journal_reconcile_events"),
+        ("journal-reconcile-functions", "journal_reconcile_functions"),
+        ("atomic-protocol-paths", "atomic_protocol_paths"),
+        ("atomic-temp-markers", "atomic_temp_markers"),
+        ("protocol-fsync-functions", "protocol_fsync_functions"),
+        ("protocol-rename-functions", "protocol_rename_functions"),
+        ("checkpoint-write-functions", "checkpoint_write_functions"),
+        ("watermark-commit-methods", "watermark_commit_methods"),
+        ("incremental-runner-paths", "incremental_runner_paths"),
     ):
         if option in table:
             updates[attr] = _as_str_tuple(table[option], option)

@@ -41,7 +41,7 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Collection, Iterable, Sequence
 
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.callgraph import CallGraph, _dotted_base
@@ -71,6 +71,11 @@ rule(
     "DET013", "watermark-bypass", "project",
     "watermark state mutated outside the sanctioned commit path",
 )
+
+#: The rules :func:`run_project_analysis` computes. DET012 is derived
+#: from the baseline afterwards, not by the graph pass, so the runner
+#: gates the (expensive) pass on these alone.
+PROJECT_PASS_RULES: tuple[str, ...] = ("DET010", "DET011", "DET013")
 
 #: Container methods that mutate their receiver in place.
 _MUTATING_METHODS = frozenset({
@@ -870,6 +875,7 @@ def stale_baseline_diagnostics(
     all_diagnostics: Iterable[Diagnostic],
     scanned_paths: set[str],
     config: LintConfig,
+    evaluated_rules: Collection[str] | None = None,
 ) -> tuple[list[Diagnostic], list[BaselineEntry]]:
     """DET012: entries that no longer anchor to anything real.
 
@@ -877,7 +883,13 @@ def stale_baseline_diagnostics(
     defined in the file, or the file was scanned in this run and the
     finding did not fire. Entries for files outside this run's scope
     are left alone — ``riskybiz lint one_file.py`` must not condemn
-    the rest of the baseline.
+    the rest of the baseline. Likewise, "no longer fires" is only
+    meaningful for rules whose engine actually ran: with
+    ``evaluated_rules`` given, entries for unevaluated rules are never
+    condemned on that ground (``--select DET004`` skips the project
+    pass, which must not mark every live DET010 entry prunable).
+    Path- and symbol-existence staleness is engine-independent and is
+    still checked.
     """
     fired = {diag.fingerprint for diag in all_diagnostics}
     diagnostics: list[Diagnostic] = []
@@ -896,7 +908,11 @@ def stale_baseline_diagnostics(
             symbols = symbol_cache[entry.path]
             if symbols is not None and entry.symbol not in symbols:
                 reason = f"symbol {entry.symbol!r} is no longer defined there"
-        if reason is None and entry.path in scanned_paths:
+        if (
+            reason is None
+            and entry.path in scanned_paths
+            and (evaluated_rules is None or entry.rule in evaluated_rules)
+        ):
             reason = "the finding no longer fires"
         if reason is None:
             continue

@@ -2,11 +2,13 @@
 
 ``run_lint`` is the single entry point behind both the ``riskybiz
 lint`` subcommand and the test suite. Python files go through the code
-engine, JSON files through the scenario engine, and — when the lint
-targets cover the configured project roots — the whole-program flow
-pass (DET010/DET011) runs once over the project graph. Findings are
-filtered by ``select``/``ignore``, split into new vs. baselined, and
-the exit code is 1 exactly when a non-baselined ERROR remains.
+engine and the typestate protocol engine, JSON files through the
+scenario engine, and — when the lint targets cover the configured
+project roots — the whole-program flow pass (DET010/DET011/DET013)
+runs once over the project graph. Engines whose every rule is
+deselected are skipped entirely. Findings are filtered by
+``select``/``ignore``, split into new vs. baselined, and the exit
+code is 1 exactly when a non-baselined ERROR remains.
 
 With ``jobs > 1`` the per-file engines fan out across a process pool
 driven by the same :class:`~repro.runner.supervisor.RunSupervisor`
@@ -27,13 +29,18 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from repro.lint import protocols as _protocols  # noqa: F401  (registers DET014-017)
 from repro.lint.baseline import Baseline, BaselineEntry
 from repro.lint.code_engine import lint_code_file
 from repro.lint.config import LintConfig, load_config
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.registry import validate_rule_ids
+from repro.lint.registry import RULES, validate_rule_ids
 from repro.lint.scenario_engine import lint_scenario_file
+from repro.lint.typestate import lint_typestate_file
 from repro.obs import runtime
+
+#: The engines dispatched per file (the project pass runs once).
+_PER_FILE_ENGINES = ("code", "scenario", "typestate")
 
 
 @dataclass
@@ -91,12 +98,28 @@ def _iter_lintable(paths: Iterable[Path], config: LintConfig) -> Iterator[Path]:
             yield candidate
 
 
-def _lint_one(file_path: Path, rel: str, cfg: LintConfig) -> list[Diagnostic]:
-    """Run the per-file engine for one path."""
+def _lint_one(
+    file_path: Path,
+    rel: str,
+    cfg: LintConfig,
+    engines: frozenset[str],
+) -> list[Diagnostic]:
+    """Run the enabled per-file engines for one path.
+
+    ``engines`` holds the engines with at least one enabled rule; a
+    ``--select`` that excludes a whole engine skips its pass entirely
+    rather than computing findings the filter would drop.
+    """
+    diagnostics: list[Diagnostic] = []
     with runtime.timed("lint.file"):
         if file_path.suffix == ".py":
-            return lint_code_file(file_path, rel, cfg)
-        return lint_scenario_file(file_path, rel, cfg)
+            if "code" in engines:
+                diagnostics.extend(lint_code_file(file_path, rel, cfg))
+            if "typestate" in engines:
+                diagnostics.extend(lint_typestate_file(file_path, rel, cfg))
+        elif "scenario" in engines:
+            diagnostics.extend(lint_scenario_file(file_path, rel, cfg))
+    return diagnostics
 
 
 def _covers_project_roots(
@@ -132,6 +155,7 @@ def _lint_shard_worker(
     index: int,
     shard_files: list[tuple[str, str]],
     config: LintConfig,
+    engines: frozenset[str],
     out_path: str,
     heartbeats: Any,
 ) -> None:
@@ -151,7 +175,8 @@ def _lint_shard_worker(
     findings: list[dict[str, object]] = []
     for absolute, rel in shard_files:
         findings.extend(
-            diag.to_dict() for diag in _lint_one(Path(absolute), rel, config)
+            diag.to_dict()
+            for diag in _lint_one(Path(absolute), rel, config, engines)
         )
         heartbeats.put((index, rel))
     payload = json.dumps(findings, sort_keys=True)
@@ -159,7 +184,10 @@ def _lint_shard_worker(
 
 
 def _run_parallel(
-    files: list[tuple[Path, str]], cfg: LintConfig, jobs: int
+    files: list[tuple[Path, str]],
+    cfg: LintConfig,
+    jobs: int,
+    engines: frozenset[str],
 ) -> list[Diagnostic]:
     """Fan the per-file engines out across a supervised process pool."""
     from repro.runner.supervisor import RunSupervisor, SupervisorPolicy
@@ -181,7 +209,10 @@ def _run_parallel(
 
             process = multiprocessing.get_context().Process(
                 target=_lint_shard_worker,
-                args=(index, shards[index], cfg, out_paths[index], heartbeats),
+                args=(
+                    index, shards[index], cfg, engines,
+                    out_paths[index], heartbeats,
+                ),
             )
             process.start()
             return process
@@ -249,39 +280,64 @@ def run_lint(
         result.files_scanned = len(files)
         runtime.counter("lint.files").inc(len(files))
 
-        #: Every finding, pre-filter — DET012 staleness must see findings
-        #: for rules the caller deselected, or narrowing ``--select``
-        #: would condemn perfectly live baseline entries.
+        # Engines with at least one enabled rule run; the others are
+        # skipped wholesale, so e.g. ``--select DET004`` pays for
+        # neither the typestate fixpoint nor the scenario pass.
+        engines = frozenset(
+            engine
+            for engine in _PER_FILE_ENGINES
+            if any(
+                enabled(rule_id)
+                for rule_id, entry in RULES.items()
+                if entry.engine == engine
+            )
+        )
+
+        #: Engine output is pre-filter — DET012 staleness must see
+        #: findings for rules the caller deselected, or narrowing
+        #: ``--select`` would condemn perfectly live baseline entries.
         raw_diagnostics: list[Diagnostic]
         if jobs > 1 and len(files) > 1:
-            raw_diagnostics = _run_parallel(files, cfg, jobs)
+            raw_diagnostics = _run_parallel(files, cfg, jobs, engines)
         else:
             raw_diagnostics = []
             for file_path, rel in files:
-                raw_diagnostics.extend(_lint_one(file_path, rel, cfg))
+                raw_diagnostics.extend(_lint_one(file_path, rel, cfg, engines))
+
+        from repro.lint.flow import (
+            PROJECT_PASS_RULES,
+            run_project_analysis,
+            stale_baseline_diagnostics,
+        )
 
         run_project = (
             project_analysis
             if project_analysis is not None
-            else (
-                enabled("DET010") or enabled("DET011") or enabled("DET013")
-            )
+            else any(enabled(rule_id) for rule_id in PROJECT_PASS_RULES)
             and _covers_project_roots(targets, cfg)
         )
         if run_project:
-            from repro.lint.flow import run_project_analysis
-
             with runtime.timed("lint.project"):
                 project_diags, _, _ = run_project_analysis(cfg)
             raw_diagnostics.extend(project_diags)
             result.project_analyzed = True
 
         if use_baseline and baseline.entries:
-            from repro.lint.flow import stale_baseline_diagnostics
-
+            # A skipped engine evaluated nothing: its rules' baseline
+            # entries must not be condemned as "no longer fires".
+            evaluated_rules = frozenset(
+                rule_id
+                for rule_id, entry in RULES.items()
+                if entry.engine in engines
+                or (entry.engine == "project" and run_project)
+            )
             scanned = {rel for _, rel in files}
             stale_diags, stale_entries = stale_baseline_diagnostics(
-                baseline, raw_diagnostics, scanned, cfg
+                baseline,
+                raw_diagnostics,
+                scanned,
+                cfg,
+                evaluated_rules=evaluated_rules,
             )
             result.stale_baseline_entries = stale_entries
             if enabled("DET012"):
